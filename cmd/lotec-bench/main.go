@@ -1,0 +1,38 @@
+// lotec-bench explores the network-parameter space of §5: it runs one
+// figure's workload per protocol and prices the hottest object's message
+// trace under every bandwidth × software-cost combination — the full grid
+// behind Figures 6–8, for finding where LOTEC's smaller-but-more-numerous
+// messages win or lose.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lotec/internal/netmodel"
+	"lotec/internal/sim"
+)
+
+func main() {
+	figure := flag.String("figure", "3", "workload figure to sweep (2..5)")
+	flag.Parse()
+
+	spec, err := sim.FigureByID(*figure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotec-bench:", err)
+		os.Exit(1)
+	}
+	res, err := sim.RunFigure(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotec-bench:", err)
+		os.Exit(1)
+	}
+	obj := res.HottestObject()
+	fmt.Printf("Workload of figure %s; pricing object %v (hottest) under all network parameters.\n\n", spec.ID, obj)
+	for _, bw := range netmodel.Networks {
+		fmt.Print(res.TimeTable(bw))
+		fmt.Println()
+	}
+	fmt.Println(res.CountersTable())
+}

@@ -1,0 +1,40 @@
+// lotec-gdo runs the global directory of objects (GDO) service of a TCP
+// deployment. Start it before the data nodes:
+//
+//	lotec-gdo -addr :7100 -nodes host1:7101,host2:7102
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"lotec"
+)
+
+func main() {
+	addr := flag.String("addr", ":7100", "listen address of the directory")
+	nodes := flag.String("nodes", "", "comma-separated data node addresses, in node-ID order")
+	flag.Parse()
+
+	nodeAddrs := strings.Split(*nodes, ",")
+	if *nodes == "" || len(nodeAddrs) == 0 {
+		fmt.Fprintln(os.Stderr, "lotec-gdo: -nodes is required")
+		os.Exit(2)
+	}
+	topo := lotec.Topology{NodeAddrs: nodeAddrs, GDOAddr: *addr}
+	g, err := lotec.StartGDO(topo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotec-gdo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("GDO serving %d-node deployment at %s\n", len(nodeAddrs), g.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	_ = g.Close()
+}

@@ -1,0 +1,88 @@
+// lotec-sim regenerates the paper's evaluation: every figure of §5, the
+// headline protocol comparison, and the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	lotec-sim -figure all        # Figures 2–8 plus the RC extension
+//	lotec-sim -figure 3          # one figure
+//	lotec-sim -headline          # §5 aggregate byte ratios
+//	lotec-sim -ablation all      # prediction/granularity/demand/disorder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lotec/internal/sim"
+)
+
+func main() {
+	figure := flag.String("figure", "", "figure to regenerate: 2..8, rc, or all")
+	headline := flag.Bool("headline", false, "print the §5 headline byte ratios")
+	ablation := flag.String("ablation", "", "ablation to run: prediction, granularity, demand, disorder, or all")
+	flag.Parse()
+
+	if *figure == "" && !*headline && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*figure, *headline, *ablation); err != nil {
+		fmt.Fprintln(os.Stderr, "lotec-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figure string, headline bool, ablation string) error {
+	if figure != "" {
+		specs := sim.FigureSpecs()
+		if figure != "all" {
+			spec, err := sim.FigureByID(figure)
+			if err != nil {
+				return err
+			}
+			specs = []sim.FigureSpec{spec}
+		}
+		for _, spec := range specs {
+			t0 := time.Now()
+			res, err := sim.RunFigure(spec)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("(regenerated in %v)\n%s\n", time.Since(t0).Round(time.Millisecond), res.Render())
+		}
+	}
+	if headline {
+		out, err := sim.Headline()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if ablation != "" {
+		all := map[string]func() (string, error){
+			"prediction":  sim.PredictionWidthAblation,
+			"granularity": sim.GranularityAblation,
+			"demand":      sim.DemandFetchAblation,
+			"disorder":    sim.DisorderAblation,
+		}
+		names := []string{"prediction", "granularity", "demand", "disorder"}
+		if ablation != "all" {
+			fn, ok := all[ablation]
+			if !ok {
+				return fmt.Errorf("unknown ablation %q", ablation)
+			}
+			all = map[string]func() (string, error){ablation: fn}
+			names = []string{ablation}
+		}
+		for _, n := range names {
+			out, err := all[n]()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package lotec_test
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lotec"
+)
+
+// Example demonstrates the whole programming model: declare a class with
+// conservative access sets, register a body, create an object, and run
+// transactions from different nodes of a simulated cluster.
+func Example() {
+	cluster, err := lotec.NewCluster(lotec.Options{Nodes: 3, Protocol: lotec.LOTEC})
+	if err != nil {
+		panic(err)
+	}
+
+	counter, err := lotec.NewClass(1, "Counter").
+		Attr("value", 8).
+		Attr("history", 4096).
+		Method(lotec.MethodSpec{Name: "add", Writes: []string{"value"}}).
+		Method(lotec.MethodSpec{Name: "get", Reads: []string{"value"}}).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	cluster.MustAddClass(counter)
+
+	cluster.MustOnMethod(counter, "add", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("value")
+		if err != nil {
+			return err
+		}
+		next := binary.LittleEndian.Uint64(cur) + binary.LittleEndian.Uint64(ctx.Arg())
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, next)
+		return ctx.Write("value", out)
+	})
+	cluster.MustOnMethod(counter, "get", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("value")
+		if err != nil {
+			return err
+		}
+		ctx.SetResult(cur)
+		return nil
+	})
+
+	obj, err := cluster.NewObject(counter.ID, 1)
+	if err != nil {
+		panic(err)
+	}
+	arg := make([]byte, 8)
+	binary.LittleEndian.PutUint64(arg, 5)
+	for node := lotec.NodeID(1); node <= 3; node++ {
+		if _, err := cluster.Exec(node, obj, "add", arg); err != nil {
+			panic(err)
+		}
+	}
+	out, err := cluster.Exec(2, obj, "get", nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("counter:", binary.LittleEndian.Uint64(out))
+	// Output: counter: 15
+}
+
+// ExampleCtx_InvokeAll shows intra-family parallelism: a coordinator method
+// fans sub-transactions out to several objects concurrently and joins them.
+func ExampleCtx_InvokeAll() {
+	cluster, err := lotec.NewCluster(lotec.Options{Nodes: 2})
+	if err != nil {
+		panic(err)
+	}
+	item, err := lotec.NewClass(1, "Item").
+		Attr("stock", 8).
+		Method(lotec.MethodSpec{Name: "reserve", Writes: []string{"stock"}}).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	order, err := lotec.NewClass(2, "Order").
+		Attr("state", 8).
+		Method(lotec.MethodSpec{Name: "placeOrder", Writes: []string{"state"}}).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	cluster.MustAddClass(item)
+	cluster.MustAddClass(order)
+	cluster.MustOnMethod(item, "reserve", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("stock")
+		if err != nil {
+			return err
+		}
+		cur[0]++
+		return ctx.Write("stock", cur)
+	})
+
+	itemA, _ := cluster.NewObject(item.ID, 1)
+	itemB, _ := cluster.NewObject(item.ID, 2)
+	cluster.MustOnMethod(order, "placeOrder", func(ctx *lotec.Ctx) error {
+		results := ctx.InvokeAll([]lotec.InvokeSpec{
+			{Obj: itemA, Method: "reserve"},
+			{Obj: itemB, Method: "reserve"},
+		})
+		for _, r := range results {
+			if r.Err != nil {
+				return r.Err // aborts the whole order
+			}
+		}
+		return ctx.Write("state", []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	})
+
+	ord, _ := cluster.NewObject(order.ID, 1)
+	if _, err := cluster.Exec(1, ord, "placeOrder", nil); err != nil {
+		panic(err)
+	}
+	fmt.Println("order placed")
+	// Output: order placed
+}

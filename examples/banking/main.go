@@ -1,0 +1,218 @@
+// Banking: nested object transactions in the paper's sense — a Teller
+// object's transfer method invokes withdraw and deposit as closed nested
+// sub-transactions on two Account objects. A failed withdraw aborts only
+// its own sub-transaction; an overdrawn transfer aborts the whole family
+// and rolls everything back. The same workload is run under all four
+// protocols to compare consistency traffic.
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"lotec"
+)
+
+func i64(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func dec64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// transferArg encodes (from, to, amount).
+func transferArg(from, to lotec.ObjectID, amount int64) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint64(b, uint64(from))
+	binary.LittleEndian.PutUint64(b[8:], uint64(to))
+	binary.LittleEndian.PutUint64(b[16:], uint64(amount))
+	return b
+}
+
+var errInsufficient = errors.New("insufficient funds")
+
+// buildBank assembles the schema and bodies on a cluster.
+func buildBank(cluster *lotec.Cluster) (account, teller *lotec.Class, err error) {
+	account, err = lotec.NewClass(1, "Account").
+		Attr("balance", 8).
+		Attr("owner", 64).
+		Attr("statement", 4096).
+		Method(lotec.MethodSpec{Name: "deposit", Writes: []string{"balance"}}).
+		Method(lotec.MethodSpec{Name: "withdraw", Writes: []string{"balance"}}).
+		Method(lotec.MethodSpec{Name: "peek", Reads: []string{"balance"}}).
+		Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The teller's transfer method invokes sub-transactions on the two
+	// accounts; its own object only records a counter.
+	teller, err = lotec.NewClass(2, "Teller").
+		Attr("transfers", 8).
+		Method(lotec.MethodSpec{Name: "transfer", Writes: []string{"transfers"}}).
+		Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cluster.AddClass(account); err != nil {
+		return nil, nil, err
+	}
+	if err := cluster.AddClass(teller); err != nil {
+		return nil, nil, err
+	}
+
+	must := func(e error) {
+		if e != nil {
+			log.Fatal(e)
+		}
+	}
+	must(cluster.OnMethod(account, "deposit", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		return ctx.Write("balance", i64(dec64(cur)+dec64(ctx.Arg())))
+	}))
+	must(cluster.OnMethod(account, "withdraw", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		if dec64(cur) < dec64(ctx.Arg()) {
+			return errInsufficient
+		}
+		return ctx.Write("balance", i64(dec64(cur)-dec64(ctx.Arg())))
+	}))
+	must(cluster.OnMethod(account, "peek", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		ctx.SetResult(cur)
+		return nil
+	}))
+	must(cluster.OnMethod(teller, "transfer", func(ctx *lotec.Ctx) error {
+		from := lotec.ObjectID(binary.LittleEndian.Uint64(ctx.Arg()))
+		to := lotec.ObjectID(binary.LittleEndian.Uint64(ctx.Arg()[8:]))
+		amount := int64(binary.LittleEndian.Uint64(ctx.Arg()[16:]))
+		// Withdraw first; if it aborts, the whole transfer aborts and the
+		// closed-nesting rules guarantee nothing is visible outside.
+		if _, err := ctx.Invoke(from, "withdraw", i64(amount)); err != nil {
+			return fmt.Errorf("transfer %d: %w", amount, err)
+		}
+		if _, err := ctx.Invoke(to, "deposit", i64(amount)); err != nil {
+			return err
+		}
+		cnt, err := ctx.Read("transfers")
+		if err != nil {
+			return err
+		}
+		return ctx.Write("transfers", i64(dec64(cnt)+1))
+	}))
+	return account, teller, nil
+}
+
+func runWorkload(p lotec.Protocol) (moved int64, msgs int, err error) {
+	cluster, err := lotec.NewCluster(lotec.Options{Nodes: 4, Protocol: p})
+	if err != nil {
+		return 0, 0, err
+	}
+	account, teller, err := buildBank(cluster)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Four accounts owned around the cluster, one teller per node.
+	var accts []lotec.ObjectID
+	for n := lotec.NodeID(1); n <= 4; n++ {
+		a, err := cluster.NewObject(account.ID, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		accts = append(accts, a)
+	}
+	var tellers []lotec.ObjectID
+	for n := lotec.NodeID(1); n <= 4; n++ {
+		tl, err := cluster.NewObject(teller.ID, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		tellers = append(tellers, tl)
+	}
+	// Seed balances.
+	for _, a := range accts {
+		if _, err := cluster.Exec(1, a, "deposit", i64(100)); err != nil {
+			return 0, 0, err
+		}
+	}
+	// Concurrent transfers from every node; lower-indexed account is
+	// always debited first (ordered acquisition avoids deadlocks).
+	for i := 0; i < 24; i++ {
+		n := lotec.NodeID(i%4 + 1)
+		from, to := accts[i%4], accts[(i+1)%4]
+		if from > to {
+			from, to = to, from
+		}
+		if err := cluster.Submit(time.Duration(i)*200*time.Microsecond,
+			n, tellers[i%4], "transfer", transferArg(from, to, 5)); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := cluster.Run(); err != nil {
+		return 0, 0, err
+	}
+	for _, r := range cluster.Results() {
+		if r.Err != nil {
+			return 0, 0, fmt.Errorf("%s: %w", r.Method, r.Err)
+		}
+	}
+	// Conservation: total money is unchanged.
+	var total int64
+	for _, a := range accts {
+		out, err := cluster.Exec(1, a, "peek", nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += dec64(out)
+	}
+	if total != 400 {
+		return 0, 0, fmt.Errorf("money not conserved: %d", total)
+	}
+	t := cluster.TotalStats()
+	return t.DataBytes, t.Msgs, nil
+}
+
+func main() {
+	// Show an overdraft aborting a whole nested transfer.
+	cluster, err := lotec.NewCluster(lotec.Options{Nodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	account, teller, err := buildBank(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := cluster.NewObject(account.ID, 1)
+	b, _ := cluster.NewObject(account.ID, 2)
+	tl, _ := cluster.NewObject(teller.ID, 1)
+	if _, err := cluster.Exec(1, a, "deposit", i64(30)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.Exec(1, tl, "transfer", transferArg(a, b, 100)); err != nil {
+		fmt.Printf("overdrawn transfer correctly aborted: %v\n", err)
+	}
+	out, _ := cluster.Exec(1, a, "peek", nil)
+	fmt.Printf("balance after aborted transfer (must be 30): %d\n\n", dec64(out))
+
+	// Compare protocols on the same concurrent transfer mix.
+	fmt.Printf("%-8s%14s%10s\n", "Protocol", "DataBytes", "Msgs")
+	for _, p := range []lotec.Protocol{lotec.COTEC, lotec.OTEC, lotec.LOTEC, lotec.RC} {
+		moved, msgs, err := runWorkload(p)
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name(), err)
+		}
+		fmt.Printf("%-8s%14d%10d\n", p.Name(), moved, msgs)
+	}
+}

@@ -1,0 +1,205 @@
+// CAD: the domain the paper's protocol was originally developed for
+// ("computer aided design environments", §5.1 footnote) — large multi-page
+// design objects whose methods touch small, predictable subsets.
+//
+// A Part object holds a big mesh, a transform matrix, bounding-box data and
+// metadata. Engineering edits (moving a part, renaming it, bumping a
+// revision) touch one or two small attributes; only re-meshing touches the
+// bulk geometry. LOTEC's per-method prediction moves just the touched pages
+// between workstations, which is exactly where it beats OTEC and COTEC.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"lotec"
+)
+
+func f64(v float64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v*1000))
+	return b
+}
+
+func main() {
+	results := map[string][2]int64{}
+	for _, p := range []lotec.Protocol{lotec.COTEC, lotec.OTEC, lotec.LOTEC} {
+		bytes, msgs, err := runDesignSession(p)
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name(), err)
+		}
+		results[p.Name()] = [2]int64{bytes, msgs}
+	}
+	fmt.Printf("%-8s%14s%10s\n", "Protocol", "DataBytes", "Msgs")
+	for _, n := range []string{"COTEC", "OTEC", "LOTEC"} {
+		fmt.Printf("%-8s%14d%10d\n", n, results[n][0], results[n][1])
+	}
+	fmt.Println("\nLOTEC moves only the transform/metadata pages for the small edits;")
+	fmt.Println("COTEC re-ships the whole 72 KiB part on every cross-workstation touch.")
+}
+
+func runDesignSession(p lotec.Protocol) (dataBytes, msgs int64, err error) {
+	cluster, err := lotec.NewCluster(lotec.Options{Nodes: 4, Protocol: p})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// A Part is ~18 pages: 16 pages of mesh, plus transform, bounds and
+	// metadata sharing the leading pages.
+	part, err := lotec.NewClass(1, "Part").
+		Attr("name", 256).
+		Attr("revision", 8).
+		Attr("transform", 128). // 4×4 matrix + flags
+		Attr("bounds", 48).
+		Attr("mesh", 65536).
+		Method(lotec.MethodSpec{Name: "move", Reads: []string{"bounds"}, Writes: []string{"transform"}}).
+		Method(lotec.MethodSpec{Name: "rename", Writes: []string{"name", "revision"}}).
+		Method(lotec.MethodSpec{Name: "remesh", Reads: []string{"transform"}, Writes: []string{"mesh", "bounds", "revision"}}).
+		Method(lotec.MethodSpec{Name: "inspect", Reads: []string{"name", "revision", "transform", "bounds"}}).
+		Build()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := cluster.AddClass(part); err != nil {
+		return 0, 0, err
+	}
+
+	assembly, err := lotec.NewClass(2, "Assembly").
+		Attr("partCount", 8).
+		Attr("layout", 1024).
+		Method(lotec.MethodSpec{Name: "rearrange", Writes: []string{"layout"}}).
+		Build()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := cluster.AddClass(assembly); err != nil {
+		return 0, 0, err
+	}
+
+	reg := func(cls *lotec.Class, name string, fn lotec.MethodFunc) {
+		if err := cluster.OnMethod(cls, name, fn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	reg(part, "move", func(ctx *lotec.Ctx) error {
+		if _, err := ctx.Read("bounds"); err != nil {
+			return err
+		}
+		return ctx.WriteAt("transform", 0, ctx.Arg())
+	})
+	reg(part, "rename", func(ctx *lotec.Ctx) error {
+		if err := ctx.WriteAt("name", 0, ctx.Arg()); err != nil {
+			return err
+		}
+		rev, err := ctx.Read("revision")
+		if err != nil {
+			return err
+		}
+		rev[0]++
+		return ctx.Write("revision", rev)
+	})
+	reg(part, "remesh", func(ctx *lotec.Ctx) error {
+		if _, err := ctx.Read("transform"); err != nil {
+			return err
+		}
+		// Regenerate a slab of the mesh deterministically from the arg.
+		slab := make([]byte, 4096)
+		for i := range slab {
+			slab[i] = ctx.Arg()[0] + byte(i)
+		}
+		if err := ctx.WriteAt("mesh", int(ctx.Arg()[0])*64, slab); err != nil {
+			return err
+		}
+		if err := ctx.WriteAt("bounds", 0, ctx.Arg()[:8]); err != nil {
+			return err
+		}
+		rev, err := ctx.Read("revision")
+		if err != nil {
+			return err
+		}
+		rev[0]++
+		return ctx.Write("revision", rev)
+	})
+	reg(part, "inspect", func(ctx *lotec.Ctx) error {
+		for _, a := range []string{"name", "revision", "transform", "bounds"} {
+			if _, err := ctx.Read(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reg(assembly, "rearrange", func(ctx *lotec.Ctx) error {
+		// The assembly rearrangement moves each part it is given.
+		arg := ctx.Arg()
+		for off := 8; off+8 <= len(arg); off += 8 {
+			obj := lotec.ObjectID(binary.LittleEndian.Uint64(arg[off:]))
+			if _, err := ctx.Invoke(obj, "move", f64(float64(off))); err != nil {
+				return err
+			}
+		}
+		return ctx.WriteAt("layout", 0, arg[:8])
+	})
+
+	// Four parts owned by four workstations, one shared assembly.
+	var parts []lotec.ObjectID
+	for n := lotec.NodeID(1); n <= 4; n++ {
+		obj, err := cluster.NewObject(part.ID, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		parts = append(parts, obj)
+	}
+	asm, err := cluster.NewObject(assembly.ID, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// A design session: engineers at different workstations move, rename
+	// and inspect parts; occasional remeshes touch the bulk pages; the
+	// assembly rearrangement fans out nested moves.
+	step := 0
+	submit := func(node lotec.NodeID, obj lotec.ObjectID, method string, arg []byte) {
+		if err := cluster.Submit(time.Duration(step)*300*time.Microsecond, node, obj, method, arg); err != nil {
+			log.Fatal(err)
+		}
+		step++
+	}
+	for round := 0; round < 6; round++ {
+		for i, obj := range parts {
+			node := lotec.NodeID((i+round)%4 + 1)
+			switch round % 3 {
+			case 0:
+				submit(node, obj, "move", f64(float64(round)))
+			case 1:
+				submit(node, obj, "inspect", nil)
+			default:
+				name := make([]byte, 256)
+				copy(name, fmt.Sprintf("part-%d-%d", i, round))
+				submit(node, obj, "rename", name)
+			}
+		}
+		if round%2 == 1 {
+			submit(lotec.NodeID(round%4+1), parts[round%4], "remesh", []byte{byte(round), 0, 0, 0, 0, 0, 0, 0})
+		}
+	}
+	// One assembly-wide rearrangement with nested moves on sorted parts.
+	arg := make([]byte, 8+8*len(parts))
+	for i, p := range parts {
+		binary.LittleEndian.PutUint64(arg[8+8*i:], uint64(p))
+	}
+	submit(2, asm, "rearrange", arg)
+
+	if err := cluster.Run(); err != nil {
+		return 0, 0, err
+	}
+	for _, r := range cluster.Results() {
+		if r.Err != nil {
+			return 0, 0, fmt.Errorf("%s on %v: %w", r.Method, r.Obj, r.Err)
+		}
+	}
+	t := cluster.TotalStats()
+	return t.DataBytes, int64(t.Msgs), nil
+}

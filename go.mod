@@ -1,0 +1,3 @@
+module lotec
+
+go 1.22

@@ -1,0 +1,154 @@
+// Package core implements the paper's primary contribution: the family of
+// consistency protocols compared in §5 — COTEC, OTEC and LOTEC — plus the
+// Release Consistency variant for nested objects that §6 reports as work
+// underway.
+//
+// A Protocol is a pure policy: given what the acquiring site knows (the
+// object's page map vs its local copies, and the acquiring method's
+// predicted access set), it decides which pages to move and when updates
+// are pushed. The node engine does the actual locking and transfers; this
+// split keeps the protocols directly comparable, which is exactly how the
+// paper's simulation treats them.
+package core
+
+import (
+	"fmt"
+
+	"lotec/internal/schema"
+)
+
+// FetchInput is everything a protocol may consult when deciding what to
+// transfer at a lock-acquisition point.
+type FetchInput struct {
+	// All is every page of the object.
+	All schema.PageSet
+	// Predicted is the conservative set of pages the acquiring method may
+	// access (reads ∪ writes), produced by the compiler-side analysis of
+	// §3.5/§4.1.
+	Predicted schema.PageSet
+	// Stale is the set of pages whose local copy is missing or older than
+	// the page-map version (i.e. updated elsewhere since this site's copy).
+	Stale schema.PageSet
+	// Absent is the subset of pages not resident at this site at all.
+	Absent schema.PageSet
+	// FirstSinceGrant is true on the first transfer opportunity after the
+	// family's global lock grant; COTEC/OTEC/RC transfer only then, while
+	// LOTEC re-evaluates at every method start.
+	FirstSinceGrant bool
+}
+
+// Protocol decides what data moves to maintain consistency.
+type Protocol interface {
+	// Name returns the protocol's name as used in the paper ("COTEC",
+	// "OTEC", "LOTEC", "RC").
+	Name() string
+	// FetchPlan returns the pages to pull from their up-to-date locations
+	// at this acquisition point (Alg 4.5 executes the plan).
+	FetchPlan(in FetchInput) schema.PageSet
+	// PushOnRelease reports whether the protocol eagerly pushes updated
+	// pages to all caching sites when the root transaction commits (the RC
+	// extension; false for the three entry-consistency protocols).
+	PushOnRelease() bool
+	// VersionAware reports whether the acquiring site may suppress
+	// transfers of pages whose local copies are already current. COTEC is
+	// the deliberately version-blind baseline: it re-transfers every page
+	// on every acquisition.
+	VersionAware() bool
+	// GatherScattered reports whether transfers pull each page from the
+	// site holding its newest copy (LOTEC: "it may be necessary to collect
+	// parts from several nodes", §4.3 — more, smaller messages). When
+	// false, the whole plan is fetched from the single site of the last
+	// update, which under COTEC/OTEC always holds a complete up-to-date
+	// copy ("data transfer need only be done between the node which last
+	// updated the object and the node running the acquiring transaction").
+	GatherScattered() bool
+}
+
+// cotec is the Conservative Object Transactional Entry Consistency
+// baseline: "COTEC transfers all of an object's pages to the acquiring site
+// after a successful lock acquisition" (§5).
+type cotec struct{}
+
+func (cotec) Name() string { return "COTEC" }
+func (cotec) FetchPlan(in FetchInput) schema.PageSet {
+	if !in.FirstSinceGrant {
+		return nil
+	}
+	return in.All
+}
+func (cotec) PushOnRelease() bool   { return false }
+func (cotec) VersionAware() bool    { return false }
+func (cotec) GatherScattered() bool { return false }
+
+// otec "optimized COTEC by sending only the updated pages to an acquiring
+// transaction's site" (§5): pages whose local copies are stale.
+type otec struct{}
+
+func (otec) Name() string { return "OTEC" }
+func (otec) FetchPlan(in FetchInput) schema.PageSet {
+	if !in.FirstSinceGrant {
+		return nil
+	}
+	return in.Stale
+}
+func (otec) PushOnRelease() bool   { return false }
+func (otec) VersionAware() bool    { return true }
+func (otec) GatherScattered() bool { return false }
+
+// lotec "sends only those updated pages which are predicted to be needed"
+// (§5). Because only predicted pages move, up-to-date pages stay scattered
+// across sites, so LOTEC re-evaluates at every method start (more, smaller
+// messages — the trade-off Figures 6–8 study). Unpredicted needs are
+// demand-fetched.
+type lotec struct{}
+
+func (lotec) Name() string { return "LOTEC" }
+func (lotec) FetchPlan(in FetchInput) schema.PageSet {
+	return in.Predicted.Intersect(in.Stale)
+}
+func (lotec) PushOnRelease() bool   { return false }
+func (lotec) VersionAware() bool    { return true }
+func (lotec) GatherScattered() bool { return true }
+
+// rc is Release Consistency adapted to nested object transactions (§6's
+// "simulated version of Release Consistency for nested objects … now
+// underway"): updated pages are eagerly pushed to every caching site at
+// root commit, so acquisition only ever fetches pages the site has never
+// cached.
+type rc struct{}
+
+func (rc) Name() string { return "RC" }
+func (rc) FetchPlan(in FetchInput) schema.PageSet {
+	if !in.FirstSinceGrant {
+		return nil
+	}
+	return in.Absent
+}
+func (rc) PushOnRelease() bool   { return true }
+func (rc) VersionAware() bool    { return true }
+func (rc) GatherScattered() bool { return false }
+
+// The protocol singletons.
+var (
+	COTEC Protocol = cotec{}
+	OTEC  Protocol = otec{}
+	LOTEC Protocol = lotec{}
+	RC    Protocol = rc{}
+)
+
+// All returns the three paper protocols in the order the paper reports
+// them (COTEC, OTEC, LOTEC).
+func All() []Protocol { return []Protocol{COTEC, OTEC, LOTEC} }
+
+// AllWithRC additionally includes the RC extension.
+func AllWithRC() []Protocol { return []Protocol{COTEC, OTEC, LOTEC, RC} }
+
+// ByName resolves a protocol by its paper name (case-sensitive).
+func ByName(name string) (Protocol, error) {
+	for _, p := range AllWithRC() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown protocol %q", name)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lotec/internal/ids"
+	"lotec/internal/schema"
+)
+
+func set(ps ...ids.PageNum) schema.PageSet { return schema.NewPageSet(ps...) }
+
+func sampleInput() FetchInput {
+	return FetchInput{
+		All:             set(0, 1, 2, 3, 4),
+		Predicted:       set(1, 2),
+		Stale:           set(2, 3, 4),
+		Absent:          set(4),
+		FirstSinceGrant: true,
+	}
+}
+
+func TestCOTECFetchesAllOnceOnly(t *testing.T) {
+	in := sampleInput()
+	if got := COTEC.FetchPlan(in); !got.Equal(in.All) {
+		t.Errorf("first plan = %v", got)
+	}
+	in.FirstSinceGrant = false
+	if got := COTEC.FetchPlan(in); len(got) != 0 {
+		t.Errorf("subsequent plan = %v, want empty", got)
+	}
+}
+
+func TestOTECFetchesStaleOnceOnly(t *testing.T) {
+	in := sampleInput()
+	if got := OTEC.FetchPlan(in); !got.Equal(in.Stale) {
+		t.Errorf("first plan = %v", got)
+	}
+	in.FirstSinceGrant = false
+	if got := OTEC.FetchPlan(in); len(got) != 0 {
+		t.Errorf("subsequent plan = %v, want empty", got)
+	}
+}
+
+func TestLOTECFetchesPredictedStaleEveryTime(t *testing.T) {
+	in := sampleInput()
+	want := set(2) // predicted ∩ stale
+	if got := LOTEC.FetchPlan(in); !got.Equal(want) {
+		t.Errorf("plan = %v, want %v", got, want)
+	}
+	in.FirstSinceGrant = false
+	if got := LOTEC.FetchPlan(in); !got.Equal(want) {
+		t.Errorf("subsequent plan = %v, want %v (LOTEC is lazy per method)", got, want)
+	}
+}
+
+func TestRCFetchesAbsentAndPushes(t *testing.T) {
+	in := sampleInput()
+	if got := RC.FetchPlan(in); !got.Equal(in.Absent) {
+		t.Errorf("plan = %v", got)
+	}
+	if !RC.PushOnRelease() {
+		t.Error("RC must push on release")
+	}
+	for _, p := range All() {
+		if p.PushOnRelease() {
+			t.Errorf("%s must not push on release", p.Name())
+		}
+	}
+}
+
+func TestNamesAndLookup(t *testing.T) {
+	if COTEC.Name() != "COTEC" || OTEC.Name() != "OTEC" || LOTEC.Name() != "LOTEC" || RC.Name() != "RC" {
+		t.Error("names wrong")
+	}
+	for _, want := range AllWithRC() {
+		got, err := ByName(want.Name())
+		if err != nil || got.Name() != want.Name() {
+			t.Errorf("ByName(%s) = %v, %v", want.Name(), got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+	if len(All()) != 3 || len(AllWithRC()) != 4 {
+		t.Error("protocol lists wrong")
+	}
+}
+
+// Property: the paper's byte ordering holds per acquisition plan —
+// LOTEC ⊆ OTEC ⊆ COTEC, for any consistent input.
+func TestPlanOrderingProperty(t *testing.T) {
+	f := func(allRaw, predRaw, staleRaw []uint8) bool {
+		var all []ids.PageNum
+		for _, r := range allRaw {
+			all = append(all, ids.PageNum(r%16))
+		}
+		allSet := schema.NewPageSet(all...)
+		var pred, stale []ids.PageNum
+		for _, r := range predRaw {
+			pred = append(pred, ids.PageNum(r%16))
+		}
+		for _, r := range staleRaw {
+			stale = append(stale, ids.PageNum(r%16))
+		}
+		in := FetchInput{
+			All:             allSet,
+			Predicted:       schema.NewPageSet(pred...).Intersect(allSet),
+			Stale:           schema.NewPageSet(stale...).Intersect(allSet),
+			FirstSinceGrant: true,
+		}
+		in.Absent = in.Stale // absent ⊆ stale; extreme case
+		l := LOTEC.FetchPlan(in)
+		o := OTEC.FetchPlan(in)
+		c := COTEC.FetchPlan(in)
+		return l.SubsetOf(o) && o.SubsetOf(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

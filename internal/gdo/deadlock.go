@@ -1,0 +1,110 @@
+package gdo
+
+import (
+	"sort"
+
+	"lotec/internal/ids"
+)
+
+// Inter-family deadlock detection.
+//
+// The paper's simulation does not address inter-family deadlock (two
+// families each holding an object the other wants will wait forever under
+// plain 2PL). Any deployable system needs a resolution policy, so the
+// directory maintains the family-level waits-for relation implied by its
+// queues and pending upgrades, checks for cycles whenever a wait is added or
+// re-pointed, and aborts the *youngest* waiting family in the cycle. Age is
+// the root TxID of the family's first attempt, kept stable across retries
+// (wound-wait style), so a repeatedly victimized root eventually becomes
+// the oldest in any cycle and is guaranteed to win — no starvation.
+
+// buildWaitsForLocked derives the waits-for adjacency from current directory
+// state: a queued family waits on every holder of that object; an upgrading
+// family waits on every *other* holder. Caller holds d.mu.
+func (d *Directory) buildWaitsForLocked() (map[ids.FamilyID][]ids.FamilyID, map[ids.FamilyID]uint64) {
+	adj := make(map[ids.FamilyID][]ids.FamilyID)
+	ages := make(map[ids.FamilyID]uint64)
+	add := func(from, to ids.FamilyID) {
+		if from == to {
+			return
+		}
+		adj[from] = append(adj[from], to)
+	}
+	for _, e := range d.entries {
+		for _, q := range e.queues {
+			ages[q.family] = q.age
+			for _, h := range e.holders {
+				add(q.family, h.family)
+			}
+		}
+		for _, u := range e.upgrades {
+			ages[u.family] = u.age
+			for _, h := range e.holders {
+				add(u.family, h.family)
+			}
+		}
+	}
+	return adj, ages
+}
+
+// findDeadlockVictim looks for a waits-for cycle reachable from start and,
+// if one exists, returns the youngest waiting family on it. Caller holds
+// d.mu.
+func (d *Directory) findDeadlockVictim(start ids.FamilyID) (ids.FamilyID, bool) {
+	adj, ages := d.buildWaitsForLocked()
+	// Deterministic traversal order.
+	for f := range adj {
+		s := adj[f]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ids.FamilyID]int)
+	var stack []ids.FamilyID
+	var cycle []ids.FamilyID
+
+	var dfs func(f ids.FamilyID) bool
+	dfs = func(f ids.FamilyID) bool {
+		color[f] = gray
+		stack = append(stack, f)
+		for _, g := range adj[f] {
+			switch color[g] {
+			case white:
+				if dfs(g) {
+					return true
+				}
+			case gray:
+				// Found a cycle: the stack suffix from g onward.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == g {
+						break
+					}
+				}
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[f] = black
+		return false
+	}
+
+	if !dfs(start) {
+		return 0, false
+	}
+	// Victim: the youngest (largest-age) waiting family on the cycle. All
+	// cycle members wait by construction; tie-break on FamilyID for
+	// determinism.
+	victim := cycle[0]
+	for _, f := range cycle[1:] {
+		av, af := ages[victim], ages[f]
+		if af > av || (af == av && f > victim) {
+			victim = f
+		}
+	}
+	return victim, true
+}

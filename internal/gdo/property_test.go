@@ -1,0 +1,287 @@
+package gdo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lotec/internal/ids"
+	"lotec/internal/o2pl"
+)
+
+// dirWalk drives a Directory with random acquire/release traffic from many
+// single-transaction families and checks global lock safety throughout.
+type dirWalk struct {
+	t   *testing.T
+	d   *Directory
+	obj []ids.ObjectID
+	// holds[f] is the set of objects family f currently holds (granted
+	// synchronously or via event), with the granted mode.
+	holds map[ids.FamilyID]map[ids.ObjectID]o2pl.Mode
+	// queued[f] marks families with an outstanding request.
+	queued map[ids.FamilyID]bool
+	nextF  uint64
+}
+
+// checkSafety: for every object, holders must be one writer xor N readers,
+// mirrored exactly by the walk's own book-keeping.
+func (w *dirWalk) checkSafety() bool {
+	for _, obj := range w.obj {
+		writers, readers := 0, 0
+		for _, hs := range w.holds {
+			switch hs[obj] {
+			case o2pl.Write:
+				writers++
+			case o2pl.Read:
+				readers++
+			}
+		}
+		st, err := w.d.State(obj)
+		if err != nil {
+			w.t.Logf("state: %v", err)
+			return false
+		}
+		switch {
+		case writers > 1, writers == 1 && readers > 0:
+			w.t.Logf("%v: %d writers, %d readers", obj, writers, readers)
+			return false
+		case writers == 1 && st != HeldWrite:
+			w.t.Logf("%v: walk sees a writer, directory says %v", obj, st)
+			return false
+		case writers == 0 && readers > 0 && st != HeldRead:
+			w.t.Logf("%v: walk sees readers, directory says %v", obj, st)
+			return false
+		}
+		if rc, _ := w.d.ReadCount(obj); st == HeldRead && rc != readers {
+			w.t.Logf("%v: ReadCount %d, walk sees %d readers", obj, rc, readers)
+			return false
+		}
+	}
+	return true
+}
+
+// apply processes deferred events: grants update the book-keeping, deadlock
+// aborts drop the victim's state entirely (its held locks are released as a
+// real engine would).
+func (w *dirWalk) apply(events []Event) bool {
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventGrant:
+			if !w.queued[ev.Family] && !ev.Upgrade {
+				w.t.Logf("grant for un-queued family %v", ev.Family)
+				return false
+			}
+			delete(w.queued, ev.Family)
+			hs := w.holds[ev.Family]
+			if hs == nil {
+				hs = map[ids.ObjectID]o2pl.Mode{}
+				w.holds[ev.Family] = hs
+			}
+			hs[ev.Obj] = ev.Mode
+		case EventDeadlockAbort:
+			delete(w.queued, ev.Family)
+			// The victim's engine aborts the root: release all its holds.
+			if hs, ok := w.holds[ev.Family]; ok {
+				var rels []ObjectRelease
+				for obj := range hs {
+					rels = append(rels, ObjectRelease{Obj: obj})
+				}
+				delete(w.holds, ev.Family)
+				if len(rels) > 0 {
+					evs, _, err := w.d.Release(ev.Family, 1, false, rels)
+					if err != nil {
+						w.t.Logf("victim release: %v", err)
+						return false
+					}
+					if !w.apply(evs) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestDirectoryRandomWalkSafety: lock safety and grant/queue consistency
+// hold across random multi-family traffic, including deadlock resolutions.
+func TestDirectoryRandomWalkSafety(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := &dirWalk{
+			t:      t,
+			d:      New(4),
+			holds:  map[ids.FamilyID]map[ids.ObjectID]o2pl.Mode{},
+			queued: map[ids.FamilyID]bool{},
+		}
+		for i := 0; i < 4; i++ {
+			obj := ids.ObjectID(i)
+			if err := w.d.Register(obj, 2, 1); err != nil {
+				return false
+			}
+			w.obj = append(w.obj, obj)
+		}
+		var families []ids.FamilyID
+		newFamily := func() ids.FamilyID {
+			w.nextF++
+			f := ids.FamilyID(w.nextF)
+			families = append(families, f)
+			return f
+		}
+		for i := 0; i < 6; i++ {
+			newFamily()
+		}
+
+		for _, op := range opsRaw {
+			fam := families[rng.Intn(len(families))]
+			switch op % 3 {
+			case 0: // acquire a random object, unless already waiting
+				if w.queued[fam] {
+					continue
+				}
+				obj := w.obj[rng.Intn(len(w.obj))]
+				mode := o2pl.Read
+				if op%2 == 0 {
+					mode = o2pl.Write
+				}
+				if cur := w.holds[fam][obj]; cur >= mode {
+					continue // nothing new to request
+				}
+				ref := ids.TxRef{Tx: ids.TxID(uint64(fam)*1000 + uint64(op)), Node: 1}
+				res, evs, err := w.d.Acquire(obj, ref, fam, uint64(fam), 1, mode)
+				if err != nil {
+					w.t.Logf("acquire: %v", err)
+					return false
+				}
+				switch res.Status {
+				case GrantedNow:
+					hs := w.holds[fam]
+					if hs == nil {
+						hs = map[ids.ObjectID]o2pl.Mode{}
+						w.holds[fam] = hs
+					}
+					hs[obj] = res.Mode
+				case Queued:
+					w.queued[fam] = true
+				case DeadlockAbort:
+					// Requester aborts: release everything it held.
+					if hs, ok := w.holds[fam]; ok {
+						var rels []ObjectRelease
+						for o := range hs {
+							rels = append(rels, ObjectRelease{Obj: o})
+						}
+						delete(w.holds, fam)
+						if len(rels) > 0 {
+							evs2, _, err := w.d.Release(fam, 1, false, rels)
+							if err != nil {
+								return false
+							}
+							if !w.apply(evs2) {
+								return false
+							}
+						}
+					}
+				}
+				if !w.apply(evs) {
+					return false
+				}
+			case 1: // commit: release everything the family holds
+				if w.queued[fam] {
+					continue // single outstanding request per family
+				}
+				hs, ok := w.holds[fam]
+				if !ok || len(hs) == 0 {
+					continue
+				}
+				var rels []ObjectRelease
+				for obj, mode := range hs {
+					rel := ObjectRelease{Obj: obj}
+					if mode == o2pl.Write && op%2 == 0 {
+						rel.Dirty = []ids.PageNum{0}
+					}
+					rels = append(rels, rel)
+				}
+				delete(w.holds, fam)
+				evs, _, err := w.d.Release(fam, 1, true, rels)
+				if err != nil {
+					w.t.Logf("release: %v", err)
+					return false
+				}
+				if !w.apply(evs) {
+					return false
+				}
+				// The family is finished; replace it with a fresh one.
+				for i, f2 := range families {
+					if f2 == fam {
+						families[i] = newFamily()
+						break
+					}
+				}
+			default: // spawn extra families to churn the ID space
+				if len(families) < 10 {
+					newFamily()
+				}
+			}
+			if !w.checkSafety() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectoryEventualGrant: after all holders release, every queued
+// family has been granted or aborted — nothing is forgotten in the queues.
+func TestDirectoryEventualGrant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(2)
+		if err := d.Register(1, 2, 1); err != nil {
+			return false
+		}
+		// One writer holds; k families queue with random modes.
+		if _, _, err := d.Acquire(1, ids.TxRef{Tx: 1, Node: 1}, 1, 1, 1, o2pl.Write); err != nil {
+			return false
+		}
+		waiting := map[ids.FamilyID]bool{}
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			fam := ids.FamilyID(10 + i)
+			mode := o2pl.Read
+			if rng.Intn(2) == 0 {
+				mode = o2pl.Write
+			}
+			res, _, err := d.Acquire(1, ids.TxRef{Tx: ids.TxID(100 + i), Node: 2}, fam, uint64(fam), 2, mode)
+			if err != nil || res.Status != Queued {
+				return false
+			}
+			waiting[fam] = true
+		}
+		// Drain: release the writer, then keep releasing whoever gets
+		// granted until the queues empty.
+		current := []ids.FamilyID{1}
+		for steps := 0; steps < 100 && len(current) > 0; steps++ {
+			fam := current[0]
+			current = current[1:]
+			evs, _, err := d.Release(fam, 1, true, []ObjectRelease{{Obj: 1}})
+			if err != nil {
+				return false
+			}
+			for _, ev := range evs {
+				if ev.Kind == EventGrant {
+					delete(waiting, ev.Family)
+					current = append(current, ev.Family)
+				}
+				if ev.Kind == EventDeadlockAbort {
+					delete(waiting, ev.Family)
+				}
+			}
+		}
+		return len(waiting) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

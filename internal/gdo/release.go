@@ -1,0 +1,248 @@
+package gdo
+
+import (
+	"fmt"
+
+	"lotec/internal/ids"
+	"lotec/internal/o2pl"
+)
+
+// ObjectRelease names one object being released by a family, with the dirty
+// pages piggybacked on the release message ("Dirty page information may be
+// piggybacked on each global lock release message", §4.1). Dirty is empty
+// for aborts and read-only access.
+type ObjectRelease struct {
+	Obj   ids.ObjectID
+	Dirty []ids.PageNum
+}
+
+// PageStamp reports the new version the directory assigned to one updated
+// page, so the releasing site can restamp its local copy.
+type PageStamp struct {
+	Obj     ids.ObjectID
+	Page    ids.PageNum
+	Version uint64
+}
+
+// Release implements Algorithm 4.4 (GlobalLockRelease): family, executing at
+// site, releases its holds on every object in rels, recording the releasing
+// site as the location of each updated page and handing freed locks to the
+// next waiting family (one family list per object, per the paper).
+//
+// The returned events carry deferred grants (and any deadlock aborts that
+// surface as waiters are re-pointed at new holders); stamps carry the new
+// page versions for the releasing site.
+func (d *Directory) Release(family ids.FamilyID, site ids.NodeID, commit bool, rels []ObjectRelease) ([]Event, []PageStamp, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if commit {
+		if _, ok := d.commitOrder[family]; !ok {
+			d.commitSeq++
+			d.commitOrder[family] = d.commitSeq
+		}
+	}
+
+	var stamps []PageStamp
+	touched := make([]*entry, 0, len(rels))
+	for _, rel := range rels {
+		e, ok := d.entries[rel.Obj]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %v", ErrUnknownObject, rel.Obj)
+		}
+		h := e.holder(family)
+		if h == nil {
+			return nil, nil, fmt.Errorf("%w: %v releasing %v", ErrNotHolder, family, rel.Obj)
+		}
+		// "Record the NodeIdentifier of the updating site in the GDO for
+		// each updated page."
+		for _, p := range rel.Dirty {
+			if int(p) < 0 || int(p) >= e.numPages {
+				return nil, nil, fmt.Errorf("%w: dirty page %v/p%d out of range", ErrBadRelease, rel.Obj, p)
+			}
+			if h.mode != o2pl.Write {
+				return nil, nil, fmt.Errorf("%w: %v dirtied %v under a read lock", ErrBadRelease, family, rel.Obj)
+			}
+			loc := &e.pageMap[p]
+			loc.Node = site
+			loc.Version++
+			stamps = append(stamps, PageStamp{Obj: rel.Obj, Page: p, Version: loc.Version})
+		}
+		if len(rel.Dirty) > 0 {
+			e.lastWriter = site
+		}
+		e.removeHolder(family)
+		touched = append(touched, e)
+	}
+
+	// Defensive: the family is finishing; drop any stale queued requests or
+	// pending upgrades it left anywhere (none exist on clean paths).
+	d.purgeFamilyLocked(family)
+
+	var events []Event
+	for _, e := range touched {
+		events = append(events, d.scheduleLocked(e)...)
+	}
+	return events, stamps, nil
+}
+
+// scheduleLocked hands the lock of e to the next eligible party and returns
+// the resulting events. Caller holds d.mu.
+func (d *Directory) scheduleLocked(e *entry) []Event {
+	var events []Event
+
+	// A pending upgrade whose family is now the sole holder wins first.
+	if len(e.holders) == 1 && len(e.upgrades) > 0 {
+		h := e.holders[0]
+		for i, u := range e.upgrades {
+			if u.family == h.family {
+				e.upgrades = append(e.upgrades[:i], e.upgrades[i+1:]...)
+				h.mode = o2pl.Write
+				h.refs = append(h.refs, u.ref)
+				events = append(events, Event{
+					Kind:       EventGrant,
+					Obj:        e.obj,
+					Family:     h.family,
+					Site:       h.site,
+					Mode:       o2pl.Write,
+					Reqs:       []QueuedReq{{Ref: u.ref, Mode: o2pl.Write}},
+					PageMap:    append([]PageLoc(nil), e.pageMap...),
+					NumPages:   e.numPages,
+					Upgrade:    true,
+					LastWriter: e.lastWriter,
+				})
+				break
+			}
+		}
+	}
+
+	// "IF no other transaction is waiting for the lock THEN set LockState to
+	// Free … ELSE unlink the next transaction list from NonHoldersPtr and
+	// link onto HolderPtr; send the list … and the page map to the new
+	// holder's site."
+	if len(e.holders) == 0 && len(e.queues) > 0 {
+		q := e.queues[0]
+		e.queues = e.queues[1:]
+		mode := o2pl.Read
+		for _, r := range q.reqs {
+			if r.Mode == o2pl.Write {
+				mode = o2pl.Write
+				break
+			}
+		}
+		refs := make([]ids.TxRef, 0, len(q.reqs))
+		for _, r := range q.reqs {
+			refs = append(refs, r.Ref)
+		}
+		e.holders = append(e.holders, &familyHold{
+			family: q.family, site: q.site, mode: mode, refs: refs,
+		})
+		e.copySet[q.site] = true
+		events = append(events, Event{
+			Kind:       EventGrant,
+			Obj:        e.obj,
+			Family:     q.family,
+			Site:       q.site,
+			Mode:       mode,
+			Reqs:       q.reqs,
+			PageMap:    append([]PageLoc(nil), e.pageMap...),
+			NumPages:   e.numPages,
+			LastWriter: e.lastWriter,
+		})
+	}
+
+	// Re-pointing waiters at the new holder can close waits-for cycles that
+	// enqueue-time detection could not see; re-check every family still
+	// queued here.
+	for _, q := range append([]*familyQueue(nil), e.queues...) {
+		if victim, cycle := d.findDeadlockVictim(q.family); cycle {
+			events = append(events, d.abortVictimLocked(victim)...)
+		}
+	}
+	return events
+}
+
+// CancelRequest withdraws any queued requests and pending upgrades of
+// family on obj (used when the engine unwinds a waiting transaction, e.g.
+// on external abort). It reports whether anything was removed.
+func (d *Directory) CancelRequest(obj ids.ObjectID, family ids.FamilyID) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[obj]
+	if !ok {
+		return false, fmt.Errorf("%w: %v", ErrUnknownObject, obj)
+	}
+	removed := false
+	for i, q := range e.queues {
+		if q.family == family {
+			e.queues = append(e.queues[:i], e.queues[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	for i, u := range e.upgrades {
+		if u.family == family {
+			e.upgrades = append(e.upgrades[:i], e.upgrades[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	return removed, nil
+}
+
+// purgeFamilyLocked silently removes family from every queue and upgrade
+// list. Caller holds d.mu.
+func (d *Directory) purgeFamilyLocked(family ids.FamilyID) {
+	for _, e := range d.entries {
+		for i := 0; i < len(e.queues); i++ {
+			if e.queues[i].family == family {
+				e.queues = append(e.queues[:i], e.queues[i+1:]...)
+				i--
+			}
+		}
+		for i := 0; i < len(e.upgrades); i++ {
+			if e.upgrades[i].family == family {
+				e.upgrades = append(e.upgrades[:i], e.upgrades[i+1:]...)
+				i--
+			}
+		}
+	}
+}
+
+// abortVictimLocked purges victim's waits everywhere and builds the abort
+// events telling its site to fail the parked requests. Caller holds d.mu.
+func (d *Directory) abortVictimLocked(victim ids.FamilyID) []Event {
+	var events []Event
+	for _, e := range d.entries {
+		for i := 0; i < len(e.queues); i++ {
+			q := e.queues[i]
+			if q.family != victim {
+				continue
+			}
+			e.queues = append(e.queues[:i], e.queues[i+1:]...)
+			i--
+			events = append(events, Event{
+				Kind:   EventDeadlockAbort,
+				Obj:    e.obj,
+				Family: victim,
+				Site:   q.site,
+				Reqs:   q.reqs,
+			})
+		}
+		for i := 0; i < len(e.upgrades); i++ {
+			u := e.upgrades[i]
+			if u.family != victim {
+				continue
+			}
+			e.upgrades = append(e.upgrades[:i], e.upgrades[i+1:]...)
+			i--
+			events = append(events, Event{
+				Kind:   EventDeadlockAbort,
+				Obj:    e.obj,
+				Family: victim,
+				Site:   u.site,
+				Reqs:   []QueuedReq{{Ref: u.ref, Mode: o2pl.Write}},
+			})
+		}
+	}
+	return events
+}

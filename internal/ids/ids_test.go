@@ -1,0 +1,115 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDString(t *testing.T) {
+	if got := NoNode.String(); got != "node(-)" {
+		t.Errorf("NoNode.String() = %q, want node(-)", got)
+	}
+	if got := NodeID(3).String(); got != "node(3)" {
+		t.Errorf("NodeID(3).String() = %q, want node(3)", got)
+	}
+}
+
+func TestObjectIDString(t *testing.T) {
+	if got := ObjectID(17).String(); got != "O17" {
+		t.Errorf("ObjectID(17).String() = %q, want O17", got)
+	}
+}
+
+func TestPageIDString(t *testing.T) {
+	p := PageID{Object: 4, Page: 2}
+	if got := p.String(); got != "O4/p2" {
+		t.Errorf("PageID.String() = %q, want O4/p2", got)
+	}
+}
+
+func TestTxIDString(t *testing.T) {
+	if got := NoTx.String(); got != "tx(-)" {
+		t.Errorf("NoTx.String() = %q", got)
+	}
+	if got := TxID(9).String(); got != "tx(9)" {
+		t.Errorf("TxID(9).String() = %q", got)
+	}
+}
+
+func TestTxRefString(t *testing.T) {
+	r := TxRef{Tx: 5, Node: 2}
+	if got := r.String(); got != "<tx(5),node(2)>" {
+		t.Errorf("TxRef.String() = %q", got)
+	}
+}
+
+func TestTxIDGeneratorNeverIssuesNoTx(t *testing.T) {
+	var g TxIDGenerator
+	for i := 0; i < 100; i++ {
+		if id := g.Next(); id == NoTx {
+			t.Fatalf("generator issued NoTx at step %d", i)
+		}
+	}
+}
+
+func TestTxIDGeneratorSequential(t *testing.T) {
+	var g TxIDGenerator
+	for want := TxID(1); want <= 10; want++ {
+		if got := g.Next(); got != want {
+			t.Fatalf("Next() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTxIDGeneratorConcurrentUnique(t *testing.T) {
+	var g TxIDGenerator
+	const workers, perWorker = 8, 1000
+	var mu sync.Mutex
+	seen := make(map[TxID]bool, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]TxID, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate TxID %v", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*perWorker {
+		t.Fatalf("got %d unique ids, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestObjectIDGeneratorStartsAtZero(t *testing.T) {
+	var g ObjectIDGenerator
+	for want := ObjectID(0); want < 5; want++ {
+		if got := g.Next(); got != want {
+			t.Fatalf("Next() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPageIDEqualityProperty(t *testing.T) {
+	// PageID must be usable as a map key with value semantics.
+	f := func(o int64, p int32) bool {
+		a := PageID{Object: ObjectID(o), Page: PageNum(p)}
+		b := PageID{Object: ObjectID(o), Page: PageNum(p)}
+		m := map[PageID]int{a: 1}
+		return a == b && m[b] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package netmodel implements the analytic network cost model of §5 of the
+// paper: the time to move one message is a fixed per-message software
+// startup cost ("Software cost" on the x-axis of Figures 6–8, covering
+// protocol stack traversal, interrupts and copies) plus the wire time of the
+// message's bytes at the link bandwidth.
+//
+// The paper simulates switched (collision-free) conventional, fast and
+// gigabit Ethernet at software costs from 100 µs (heavyweight kernel
+// protocol stacks) down to 500 ns (aggressive user-level messaging à la
+// U-Net / Active Messages / VIA).
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params describes one network configuration.
+type Params struct {
+	// Name is a human-readable label, e.g. "100Mbps".
+	Name string
+	// BandwidthBps is the link bandwidth in bits per second.
+	BandwidthBps float64
+	// SoftwareCost is the fixed per-message initiation overhead.
+	SoftwareCost time.Duration
+}
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("%s+%v", p.Name, p.SoftwareCost)
+}
+
+// MsgTime returns the time to transmit one message of the given size:
+// SoftwareCost + bytes×8 / bandwidth.
+func (p Params) MsgTime(bytes int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	wire := time.Duration(float64(bytes) * 8 / p.BandwidthBps * float64(time.Second))
+	return p.SoftwareCost + wire
+}
+
+// Bandwidth presets matching the paper's three simulated networks
+// (switched, i.e. no collisions).
+var (
+	// Ethernet10 is conventional 10 Mbps switched Ethernet (Figure 6).
+	Ethernet10 = Params{Name: "10Mbps", BandwidthBps: 10e6}
+	// Ethernet100 is fast 100 Mbps switched Ethernet (Figure 7).
+	Ethernet100 = Params{Name: "100Mbps", BandwidthBps: 100e6}
+	// Gigabit is 1 Gbps switched Ethernet (Figure 8).
+	Gigabit = Params{Name: "1Gbps", BandwidthBps: 1e9}
+)
+
+// SoftwareCosts are the per-message startup latencies swept in Figures 6–8.
+var SoftwareCosts = []time.Duration{
+	100 * time.Microsecond,
+	20 * time.Microsecond,
+	5 * time.Microsecond,
+	1 * time.Microsecond,
+	500 * time.Nanosecond,
+}
+
+// WithSoftwareCost returns a copy of p using the given startup cost.
+func (p Params) WithSoftwareCost(c time.Duration) Params {
+	p.SoftwareCost = c
+	return p
+}
+
+// Networks lists the three bandwidth presets in the order the paper reports
+// them.
+var Networks = []Params{Ethernet10, Ethernet100, Gigabit}

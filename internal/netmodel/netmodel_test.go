@@ -1,0 +1,82 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMsgTimeComponents(t *testing.T) {
+	p := Params{Name: "test", BandwidthBps: 8e6, SoftwareCost: 10 * time.Microsecond}
+	// 1000 bytes at 8 Mbps = 8000 bits / 8e6 bps = 1 ms.
+	got := p.MsgTime(1000)
+	want := 10*time.Microsecond + time.Millisecond
+	if got != want {
+		t.Errorf("MsgTime(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestMsgTimeZeroAndNegativeBytes(t *testing.T) {
+	p := Ethernet100.WithSoftwareCost(5 * time.Microsecond)
+	if got := p.MsgTime(0); got != 5*time.Microsecond {
+		t.Errorf("MsgTime(0) = %v", got)
+	}
+	if got := p.MsgTime(-10); got != 5*time.Microsecond {
+		t.Errorf("MsgTime(-10) = %v", got)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if Ethernet10.BandwidthBps != 10e6 || Ethernet100.BandwidthBps != 100e6 || Gigabit.BandwidthBps != 1e9 {
+		t.Error("preset bandwidths wrong")
+	}
+	if len(SoftwareCosts) != 5 || SoftwareCosts[0] != 100*time.Microsecond || SoftwareCosts[4] != 500*time.Nanosecond {
+		t.Errorf("SoftwareCosts = %v", SoftwareCosts)
+	}
+	if len(Networks) != 3 {
+		t.Errorf("Networks = %v", Networks)
+	}
+}
+
+func TestWithSoftwareCostDoesNotMutate(t *testing.T) {
+	p := Ethernet10
+	q := p.WithSoftwareCost(time.Microsecond)
+	if p.SoftwareCost != 0 {
+		t.Error("WithSoftwareCost mutated receiver")
+	}
+	if q.SoftwareCost != time.Microsecond || q.BandwidthBps != p.BandwidthBps {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := Gigabit.WithSoftwareCost(500 * time.Nanosecond)
+	if got := p.String(); got != "1Gbps+500ns" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMsgTimeMonotonicProperty(t *testing.T) {
+	p := Ethernet100.WithSoftwareCost(time.Microsecond)
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.MsgTime(x) <= p.MsgTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFasterNetworkNeverSlowerProperty(t *testing.T) {
+	slow := Ethernet10.WithSoftwareCost(time.Microsecond)
+	fast := Gigabit.WithSoftwareCost(time.Microsecond)
+	f := func(n uint16) bool {
+		return fast.MsgTime(int(n)) <= slow.MsgTime(int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,382 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lotec/internal/core"
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
+	"lotec/internal/o2pl"
+	"lotec/internal/pstore"
+	"lotec/internal/schema"
+	"lotec/internal/wire"
+)
+
+// acquire implements Algorithm 4.1 (LocalLockAcquisition) for transaction
+// ts on obj: satisfied from the family's cached entry when possible,
+// forwarded to the GDO otherwise. On return the transaction holds the lock.
+func (e *Engine) acquire(ts *txState, obj ids.ObjectID, mode o2pl.Mode) error {
+	e.mu.Lock()
+	if ts.fam.doomed != nil {
+		defer e.mu.Unlock()
+		return ts.fam.doomed
+	}
+	entry := ts.fam.entries[obj]
+	if entry == nil {
+		// "IF the object is not cached at this site THEN forward request to
+		// GlobalLockAcquisition."
+		e.mu.Unlock()
+		return e.acquireGlobal(ts, obj, mode)
+	}
+	dec, waiter, err := entry.Acquire(ts.t, mode)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	switch dec {
+	case o2pl.Granted:
+		ts.involved[obj] = true
+		e.mu.Unlock()
+		if e.cfg.Rec != nil {
+			e.cfg.Rec.AddLocalLockOp()
+		}
+		return nil
+	case o2pl.Waiting:
+		// "Link transaction onto local list."
+		f := e.env.NewFuture()
+		waiter.Data = f
+		e.mu.Unlock()
+		if e.cfg.Rec != nil {
+			e.cfg.Rec.AddLocalLockOp()
+		}
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		ts.involved[obj] = true
+		doomed := ts.fam.doomed
+		e.mu.Unlock()
+		if doomed != nil {
+			return doomed
+		}
+		return nil
+	case o2pl.NeedGlobal:
+		// Read→write upgrade: the family's global mode is too weak.
+		e.mu.Unlock()
+		return e.acquireGlobal(ts, obj, mode)
+	default:
+		e.mu.Unlock()
+		return fmt.Errorf("node: unexpected local decision %d", dec)
+	}
+}
+
+// acquireGlobal performs the GlobalLockAcquisition exchange (Alg 4.2): RPC
+// to the object's GDO home partition, parking on a future if queued. It
+// also covers upgrades (the entry exists but at Read while Write is
+// needed).
+func (e *Engine) acquireGlobal(ts *txState, obj ids.ObjectID, mode o2pl.Mode) error {
+	if e.cfg.Rec != nil {
+		e.cfg.Rec.AddGlobalLockOp()
+	}
+	// Register the parking spot before the request leaves, so a grant that
+	// races the "queued" reply is never lost.
+	f := e.env.NewFuture()
+	key := pendKey{obj: obj, tx: ts.t.ID()}
+	e.mu.Lock()
+	e.pending[key] = &pendingReq{fut: f, tx: ts.t, mode: mode}
+	e.mu.Unlock()
+	clearPending := func() {
+		e.mu.Lock()
+		delete(e.pending, key)
+		e.mu.Unlock()
+	}
+
+	e.mu.Lock()
+	age := ts.fam.age
+	e.mu.Unlock()
+	if age == 0 {
+		age = uint64(ts.t.Family())
+	}
+	home := e.cfg.HomeFn(obj)
+	reply, err := e.env.Call(home, &wire.AcquireReq{
+		Obj:    obj,
+		Ref:    ts.t.Ref(),
+		Family: ts.t.Family(),
+		Age:    age,
+		Site:   e.self,
+		Mode:   mode,
+	})
+	if err != nil {
+		clearPending()
+		return fmt.Errorf("global acquire of %v: %w", obj, err)
+	}
+	resp, ok := reply.(*wire.AcquireResp)
+	if !ok {
+		clearPending()
+		return fmt.Errorf("global acquire of %v: unexpected reply %T", obj, reply)
+	}
+
+	switch resp.Status {
+	case gdo.GrantedNow:
+		clearPending()
+		return e.installGrantAndAcquire(ts, obj, mode, resp.Mode, resp.PageMap, resp.LastWriter)
+
+	case gdo.Queued:
+		// Park; the Grant (or deadlock Abort) handler completes the future.
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		ts.involved[obj] = true
+		doomed := ts.fam.doomed
+		e.mu.Unlock()
+		if doomed != nil {
+			return doomed
+		}
+		return nil
+
+	case gdo.DeadlockAbort:
+		clearPending()
+		e.doomFamily(ts.fam, ErrDeadlockVictim)
+		return ErrDeadlockVictim
+
+	default:
+		clearPending()
+		return fmt.Errorf("global acquire of %v: unknown status %v", obj, resp.Status)
+	}
+}
+
+// installGrantAndAcquire records a synchronous GDO grant locally and then
+// acquires through the (possibly pre-existing) cached entry. A same-family
+// sibling may already hold the entry in a conflicting mode, in which case
+// the transaction waits locally.
+func (e *Engine) installGrantAndAcquire(ts *txState, obj ids.ObjectID, want, granted o2pl.Mode, pageMap []gdo.PageLoc, lastWriter ids.NodeID) error {
+	e.mu.Lock()
+	entry := ts.fam.entries[obj]
+	if entry == nil {
+		entry = o2pl.NewEntry(obj, ts.t.Family(), granted)
+		ts.fam.entries[obj] = entry
+		ts.fam.meta[obj] = &entryMeta{pageMap: pageMap, lastWriter: lastWriter}
+	} else {
+		entry.SetGlobalMode(granted)
+		if meta := ts.fam.meta[obj]; meta != nil && len(pageMap) > 0 {
+			meta.pageMap = pageMap
+			meta.lastWriter = lastWriter
+		}
+	}
+	dec, waiter, err := entry.Acquire(ts.t, want)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	switch dec {
+	case o2pl.Granted:
+		ts.involved[obj] = true
+		e.mu.Unlock()
+		return nil
+	case o2pl.Waiting:
+		f := e.env.NewFuture()
+		waiter.Data = f
+		e.mu.Unlock()
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		ts.involved[obj] = true
+		doomed := ts.fam.doomed
+		e.mu.Unlock()
+		if doomed != nil {
+			return doomed
+		}
+		return nil
+	default:
+		e.mu.Unlock()
+		return fmt.Errorf("node: unexpected decision %d after grant", dec)
+	}
+}
+
+// doomFamily condemns a family; every subsequent operation fails fast and
+// parked transactions are failed.
+func (e *Engine) doomFamily(fam *famState, cause error) {
+	e.mu.Lock()
+	if fam.doomed == nil {
+		fam.doomed = cause
+	}
+	e.mu.Unlock()
+}
+
+// transfer implements Algorithm 4.5 (TransferOfUpdatedPages) plus the
+// protocol's fetch policy: compute which pages this acquisition must pull,
+// group them by the site holding the newest copy, and gather them.
+func (e *Engine) transfer(ts *txState, obj ids.ObjectID, layout *schema.Layout, m schema.Method) error {
+	e.mu.Lock()
+	meta := ts.fam.meta[obj]
+	if meta == nil {
+		// The family holds the lock but this engine never saw a page map —
+		// possible only for objects granted before any transfer bookkeeping
+		// existed; treat as nothing to fetch.
+		e.mu.Unlock()
+		return nil
+	}
+	predicted, err := layout.MethodReadPages(m.ID)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	in := e.fetchInputLocked(obj, layout, meta, predicted)
+	plan := e.protocolForLocked(obj).FetchPlan(in)
+	meta.fetched = true
+	pageMap := meta.pageMap
+	lastWriter := meta.lastWriter
+	e.mu.Unlock()
+
+	return e.gather(obj, plan, pageMap, lastWriter, false)
+}
+
+// fetchInputLocked assembles the protocol's view of the object at this
+// site. Caller holds e.mu.
+func (e *Engine) fetchInputLocked(obj ids.ObjectID, layout *schema.Layout, meta *entryMeta, predicted schema.PageSet) core.FetchInput {
+	all := layout.AllPages()
+	var stale, absent schema.PageSet
+	for _, p := range all {
+		if int(p) >= len(meta.pageMap) {
+			continue
+		}
+		pid := ids.PageID{Object: obj, Page: p}
+		v, resident := e.cfg.Store.PageVersion(pid)
+		if !resident {
+			stale = append(stale, p)
+			absent = append(absent, p)
+			continue
+		}
+		if v < meta.pageMap[p].Version {
+			stale = append(stale, p)
+		}
+	}
+	return core.FetchInput{
+		All:             all,
+		Predicted:       predicted,
+		Stale:           stale,
+		Absent:          absent,
+		FirstSinceGrant: !meta.fetched,
+	}
+}
+
+// gather pulls the planned pages from their up-to-date locations
+// ("FOREACH site from which page(s) must be obtained DO copy the set of
+// pages…", Alg 4.5). Under a scattering protocol (LOTEC) each page comes
+// from the site holding its newest copy — possibly several sites; under
+// COTEC/OTEC the whole plan comes from the single last-updating site, which
+// always holds a complete current copy. Pages whose newest copy is already
+// local, or which carry uncommitted local writes, are skipped; a
+// version-blind protocol (COTEC) re-transfers current-but-remote pages
+// anyway.
+func (e *Engine) gather(obj ids.ObjectID, plan schema.PageSet, pageMap []gdo.PageLoc, single ids.NodeID, demand bool) error {
+	if len(plan) == 0 {
+		return nil
+	}
+	dirtyLocal := make(map[ids.PageNum]bool)
+	for _, p := range e.cfg.Store.DirtyPages(obj) {
+		dirtyLocal[p] = true
+	}
+	proto := e.protocolFor(obj)
+	versionAware := proto.VersionAware()
+	scatter := proto.GatherScattered() || demand || single == ids.NoNode
+
+	bySource := make(map[ids.NodeID][]ids.PageNum)
+	for _, p := range plan {
+		if int(p) >= len(pageMap) {
+			return fmt.Errorf("node: fetch plan page %v/p%d outside page map", obj, p)
+		}
+		loc := pageMap[p]
+		if loc.Node == e.self || dirtyLocal[p] {
+			continue
+		}
+		// Skip pages already at (or beyond) the mapped version: another
+		// transaction of this family may have fetched them already. COTEC
+		// has no version tracking and re-transfers regardless.
+		if versionAware {
+			if v, ok := e.cfg.Store.PageVersion(ids.PageID{Object: obj, Page: p}); ok && v >= loc.Version {
+				continue
+			}
+		}
+		src := loc.Node
+		if !scatter && single != ids.NoNode {
+			if single == e.self {
+				// This site performed the last update: it already holds a
+				// complete current copy; nothing to pull.
+				continue
+			}
+			src = single
+		}
+		bySource[src] = append(bySource[src], p)
+	}
+	sources := make([]ids.NodeID, 0, len(bySource))
+	for s := range bySource {
+		sources = append(sources, s)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+
+	for _, src := range sources {
+		if demand && e.cfg.Rec != nil {
+			e.cfg.Rec.AddDemandFetch()
+		}
+		reply, err := e.env.Call(src, &wire.FetchReq{Obj: obj, Demand: demand, Pages: bySource[src]})
+		if err != nil {
+			return fmt.Errorf("fetch %v from %v: %w", obj, src, err)
+		}
+		resp, ok := reply.(*wire.FetchResp)
+		if !ok {
+			return fmt.Errorf("fetch %v from %v: unexpected reply %T", obj, src, reply)
+		}
+		for _, pg := range resp.Pages {
+			pid := ids.PageID{Object: obj, Page: pg.Page}
+			if v, ok := e.cfg.Store.PageVersion(pid); ok && v >= pg.Version {
+				continue
+			}
+			if err := e.cfg.Store.InstallPage(pid, pg.Data, pg.Version); err != nil {
+				return fmt.Errorf("install %v: %w", pid, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ensureCurrent demand-fetches any of the given pages that are stale or
+// absent relative to the grant-time page map. It is the §4.3 fallback ("If
+// additional parts turn out to be needed, these can be fetched on demand")
+// used for undeclared accesses in lenient mode and for missing-page reads.
+func (e *Engine) ensureCurrent(ts *txState, obj ids.ObjectID, pages schema.PageSet) error {
+	e.mu.Lock()
+	meta := ts.fam.meta[obj]
+	if meta == nil {
+		e.mu.Unlock()
+		return nil
+	}
+	var plan schema.PageSet
+	for _, p := range pages {
+		if int(p) >= len(meta.pageMap) {
+			continue
+		}
+		pid := ids.PageID{Object: obj, Page: p}
+		v, resident := e.cfg.Store.PageVersion(pid)
+		if !resident || v < meta.pageMap[p].Version {
+			plan = append(plan, p)
+		}
+	}
+	pageMap := meta.pageMap
+	e.mu.Unlock()
+	// Demand fetches always target the exact newest location per page.
+	return e.gather(obj, plan, pageMap, ids.NoNode, true)
+}
+
+// pagesMissingError extracts a PageMissingError if err contains one.
+func pagesMissingError(err error) (*pstore.PageMissingError, bool) {
+	var pm *pstore.PageMissingError
+	if errors.As(err, &pm) {
+		return pm, true
+	}
+	return nil, false
+}

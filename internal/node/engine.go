@@ -1,0 +1,701 @@
+// Package node implements a LOTEC site runtime: the engine that executes
+// nested object transactions at one node and drives the whole protocol —
+// local lock acquisition and release (Alg 4.1/4.3 via package o2pl), global
+// operations against the GDO (Alg 4.2/4.4 via messages), the transfer of
+// updated pages (Alg 4.5), demand fetches, undo, and root-commit/abort
+// processing with automatic deadlock-victim retry.
+//
+// The engine is transport-agnostic: under transport.SimNet it reproduces
+// the paper's deterministic simulation; under the TCP transport (package
+// server) the identical code runs a real distributed system.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lotec/internal/core"
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
+	"lotec/internal/o2pl"
+	"lotec/internal/pstore"
+	"lotec/internal/schema"
+	"lotec/internal/stats"
+	"lotec/internal/transport"
+	"lotec/internal/txn"
+	"lotec/internal/wire"
+)
+
+// Engine errors.
+var (
+	// ErrDeadlockVictim marks a family aborted by the GDO's deadlock
+	// resolution; Run retries such roots automatically.
+	ErrDeadlockVictim = errors.New("node: family aborted as deadlock victim")
+	// ErrUnknownObject is returned for operations on unregistered objects.
+	ErrUnknownObject = errors.New("node: unknown object")
+	// ErrUnknownMethod is returned when no body is registered for a method.
+	ErrUnknownMethod = errors.New("node: no body registered for method")
+	// ErrUndeclaredAccess is returned in strict mode when a method touches
+	// an attribute outside its declared access sets — the conservative
+	// prediction contract of §3.5 would be violated.
+	ErrUndeclaredAccess = errors.New("node: access outside declared attribute set")
+	// ErrRetriesExhausted is returned by Run when a root keeps losing
+	// deadlock resolution.
+	ErrRetriesExhausted = errors.New("node: deadlock retries exhausted")
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Env is the node's transport endpoint.
+	Env transport.Env
+	// Store is the node's paged memory.
+	Store *pstore.Store
+	// Schemas holds every class and layout.
+	Schemas *schema.Registry
+	// Methods maps class methods to Go bodies.
+	Methods *MethodTable
+	// Manager issues transactions. Share one across nodes in-process; give
+	// each node a disjoint-namespace manager over TCP.
+	Manager *txn.Manager
+	// Protocol is the default consistency protocol.
+	Protocol core.Protocol
+	// ProtocolOverrides selects a different protocol per class — the §6
+	// future-work extension ("different consistency protocols … on a
+	// per-class basis"). Every node of a deployment must configure the
+	// same overrides.
+	ProtocolOverrides map[ids.ClassID]core.Protocol
+	// HomeFn maps an object to the node hosting its GDO partition.
+	HomeFn func(ids.ObjectID) ids.NodeID
+	// Dir, when non-nil, makes this node serve GDO requests from Dir.
+	Dir *gdo.Directory
+	// Rec records the message trace and counters; may be nil.
+	Rec *stats.Recorder
+	// MaxRetries bounds deadlock-victim retries of a root (default 20).
+	MaxRetries int
+	// Strict rejects accesses outside declared sets (the paper's
+	// conservative-compiler contract). When false, undeclared accesses are
+	// allowed and satisfied by demand fetches (the §4.3 fallback),
+	// modelling imperfect prediction.
+	Strict bool
+}
+
+// pendKey identifies one transaction's outstanding global request.
+type pendKey struct {
+	obj ids.ObjectID
+	tx  ids.TxID
+}
+
+// pendingReq is a parked global acquisition.
+type pendingReq struct {
+	fut  transport.Future
+	tx   *txn.Txn
+	mode o2pl.Mode
+}
+
+// entryMeta is the consistency-side companion of a lock entry: the page map
+// snapshot sent with the grant and the transfer bookkeeping.
+type entryMeta struct {
+	pageMap    []gdo.PageLoc
+	lastWriter ids.NodeID // single gather source for COTEC/OTEC
+	fetched    bool       // a FirstSinceGrant transfer has run
+}
+
+// famState is everything the engine tracks for one local family.
+type famState struct {
+	root    *txn.Txn
+	age     uint64 // stable deadlock priority (first attempt's root TxID)
+	entries map[ids.ObjectID]*o2pl.Entry
+	meta    map[ids.ObjectID]*entryMeta
+	doomed  error
+}
+
+// txState is the engine-side state of one [sub-]transaction.
+type txState struct {
+	t        *txn.Txn
+	fam      *famState
+	parent   *txState
+	undo     *pstore.UndoLog
+	involved map[ids.ObjectID]bool // objects whose locks this tx holds or retains
+	updated  map[ids.ObjectID]bool // objects this tx (or pre-committed children) wrote
+}
+
+// Engine is one site's protocol runtime. All public methods are safe for
+// concurrent use by multiple transaction procs.
+type Engine struct {
+	cfg  Config
+	env  transport.Env
+	self ids.NodeID
+
+	mu       sync.Mutex
+	objClass map[ids.ObjectID]ids.ClassID
+	fams     map[ids.FamilyID]*famState
+	pending  map[pendKey]*pendingReq
+}
+
+// New creates an Engine and installs its message handler on the Env's
+// transport (via the returned Handler — the caller wires it, since
+// transports differ).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Env == nil || cfg.Store == nil || cfg.Schemas == nil || cfg.Methods == nil ||
+		cfg.Manager == nil || cfg.Protocol == nil || cfg.HomeFn == nil {
+		return nil, errors.New("node: incomplete config")
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 50
+	}
+	return &Engine{
+		cfg:      cfg,
+		env:      cfg.Env,
+		self:     cfg.Env.Self(),
+		objClass: make(map[ids.ObjectID]ids.ClassID),
+		fams:     make(map[ids.FamilyID]*famState),
+		pending:  make(map[pendKey]*pendingReq),
+	}, nil
+}
+
+// Self returns the node's ID.
+func (e *Engine) Self() ids.NodeID { return e.self }
+
+// Protocol returns the default consistency protocol.
+func (e *Engine) Protocol() core.Protocol { return e.cfg.Protocol }
+
+// protocolFor resolves the protocol governing an object (per-class
+// override, else the default).
+func (e *Engine) protocolFor(obj ids.ObjectID) core.Protocol {
+	if len(e.cfg.ProtocolOverrides) == 0 {
+		return e.cfg.Protocol
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.protocolForLocked(obj)
+}
+
+// protocolForLocked is protocolFor for callers already holding e.mu.
+func (e *Engine) protocolForLocked(obj ids.ObjectID) core.Protocol {
+	if cid, ok := e.objClass[obj]; ok {
+		if p, ok := e.cfg.ProtocolOverrides[cid]; ok {
+			return p
+		}
+	}
+	return e.cfg.Protocol
+}
+
+// RegisterObject makes an object of the given class known to this node.
+// The owner node additionally materializes all pages at version 1,
+// matching the GDO's initial page map.
+func (e *Engine) RegisterObject(obj ids.ObjectID, class ids.ClassID, owner ids.NodeID) error {
+	layout, err := e.cfg.Schemas.Layout(class)
+	if err != nil {
+		return err
+	}
+	if err := e.cfg.Store.Register(obj, layout.NumPages()); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.objClass[obj] = class
+	e.mu.Unlock()
+	if owner == e.self {
+		zero := make([]byte, e.cfg.Store.PageSize())
+		for p := 0; p < layout.NumPages(); p++ {
+			pid := ids.PageID{Object: obj, Page: ids.PageNum(p)}
+			if err := e.cfg.Store.InstallPage(pid, zero, 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// classOf resolves an object's class and layout.
+func (e *Engine) classOf(obj ids.ObjectID) (*schema.Class, *schema.Layout, error) {
+	e.mu.Lock()
+	cid, ok := e.objClass[obj]
+	e.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %v", ErrUnknownObject, obj)
+	}
+	cls, err := e.cfg.Schemas.Class(cid)
+	if err != nil {
+		return nil, nil, err
+	}
+	layout, err := e.cfg.Schemas.Layout(cid)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cls, layout, nil
+}
+
+// Run executes one root transaction: invoke method on obj, retrying if the
+// family is chosen as a deadlock victim (bounded by MaxRetries, with a
+// linearly growing backoff so the competing family can finish).
+func (e *Engine) Run(obj ids.ObjectID, method string, arg []byte) ([]byte, ids.FamilyID, error) {
+	var lastErr error
+	var age uint64 // stable deadlock priority across retries (first root's TxID)
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if e.cfg.Rec != nil {
+				e.cfg.Rec.AddRetry()
+			}
+			e.env.Sleep(time.Duration(attempt) * 100 * time.Microsecond)
+		}
+		res, fam, err := e.invokeRoot(obj, method, arg, &age)
+		if err == nil {
+			return res, fam, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrDeadlockVictim) {
+			return nil, fam, err
+		}
+	}
+	return nil, 0, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, e.cfg.MaxRetries, lastErr)
+}
+
+// invokeRoot runs one root attempt, reporting the family it used. age is
+// assigned from the first attempt's root TxID and then kept stable.
+func (e *Engine) invokeRoot(obj ids.ObjectID, method string, arg []byte, age *uint64) ([]byte, ids.FamilyID, error) {
+	res, fam, err := e.invokeInner(nil, obj, method, arg, age)
+	return res, fam, err
+}
+
+// InvokeSpec names one child invocation for parallel execution.
+type InvokeSpec struct {
+	Obj    ids.ObjectID
+	Method string
+	Arg    []byte
+}
+
+// InvokeResult is one parallel child's outcome.
+type InvokeResult struct {
+	Out []byte
+	Err error
+}
+
+// invokeParallel runs several sub-transactions of parent concurrently, one
+// proc each, and joins them. This is the intra-family concurrency §3.3/§4.3
+// of the paper permits ("it is also possible to have concurrent operations
+// on a single object but only within a single transaction family"); as the
+// paper prescribes, ordering correctness *between siblings* is the
+// programmer's responsibility — siblings that acquire overlapping objects
+// in opposite orders can deadlock the family, since intra-family waits are
+// invisible to the GDO's detector.
+func (e *Engine) invokeParallel(parent *txState, calls []InvokeSpec) []InvokeResult {
+	results := make([]InvokeResult, len(calls))
+	futures := make([]transport.Future, len(calls))
+	for i := range calls {
+		i := i
+		f := e.env.NewFuture()
+		futures[i] = f
+		call := calls[i]
+		e.env.Go(func() {
+			out, err := e.invoke(parent, call.Obj, call.Method, call.Arg)
+			results[i] = InvokeResult{Out: out, Err: err}
+			f.Complete(nil, nil)
+		})
+	}
+	for _, f := range futures {
+		_, _ = f.Wait()
+	}
+	return results
+}
+
+// invoke runs one method invocation as a [sub-]transaction: acquire the
+// object's lock (mode W when the method declares writes), transfer pages
+// per the protocol, run the body, then pre-commit (or commit at the root)
+// or abort.
+func (e *Engine) invoke(parent *txState, obj ids.ObjectID, method string, arg []byte) ([]byte, error) {
+	res, _, err := e.invokeInner(parent, obj, method, arg, nil)
+	return res, err
+}
+
+// invokeInner is invoke plus the family identity of the transaction it ran.
+func (e *Engine) invokeInner(parent *txState, obj ids.ObjectID, method string, arg []byte, age *uint64) ([]byte, ids.FamilyID, error) {
+	cls, layout, err := e.classOf(obj)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := cls.MethodByName(method)
+	if err != nil {
+		return nil, 0, err
+	}
+	body, err := e.cfg.Methods.lookup(cls.ID, m.ID)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	ts, err := e.beginTx(parent)
+	if err != nil {
+		return nil, 0, err
+	}
+	if age != nil {
+		if *age == 0 {
+			*age = uint64(ts.t.ID())
+		}
+		ts.fam.age = *age
+	}
+	fam := ts.t.Family()
+
+	mode := o2pl.Read
+	if len(m.Writes) > 0 {
+		mode = o2pl.Write
+	}
+	if err := e.acquire(ts, obj, mode); err != nil {
+		e.abortTx(ts)
+		return nil, fam, e.decorate(ts, err)
+	}
+	if err := e.transfer(ts, obj, layout, m); err != nil {
+		e.abortTx(ts)
+		return nil, fam, e.decorate(ts, err)
+	}
+
+	ctx := &Ctx{eng: e, ts: ts, obj: obj, cls: cls, layout: layout, method: m, arg: arg}
+	if err := body(ctx); err != nil {
+		e.abortTx(ts)
+		return nil, fam, e.decorate(ts, err)
+	}
+	if doomed := e.doomOf(ts); doomed != nil {
+		e.abortTx(ts)
+		return nil, fam, doomed
+	}
+
+	if ts.t.IsRoot() {
+		if err := e.commitRoot(ts); err != nil {
+			return nil, fam, err
+		}
+	} else if err := e.preCommit(ts); err != nil {
+		e.abortTx(ts)
+		return nil, fam, e.decorate(ts, err)
+	}
+	return ctx.result, fam, nil
+}
+
+// decorate prefers the family's doom cause over a derived error, so
+// deadlock victims surface as ErrDeadlockVictim at the root.
+func (e *Engine) decorate(ts *txState, err error) error {
+	if doomed := e.doomOf(ts); doomed != nil {
+		return doomed
+	}
+	return err
+}
+
+// doomOf returns the family's doom error, if condemned.
+func (e *Engine) doomOf(ts *txState) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return ts.fam.doomed
+}
+
+// beginTx creates the txState (and famState for roots).
+func (e *Engine) beginTx(parent *txState) (*txState, error) {
+	if parent == nil {
+		t := e.cfg.Manager.Begin(e.self)
+		fam := &famState{
+			root:    t,
+			entries: make(map[ids.ObjectID]*o2pl.Entry),
+			meta:    make(map[ids.ObjectID]*entryMeta),
+		}
+		ts := &txState{
+			t: t, fam: fam,
+			undo:     pstore.NewUndoLog(),
+			involved: make(map[ids.ObjectID]bool),
+			updated:  make(map[ids.ObjectID]bool),
+		}
+		e.mu.Lock()
+		e.fams[t.Family()] = fam
+		e.mu.Unlock()
+		return ts, nil
+	}
+	if doomed := e.doomOf(parent); doomed != nil {
+		return nil, doomed
+	}
+	t, err := e.cfg.Manager.BeginChild(parent.t)
+	if err != nil {
+		return nil, err
+	}
+	return &txState{
+		t: t, fam: parent.fam, parent: parent,
+		undo:     pstore.NewUndoLog(),
+		involved: make(map[ids.ObjectID]bool),
+		updated:  make(map[ids.ObjectID]bool),
+	}, nil
+}
+
+// preCommit applies rule 3 of §4.1: the parent inherits and retains every
+// lock the transaction holds or retains; the undo log and updated-set merge
+// into the parent so an ancestor abort still rolls everything back.
+func (e *Engine) preCommit(ts *txState) error {
+	e.mu.Lock()
+	var wake []*o2pl.Waiter
+	for obj := range ts.involved {
+		if entry := ts.fam.entries[obj]; entry != nil {
+			wake = append(wake, entry.PreCommit(ts.t)...)
+		}
+		ts.parent.involved[obj] = true
+	}
+	for obj := range ts.updated {
+		ts.parent.updated[obj] = true
+	}
+	// Still under e.mu: parallel siblings (InvokeAll) may pre-commit into
+	// the same parent concurrently, and UndoLog is not otherwise locked.
+	ts.undo.MergeInto(ts.parent.undo)
+	e.mu.Unlock()
+
+	if err := e.cfg.Manager.PreCommit(ts.t); err != nil {
+		return err
+	}
+	completeAll(wake, nil)
+	return nil
+}
+
+// abortTx applies rule 4 of §4.1 plus Alg 4.3's abort cases: undo the
+// transaction's (and its pre-committed descendants') effects, then release
+// each involved lock — back to a retaining ancestor if one exists, else to
+// the GDO.
+func (e *Engine) abortTx(ts *txState) {
+	if e.cfg.Rec != nil && ts.t.IsRoot() {
+		e.cfg.Rec.AddAbort()
+	}
+	// UNDO before lock release: no one may observe partial state.
+	ts.undo.Undo(e.cfg.Store)
+
+	e.mu.Lock()
+	var wake []*o2pl.Waiter
+	var releaseGlobal []ids.ObjectID
+	for obj := range ts.involved {
+		entry := ts.fam.entries[obj]
+		if entry == nil {
+			continue
+		}
+		out := entry.Abort(ts.t)
+		wake = append(wake, out.Granted...)
+		if out.ReleaseGlobal {
+			releaseGlobal = append(releaseGlobal, obj)
+			delete(ts.fam.entries, obj)
+			delete(ts.fam.meta, obj)
+		}
+	}
+	fam := ts.fam
+	root := ts.t.IsRoot()
+	if root {
+		// A grant that arrived after the family was doomed creates an entry
+		// no transaction ever held; the root abort must hand those back too.
+		released := make(map[ids.ObjectID]bool, len(releaseGlobal))
+		for _, obj := range releaseGlobal {
+			released[obj] = true
+		}
+		for obj, entry := range fam.entries {
+			if !released[obj] && entry.Idle() {
+				releaseGlobal = append(releaseGlobal, obj)
+				delete(fam.entries, obj)
+				delete(fam.meta, obj)
+			}
+		}
+		delete(e.fams, ts.t.Family())
+	}
+	e.mu.Unlock()
+
+	_ = e.cfg.Manager.Abort(ts.t)
+	completeAll(wake, nil)
+
+	// Alg 4.3: "ELSE /* not retained by an ancestor */ Forward request to
+	// GlobalLockRelease /* no dirty page info */".
+	sort.Slice(releaseGlobal, func(i, j int) bool { return releaseGlobal[i] < releaseGlobal[j] })
+	e.releaseGlobal(fam, releaseGlobal, nil, false, nil)
+}
+
+// commitRoot applies rule 5 of §4.1 / Alg 4.4: release every lock the
+// family holds or retains, piggybacking the dirty-page info, then restamp
+// local copies with the directory-assigned versions. Under RC, dirty pages
+// are pushed to all caching sites first.
+func (e *Engine) commitRoot(ts *txState) error {
+	e.mu.Lock()
+	objs := make([]ids.ObjectID, 0, len(ts.fam.entries))
+	for obj := range ts.fam.entries {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	dirty := make(map[ids.ObjectID][]ids.PageNum, len(objs))
+	for _, obj := range objs {
+		dirty[obj] = e.cfg.Store.DirtyPages(obj)
+	}
+	fam := ts.fam
+	delete(e.fams, ts.t.Family())
+	e.mu.Unlock()
+
+	// Restamp dirty pages to version+1 and clear their dirty flags *before*
+	// the release leaves: the directory assigns exactly +1 per committing
+	// release, and the next holder may be granted — and may fetch from, or
+	// even run at, this site — the instant the GDO processes the release,
+	// before its reply returns here. The reply's stamps are verified
+	// against this prediction below.
+	predicted, err := e.restampDirty(objs, dirty)
+	if err != nil {
+		return err
+	}
+	for _, obj := range objs {
+		e.cfg.Store.ClearDirty(obj, dirty[obj])
+	}
+
+	var pushObjs []ids.ObjectID
+	for _, obj := range objs {
+		if e.protocolFor(obj).PushOnRelease() {
+			pushObjs = append(pushObjs, obj)
+		}
+	}
+	if len(pushObjs) > 0 {
+		if err := e.pushUpdates(pushObjs, dirty); err != nil {
+			return fmt.Errorf("rc push: %w", err)
+		}
+	}
+	if err := e.releaseGlobal(fam, objs, dirty, true, predicted); err != nil {
+		return err
+	}
+	ts.undo.Discard()
+	if err := e.cfg.Manager.CommitRoot(ts.t); err != nil {
+		return err
+	}
+	if e.cfg.Rec != nil {
+		e.cfg.Rec.AddCommit()
+	}
+	return nil
+}
+
+// releaseGlobal sends GlobalLockRelease for the given objects, batched per
+// GDO home partition, and restamps local pages from the returned versions.
+// dirty may be nil (abort path).
+// restampDirty advances each dirty page's local version by one and returns
+// the predicted stamps keyed by page.
+func (e *Engine) restampDirty(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum) (map[ids.PageID]uint64, error) {
+	predicted := make(map[ids.PageID]uint64)
+	for _, obj := range objs {
+		for _, p := range dirty[obj] {
+			pid := ids.PageID{Object: obj, Page: p}
+			v, ok := e.cfg.Store.PageVersion(pid)
+			if !ok {
+				return nil, fmt.Errorf("node: dirty page %v not resident at commit", pid)
+			}
+			if err := e.cfg.Store.SetPageVersion(pid, v+1); err != nil {
+				return nil, err
+			}
+			predicted[pid] = v + 1
+		}
+	}
+	return predicted, nil
+}
+
+func (e *Engine) releaseGlobal(fam *famState, objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum, commit bool, predicted map[ids.PageID]uint64) error {
+	if len(objs) == 0 {
+		return nil
+	}
+	byHome := make(map[ids.NodeID][]gdo.ObjectRelease)
+	for _, obj := range objs {
+		home := e.cfg.HomeFn(obj)
+		byHome[home] = append(byHome[home], gdo.ObjectRelease{Obj: obj, Dirty: dirty[obj]})
+	}
+	homes := make([]ids.NodeID, 0, len(byHome))
+	for h := range byHome {
+		homes = append(homes, h)
+	}
+	sort.Slice(homes, func(i, j int) bool { return homes[i] < homes[j] })
+
+	family := fam.root.Family()
+	var verifyErr error
+	for _, home := range homes {
+		if e.cfg.Rec != nil {
+			e.cfg.Rec.AddGlobalLockOp()
+		}
+		reply, err := e.env.Call(home, &wire.ReleaseReq{
+			Family: family,
+			Site:   e.self,
+			Commit: commit,
+			Rels:   byHome[home],
+		})
+		if err != nil {
+			return fmt.Errorf("global release to %v: %w", home, err)
+		}
+		resp, ok := reply.(*wire.ReleaseResp)
+		if !ok {
+			return fmt.Errorf("global release to %v: unexpected reply %T", home, reply)
+		}
+		for _, st := range resp.Stamps {
+			pid := ids.PageID{Object: st.Obj, Page: st.Page}
+			if want, ok := predicted[pid]; !ok || want != st.Version {
+				// An invariant violation — but keep releasing the remaining
+				// homes so the cluster is not left wedged, then report.
+				verifyErr = errors.Join(verifyErr, fmt.Errorf(
+					"node: GDO stamped %v as v%d, site predicted v%d", pid, st.Version, want))
+			}
+		}
+	}
+	return verifyErr
+}
+
+// pushUpdates implements the RC extension: send every dirty page to every
+// other site caching the object, acknowledged, before the lock release.
+func (e *Engine) pushUpdates(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum) error {
+	for _, obj := range objs {
+		pages := dirty[obj]
+		if len(pages) == 0 {
+			continue
+		}
+		home := e.cfg.HomeFn(obj)
+		reply, err := e.env.Call(home, &wire.CopySetReq{Obj: obj})
+		if err != nil {
+			return err
+		}
+		cs, ok := reply.(*wire.CopySetResp)
+		if !ok {
+			return fmt.Errorf("copyset of %v: unexpected reply %T", obj, reply)
+		}
+		var payloads []wire.PagePayload
+		for _, p := range pages {
+			data, ver, err := e.cfg.Store.PageCopy(ids.PageID{Object: obj, Page: p})
+			if err != nil {
+				return err
+			}
+			// restampDirty already advanced the version to what the GDO
+			// will assign at the release that follows.
+			payloads = append(payloads, wire.PagePayload{Page: p, Version: ver, Data: data})
+		}
+		for _, site := range cs.Sites {
+			if site == e.self {
+				continue
+			}
+			if _, err := e.env.Call(site, &wire.PushReq{Obj: obj, Pages: payloads}); err != nil {
+				return fmt.Errorf("push %v to %v: %w", obj, site, err)
+			}
+		}
+	}
+	return nil
+}
+
+// completeAll wakes a batch of granted local waiters.
+func completeAll(ws []*o2pl.Waiter, err error) {
+	for _, w := range ws {
+		if f, ok := w.Data.(transport.Future); ok && f != nil {
+			f.Complete(nil, err)
+		}
+	}
+}
+
+// DebugDump renders this engine's family, entry and pending-request state
+// for diagnostics.
+func (e *Engine) DebugDump() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	for famID, fam := range e.fams {
+		add("node %v fam=%v age=%d doomed=%v:", e.self, famID, fam.age, fam.doomed)
+		for obj, entry := range fam.entries {
+			add(" entry{%v mode=%v holders=%d waiters=%d}", obj, entry.GlobalMode(), entry.HolderCount(), entry.WaiterCount())
+		}
+		add("\n")
+	}
+	for key := range e.pending {
+		add("node %v pending{obj=%v tx=%v}\n", e.self, key.obj, key.tx)
+	}
+	return string(b)
+}

@@ -1,0 +1,221 @@
+package node
+
+import (
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
+	"lotec/internal/o2pl"
+	"lotec/internal/transport"
+	"lotec/internal/wire"
+)
+
+// Handle is the node's inbound message dispatcher; wire it as the Env's
+// transport handler. It never blocks.
+func (e *Engine) Handle(from ids.NodeID, m wire.Msg) wire.Msg {
+	switch t := m.(type) {
+	case *wire.Grant:
+		e.handleGrant(t)
+		return nil
+	case *wire.Abort:
+		e.handleAbort(t)
+		return nil
+	case *wire.FetchReq:
+		return e.handleFetch(t)
+	case *wire.PushReq:
+		return e.handlePush(t)
+	case *wire.AcquireReq:
+		return e.handleGDOAcquire(t)
+	case *wire.ReleaseReq:
+		return e.handleGDORelease(t)
+	case *wire.CopySetReq:
+		return e.handleGDOCopySet(t)
+	case *wire.RegisterReq:
+		return e.handleGDORegister(t)
+	default:
+		return &wire.ErrResp{Msg: "node: unhandled message type"}
+	}
+}
+
+// handleGrant processes a deferred lock grant: create (or upgrade) the
+// family's cached entry, turn the granted request batch into local waiters,
+// and wake the eligible ones — the site-side half of Alg 4.4's hand-off.
+func (e *Engine) handleGrant(g *wire.Grant) {
+	e.mu.Lock()
+	fam := e.fams[g.Family]
+	if fam == nil || fam.doomed != nil {
+		// The family is gone (aborted while queued): hand the lock straight
+		// back so no one waits on a ghost holder.
+		e.mu.Unlock()
+		_ = e.env.Send(e.cfg.HomeFn(g.Obj), &wire.ReleaseReq{
+			Family: g.Family,
+			Site:   e.self,
+			Rels:   []gdo.ObjectRelease{{Obj: g.Obj}},
+		})
+		return
+	}
+	entry := fam.entries[g.Obj]
+	if entry == nil {
+		entry = o2pl.NewEntry(g.Obj, g.Family, g.Mode)
+		fam.entries[g.Obj] = entry
+		fam.meta[g.Obj] = &entryMeta{pageMap: g.PageMap, lastWriter: g.LastWriter}
+	} else {
+		entry.SetGlobalMode(g.Mode)
+		if meta := fam.meta[g.Obj]; meta != nil && len(g.PageMap) > 0 {
+			meta.pageMap = g.PageMap
+			meta.lastWriter = g.LastWriter
+		} else if meta == nil {
+			fam.meta[g.Obj] = &entryMeta{pageMap: g.PageMap, lastWriter: g.LastWriter}
+		}
+	}
+	for _, req := range g.Reqs {
+		key := pendKey{obj: g.Obj, tx: req.Ref.Tx}
+		p, ok := e.pending[key]
+		if !ok {
+			// The requester vanished (aborted); the family still holds the
+			// lock and root release will free it.
+			continue
+		}
+		delete(e.pending, key)
+		entry.Enqueue(&o2pl.Waiter{Tx: p.tx, Mode: req.Mode, Data: p.fut})
+	}
+	granted := entry.GrantEligible()
+	e.mu.Unlock()
+	completeAll(granted, nil)
+}
+
+// handleAbort fails this site's parked requests for a deadlock-victim
+// family and condemns the family.
+func (e *Engine) handleAbort(a *wire.Abort) {
+	e.mu.Lock()
+	var futs []transport.Future
+	for _, req := range a.Reqs {
+		key := pendKey{obj: a.Obj, tx: req.Ref.Tx}
+		if p, ok := e.pending[key]; ok {
+			delete(e.pending, key)
+			futs = append(futs, p.fut)
+		}
+	}
+	if fam := e.fams[a.Family]; fam != nil && fam.doomed == nil {
+		fam.doomed = ErrDeadlockVictim
+	}
+	e.mu.Unlock()
+	for _, f := range futs {
+		f.Complete(nil, ErrDeadlockVictim)
+	}
+}
+
+// handleFetch serves Alg 4.5 gather requests from this site's store.
+func (e *Engine) handleFetch(req *wire.FetchReq) wire.Msg {
+	resp := &wire.FetchResp{Obj: req.Obj}
+	for _, p := range req.Pages {
+		pid := ids.PageID{Object: req.Obj, Page: p}
+		data, ver, err := e.cfg.Store.PageCopy(pid)
+		if err != nil {
+			return &wire.ErrResp{Msg: err.Error()}
+		}
+		resp.Pages = append(resp.Pages, wire.PagePayload{Page: p, Version: ver, Data: data})
+	}
+	return resp
+}
+
+// handlePush installs RC-pushed pages if they are newer than the local
+// copies. Locally dirty pages are impossible at a pushee (it does not hold
+// the lock) but are skipped defensively.
+func (e *Engine) handlePush(req *wire.PushReq) wire.Msg {
+	dirty := make(map[ids.PageNum]bool)
+	for _, p := range e.cfg.Store.DirtyPages(req.Obj) {
+		dirty[p] = true
+	}
+	for _, pg := range req.Pages {
+		if dirty[pg.Page] {
+			continue
+		}
+		pid := ids.PageID{Object: req.Obj, Page: pg.Page}
+		if v, ok := e.cfg.Store.PageVersion(pid); ok && v >= pg.Version {
+			continue
+		}
+		if err := e.cfg.Store.InstallPage(pid, pg.Data, pg.Version); err != nil {
+			return &wire.ErrResp{Msg: err.Error()}
+		}
+	}
+	return &wire.PushResp{}
+}
+
+// GDO-serving handlers (active when cfg.Dir is set).
+
+func (e *Engine) handleGDOAcquire(req *wire.AcquireReq) wire.Msg {
+	if e.cfg.Dir == nil {
+		return &wire.ErrResp{Msg: "node: not a GDO host"}
+	}
+	res, events, err := e.cfg.Dir.Acquire(req.Obj, req.Ref, req.Family, req.Age, req.Site, req.Mode)
+	if err != nil {
+		return &wire.ErrResp{Msg: err.Error()}
+	}
+	e.routeEvents(events)
+	return &wire.AcquireResp{
+		Obj:      req.Obj,
+		Status:   res.Status,
+		Mode:     res.Mode,
+		NumPages: int32(res.NumPages),
+		PageMap:  res.PageMap,
+	}
+}
+
+func (e *Engine) handleGDORelease(req *wire.ReleaseReq) wire.Msg {
+	if e.cfg.Dir == nil {
+		return &wire.ErrResp{Msg: "node: not a GDO host"}
+	}
+	events, stamps, err := e.cfg.Dir.Release(req.Family, req.Site, req.Commit, req.Rels)
+	if err != nil {
+		return &wire.ErrResp{Msg: err.Error()}
+	}
+	e.routeEvents(events)
+	return &wire.ReleaseResp{Stamps: stamps}
+}
+
+func (e *Engine) handleGDOCopySet(req *wire.CopySetReq) wire.Msg {
+	if e.cfg.Dir == nil {
+		return &wire.ErrResp{Msg: "node: not a GDO host"}
+	}
+	sites, err := e.cfg.Dir.CopySet(req.Obj)
+	if err != nil {
+		return &wire.ErrResp{Msg: err.Error()}
+	}
+	return &wire.CopySetResp{Sites: sites}
+}
+
+func (e *Engine) handleGDORegister(req *wire.RegisterReq) wire.Msg {
+	if e.cfg.Dir == nil {
+		return &wire.ErrResp{Msg: "node: not a GDO host"}
+	}
+	if err := e.cfg.Dir.Register(req.Obj, int(req.NumPages), req.Owner); err != nil {
+		return &wire.ErrResp{Msg: err.Error()}
+	}
+	return &wire.RegisterResp{}
+}
+
+// routeEvents ships deferred directory decisions to the affected sites:
+// "Send the list pointed to by HolderPtr and the page map to the new
+// holder's site" (Alg 4.4), plus deadlock-abort notifications.
+func (e *Engine) routeEvents(events []gdo.Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case gdo.EventGrant:
+			_ = e.env.Send(ev.Site, &wire.Grant{
+				Obj:        ev.Obj,
+				Family:     ev.Family,
+				Mode:       ev.Mode,
+				Upgrade:    ev.Upgrade,
+				NumPages:   int32(ev.NumPages),
+				LastWriter: ev.LastWriter,
+				Reqs:       ev.Reqs,
+				PageMap:    ev.PageMap,
+			})
+		case gdo.EventDeadlockAbort:
+			_ = e.env.Send(ev.Site, &wire.Abort{
+				Obj:    ev.Obj,
+				Family: ev.Family,
+				Reqs:   ev.Reqs,
+			})
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package o2pl
+
+import (
+	"errors"
+	"testing"
+
+	"lotec/internal/txn"
+)
+
+// family builds a root with two children (a, b) and one grandchild under a.
+func family(t *testing.T) (m *txn.Manager, root, a, b, a1 *txn.Txn) {
+	t.Helper()
+	m = txn.NewManager()
+	root = m.Begin(1)
+	var err error
+	if a, err = m.BeginChild(root); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = m.BeginChild(root); err != nil {
+		t.Fatal(err)
+	}
+	if a1, err = m.BeginChild(a); err != nil {
+		t.Fatal(err)
+	}
+	return m, root, a, b, a1
+}
+
+func mustGrant(t *testing.T, e *Entry, tx *txn.Txn, mode Mode) {
+	t.Helper()
+	d, _, err := e.Acquire(tx, mode)
+	if err != nil {
+		t.Fatalf("Acquire(%v, %v): %v", tx.ID(), mode, err)
+	}
+	if d != Granted {
+		t.Fatalf("Acquire(%v, %v) = %v, want Granted", tx.ID(), mode, d)
+	}
+}
+
+func mustWait(t *testing.T, e *Entry, tx *txn.Txn, mode Mode) *Waiter {
+	t.Helper()
+	d, w, err := e.Acquire(tx, mode)
+	if err != nil {
+		t.Fatalf("Acquire(%v, %v): %v", tx.ID(), mode, err)
+	}
+	if d != Waiting || w == nil {
+		t.Fatalf("Acquire(%v, %v) = %v, want Waiting", tx.ID(), mode, d)
+	}
+	return w
+}
+
+func TestModeString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" || Mode(9).String() != "mode(9)" {
+		t.Error("Mode.String broken")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	if Conflicts(Read, Read) {
+		t.Error("R/R must not conflict")
+	}
+	if !Conflicts(Read, Write) || !Conflicts(Write, Read) || !Conflicts(Write, Write) {
+		t.Error("W must conflict with everything")
+	}
+}
+
+func TestAcquireFreeEntry(t *testing.T) {
+	_, root, a, _, _ := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a, Write)
+	if m, ok := e.Holds(a); !ok || m != Write {
+		t.Errorf("Holds = %v,%v", m, ok)
+	}
+	if e.HolderCount() != 1 {
+		t.Errorf("HolderCount = %d", e.HolderCount())
+	}
+}
+
+func TestAcquireWrongFamily(t *testing.T) {
+	m := txn.NewManager()
+	r1 := m.Begin(1)
+	r2 := m.Begin(1)
+	e := NewEntry(7, r1.Family(), Write)
+	if _, _, err := e.Acquire(r2, Read); !errors.Is(err, ErrWrongFamily) {
+		t.Errorf("got %v, want ErrWrongFamily", err)
+	}
+}
+
+func TestConcurrentIntraFamilyReaders(t *testing.T) {
+	_, _, a, b, _ := family(t)
+	e := NewEntry(7, a.Family(), Read)
+	mustGrant(t, e, a, Read)
+	mustGrant(t, e, b, Read) // "grant the Read lock to the requesting transaction"
+	if e.HolderCount() != 2 {
+		t.Errorf("HolderCount = %d, want 2", e.HolderCount())
+	}
+}
+
+func TestWriterWaitsForSiblingReader(t *testing.T) {
+	_, _, a, b, _ := family(t)
+	e := NewEntry(7, a.Family(), Write)
+	mustGrant(t, e, a, Read)
+	w := mustWait(t, e, b, Write)
+	// Reader a pre-commits: lock goes retained by root; b becomes grantable.
+	granted := e.PreCommit(a)
+	if len(granted) != 1 || granted[0] != w {
+		t.Fatalf("granted = %v, want [b's waiter]", granted)
+	}
+	if m, ok := e.Holds(b); !ok || m != Write {
+		t.Error("b should now hold W")
+	}
+	if !e.Retains(a.Parent()) {
+		t.Error("root should retain after a's pre-commit")
+	}
+}
+
+func TestReaderWaitsForSiblingWriter(t *testing.T) {
+	_, _, a, b, _ := family(t)
+	e := NewEntry(7, a.Family(), Write)
+	mustGrant(t, e, a, Write)
+	w := mustWait(t, e, b, Read)
+	granted := e.PreCommit(a)
+	if len(granted) != 1 || granted[0] != w {
+		t.Fatalf("granted = %v", granted)
+	}
+}
+
+func TestRecursiveInvocationPrecluded(t *testing.T) {
+	_, _, a, _, a1 := family(t)
+	e := NewEntry(7, a.Family(), Write)
+	mustGrant(t, e, a, Write)
+	// a's descendant a1 requests the same object: precluded (§3.4).
+	_, _, err := e.Acquire(a1, Read)
+	if !errors.Is(err, ErrRecursiveInvocation) {
+		t.Errorf("got %v, want ErrRecursiveInvocation", err)
+	}
+}
+
+func TestRetainedByAncestorGranted(t *testing.T) {
+	m, root, a, b, a1 := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a1, Write)
+	if granted := e.PreCommit(a1); len(granted) != 0 {
+		t.Fatalf("unexpected grants: %v", granted)
+	}
+	if err := m.PreCommit(a1); err != nil {
+		t.Fatal(err)
+	}
+	// Retainer is now a (a1's parent). b is NOT a descendant of a: must wait
+	// (rule 1: all retainers must be ancestors of the requester).
+	if !e.Retains(a) {
+		t.Fatal("a should retain")
+	}
+	w := mustWait(t, e, b, Write)
+
+	// a's own new child would be eligible though.
+	a2, err := m.BeginChild(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGrant(t, e, a2, Write)
+	granted := e.PreCommit(a2)
+	if len(granted) != 0 {
+		t.Fatalf("b granted too early: %v", granted)
+	}
+	// When a pre-commits, retention moves to root, and b becomes eligible.
+	granted = e.PreCommit(a)
+	if len(granted) != 1 || granted[0] != w {
+		t.Fatalf("granted = %v, want [b]", granted)
+	}
+	if !e.Retains(root) || e.Retains(a) {
+		t.Error("retention should have passed from a to root")
+	}
+}
+
+func TestAbortReleasesUnretainedLockGlobally(t *testing.T) {
+	_, root, a, _, _ := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a, Write)
+	out := e.Abort(a)
+	if !out.ReleaseGlobal {
+		t.Error("abort of sole unretained holder must release globally")
+	}
+	if len(out.Granted) != 0 {
+		t.Errorf("granted = %v", out.Granted)
+	}
+}
+
+func TestAbortKeepsAncestorRetention(t *testing.T) {
+	m, root, a, b, a1 := family(t)
+	_ = b
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a1, Write)
+	e.PreCommit(a1)
+	if err := m.PreCommit(a1); err != nil {
+		t.Fatal(err)
+	}
+	// a retains. New child a2 acquires, then aborts: a continues to retain.
+	a2, err := m.BeginChild(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGrant(t, e, a2, Write)
+	out := e.Abort(a2)
+	if out.ReleaseGlobal {
+		t.Error("lock retained by ancestor must not release globally")
+	}
+	if !e.Retains(a) {
+		t.Error("a must continue to retain")
+	}
+}
+
+func TestAbortOfRetainerDropsOwnRetentionOnly(t *testing.T) {
+	m, root, a, _, a1 := family(t)
+	e := NewEntry(7, root.Family(), Write)
+
+	// root's own earlier retention: simulate a sibling of a that acquired
+	// and pre-committed directly under root.
+	c, err := m.BeginChild(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGrant(t, e, c, Write)
+	e.PreCommit(c)
+	if err := m.PreCommit(c); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Retains(root) {
+		t.Fatal("root should retain")
+	}
+
+	// a1 acquires from root's retention and pre-commits → a also retains.
+	mustGrant(t, e, a1, Write)
+	e.PreCommit(a1)
+	if err := m.PreCommit(a1); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Retains(a) || !e.Retains(root) {
+		t.Fatal("both a and root should retain")
+	}
+
+	// a aborts: its retention is dropped but root's persists.
+	out := e.Abort(a)
+	if out.ReleaseGlobal {
+		t.Error("root still retains; must not release globally")
+	}
+	if e.Retains(a) {
+		t.Error("a's retention should be dropped")
+	}
+	if !e.Retains(root) {
+		t.Error("root's retention must persist")
+	}
+}
+
+func TestNeedGlobalOnUpgrade(t *testing.T) {
+	_, root, a, _, _ := family(t)
+	e := NewEntry(7, root.Family(), Read)
+	mustGrant(t, e, a, Read)
+	d, _, err := e.Acquire(a, Write)
+	if err != nil || d != NeedGlobal {
+		t.Fatalf("Acquire W under global R = %v, %v; want NeedGlobal", d, err)
+	}
+	e.SetGlobalMode(Write)
+	if e.GlobalMode() != Write {
+		t.Error("SetGlobalMode failed")
+	}
+	// Downgrade attempts are ignored.
+	e.SetGlobalMode(Read)
+	if e.GlobalMode() != Write {
+		t.Error("SetGlobalMode must not downgrade")
+	}
+}
+
+func TestGrantEligibleFIFOWriters(t *testing.T) {
+	m, root, a, b, _ := family(t)
+	c, err := m.BeginChild(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a, Write)
+	wb := mustWait(t, e, b, Write)
+	wc := mustWait(t, e, c, Write)
+	granted := e.PreCommit(a)
+	if len(granted) != 1 || granted[0] != wb {
+		t.Fatalf("granted = %v, want only first writer", granted)
+	}
+	granted = e.PreCommit(b)
+	if len(granted) != 1 || granted[0] != wc {
+		t.Fatalf("second grant = %v", granted)
+	}
+}
+
+func TestGrantEligibleBatchReaders(t *testing.T) {
+	m, root, a, b, _ := family(t)
+	c, err := m.BeginChild(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a, Write)
+	mustWait(t, e, b, Read)
+	mustWait(t, e, c, Read)
+	granted := e.PreCommit(a)
+	if len(granted) != 2 {
+		t.Fatalf("granted %d waiters, want both readers", len(granted))
+	}
+}
+
+func TestEnqueueAndGrantEligible(t *testing.T) {
+	_, root, a, _, _ := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	w := &Waiter{Tx: a, Mode: Write}
+	e.Enqueue(w)
+	if e.WaiterCount() != 1 {
+		t.Fatalf("WaiterCount = %d", e.WaiterCount())
+	}
+	granted := e.GrantEligible()
+	if len(granted) != 1 || granted[0] != w {
+		t.Fatalf("granted = %v", granted)
+	}
+}
+
+func TestDropWaiter(t *testing.T) {
+	_, root, a, b, _ := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a, Write)
+	w := mustWait(t, e, b, Write)
+	if !e.DropWaiter(w) {
+		t.Error("DropWaiter failed")
+	}
+	if e.DropWaiter(w) {
+		t.Error("double DropWaiter succeeded")
+	}
+	if e.WaiterCount() != 0 {
+		t.Errorf("WaiterCount = %d", e.WaiterCount())
+	}
+}
+
+func TestAbortDropsOwnWaiters(t *testing.T) {
+	_, root, a, b, _ := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a, Write)
+	mustWait(t, e, b, Write)
+	out := e.Abort(b)
+	if e.WaiterCount() != 0 {
+		t.Error("aborting a waiter must remove it from the queue")
+	}
+	if out.ReleaseGlobal {
+		t.Error("a still holds; no global release")
+	}
+}
+
+func TestIdleAndRefs(t *testing.T) {
+	_, root, a, _, _ := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	if !e.Idle() {
+		t.Error("fresh entry should be idle")
+	}
+	mustGrant(t, e, a, Write)
+	if e.Idle() {
+		t.Error("held entry is not idle")
+	}
+	refs := e.HolderRefs()
+	if len(refs) != 1 || refs[0].Tx != a.ID() {
+		t.Errorf("HolderRefs = %v", refs)
+	}
+	e.PreCommit(a)
+	if rr := e.RetainerRefs(); len(rr) != 1 || rr[0].Tx != root.ID() {
+		t.Errorf("RetainerRefs = %v", rr)
+	}
+	if e.Object() != 7 || e.Family() != root.Family() {
+		t.Error("identity accessors wrong")
+	}
+}
+
+func TestHoldsMiss(t *testing.T) {
+	_, root, a, _, _ := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	if _, ok := e.Holds(a); ok {
+		t.Error("Holds on empty entry")
+	}
+}
+
+func TestPreCommitWithoutInvolvementGrantsNothing(t *testing.T) {
+	_, root, a, b, _ := family(t)
+	e := NewEntry(7, root.Family(), Write)
+	mustGrant(t, e, a, Write)
+	if g := e.PreCommit(b); g != nil {
+		t.Errorf("uninvolved pre-commit granted %v", g)
+	}
+}

@@ -1,0 +1,173 @@
+package o2pl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lotec/internal/txn"
+)
+
+// entryState wraps an Entry plus the live transactions driving it, for
+// random-walk invariant testing.
+type entryState struct {
+	t       *testing.T
+	m       *txn.Manager
+	entry   *Entry
+	active  []*txn.Txn // transactions that may still act
+	waiting map[*txn.Txn]bool
+}
+
+// checkInvariants asserts the lock-safety conditions after every step:
+//  1. at most one writer, and never a writer concurrent with readers;
+//  2. retainers form a single ancestor chain;
+//  3. no waiter is currently eligible (the entry never forgets to grant).
+func (s *entryState) checkInvariants() bool {
+	writers, readers := 0, 0
+	var holders []*txn.Txn
+	for _, tx := range s.active {
+		if m, ok := s.entry.Holds(tx); ok {
+			holders = append(holders, tx)
+			if m == Write {
+				writers++
+			} else {
+				readers++
+			}
+		}
+	}
+	if writers > 1 || (writers == 1 && readers > 0) {
+		s.t.Logf("conflicting holders: %d writers, %d readers", writers, readers)
+		return false
+	}
+	// Retainers form a chain: every pair is ancestor-related.
+	var retainers []*txn.Txn
+	for _, tx := range s.allTxs() {
+		if s.entry.Retains(tx) {
+			retainers = append(retainers, tx)
+		}
+	}
+	for i := 0; i < len(retainers); i++ {
+		for j := i + 1; j < len(retainers); j++ {
+			a, b := retainers[i], retainers[j]
+			if !a.SelfOrAncestorOf(b) && !b.SelfOrAncestorOf(a) {
+				s.t.Logf("retainers %v and %v unrelated", a.ID(), b.ID())
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *entryState) allTxs() []*txn.Txn {
+	out := append([]*txn.Txn(nil), s.active...)
+	for tx := range s.waiting {
+		out = append(out, tx)
+	}
+	return out
+}
+
+// TestEntryRandomWalkInvariants drives a family-local entry with random
+// acquire / pre-commit / abort sequences and checks lock safety throughout.
+func TestEntryRandomWalkInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := txn.NewManager()
+		root := m.Begin(1)
+		s := &entryState{
+			t:       t,
+			m:       m,
+			entry:   NewEntry(1, root.Family(), Write),
+			active:  []*txn.Txn{root},
+			waiting: map[*txn.Txn]bool{},
+		}
+		for _, op := range opsRaw {
+			if len(s.active) == 0 {
+				break
+			}
+			tx := s.active[rng.Intn(len(s.active))]
+			switch op % 4 {
+			case 0: // spawn a child
+				if len(s.active)+len(s.waiting) < 12 {
+					child, err := m.BeginChild(tx)
+					if err == nil {
+						s.active = append(s.active, child)
+					}
+				}
+			case 1: // acquire (random mode) unless already a holder
+				if _, held := s.entry.Holds(tx); held || s.waiting[tx] {
+					continue
+				}
+				mode := Read
+				if op%8 >= 4 {
+					mode = Write
+				}
+				dec, w, err := s.entry.Acquire(tx, mode)
+				if err != nil {
+					continue // recursive-invocation rejections are fine
+				}
+				if dec == Waiting {
+					s.waiting[tx] = true
+					s.remove(tx)
+					_ = w
+				}
+			case 2: // pre-commit a leaf (children must be done first)
+				if tx == root || len(activeChildren(tx, s)) > 0 {
+					continue
+				}
+				granted := s.entry.PreCommit(tx)
+				if err := m.PreCommit(tx); err != nil {
+					// Tree state said no; revert is impossible, so treat as
+					// a test-harness bug.
+					return false
+				}
+				s.remove(tx)
+				s.wake(granted)
+			default: // abort a leaf
+				if tx == root || len(activeChildren(tx, s)) > 0 {
+					continue
+				}
+				out := s.entry.Abort(tx)
+				if err := m.Abort(tx); err != nil {
+					return false
+				}
+				s.remove(tx)
+				s.wake(out.Granted)
+			}
+			if !s.checkInvariants() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (s *entryState) remove(tx *txn.Txn) {
+	for i, a := range s.active {
+		if a == tx {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *entryState) wake(granted []*Waiter) {
+	for _, w := range granted {
+		delete(s.waiting, w.Tx)
+		s.active = append(s.active, w.Tx)
+	}
+}
+
+// activeChildren counts a transaction's children still in play (active or
+// waiting).
+func activeChildren(tx *txn.Txn, s *entryState) []*txn.Txn {
+	var out []*txn.Txn
+	for _, c := range tx.Children() {
+		if c.Status() == txn.Active {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package schema
+
+import (
+	"fmt"
+
+	"lotec/internal/ids"
+)
+
+// Layout is the compiler-chosen in-memory representation of a class:
+// a byte offset for each attribute, packed sequentially in declaration
+// order, plus the derived attribute→page and method→page maps that LOTEC's
+// prediction consumes (§4.1 of the paper).
+//
+// A Layout is immutable and safe for concurrent use.
+type Layout struct {
+	class    *Class
+	pageSize int
+	offsets  []int // byte offset per AttrID
+	size     int   // object extent in bytes (numPages * pageSize)
+	numPages int
+
+	attrPages  []PageSet // per AttrID: pages covering the attribute
+	readPages  []PageSet // per MethodID: predicted accessed pages (reads ∪ writes)
+	writePages []PageSet // per MethodID: predicted updated pages (writes only)
+}
+
+// NewLayout packs the class's attributes sequentially on pages of pageSize
+// bytes and precomputes all prediction sets.
+func NewLayout(c *Class, pageSize int) (*Layout, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("schema: page size %d must be positive", pageSize)
+	}
+	l := &Layout{class: c, pageSize: pageSize}
+	l.offsets = make([]int, len(c.attrs))
+	off := 0
+	for i, a := range c.attrs {
+		l.offsets[i] = off
+		off += a.Size
+	}
+	l.numPages = (off + pageSize - 1) / pageSize
+	if l.numPages == 0 {
+		l.numPages = 1
+	}
+	l.size = l.numPages * pageSize
+
+	l.attrPages = make([]PageSet, len(c.attrs))
+	for i, a := range c.attrs {
+		l.attrPages[i] = pagesCovering(l.offsets[i], a.Size, pageSize)
+	}
+	l.readPages = make([]PageSet, len(c.methods))
+	l.writePages = make([]PageSet, len(c.methods))
+	for i, m := range c.methods {
+		var rd, wr PageSet
+		for _, a := range m.Writes {
+			wr = wr.Union(l.attrPages[a])
+		}
+		rd = wr // written attributes are implicitly readable
+		for _, a := range m.Reads {
+			rd = rd.Union(l.attrPages[a])
+		}
+		l.readPages[i] = rd
+		l.writePages[i] = wr
+	}
+	return l, nil
+}
+
+// pagesCovering returns the pages overlapped by [off, off+size).
+func pagesCovering(off, size, pageSize int) PageSet {
+	if size <= 0 {
+		return nil
+	}
+	first := off / pageSize
+	last := (off + size - 1) / pageSize
+	ps := make(PageSet, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		ps = append(ps, ids.PageNum(p))
+	}
+	return ps
+}
+
+// Class returns the class this layout describes.
+func (l *Layout) Class() *Class { return l.class }
+
+// PageSize returns the layout's page size in bytes.
+func (l *Layout) PageSize() int { return l.pageSize }
+
+// NumPages returns the object extent in pages.
+func (l *Layout) NumPages() int { return l.numPages }
+
+// Size returns the object extent in bytes.
+func (l *Layout) Size() int { return l.size }
+
+// AttrOffset returns the byte offset of an attribute within the object.
+func (l *Layout) AttrOffset(a AttrID) (int, error) {
+	if int(a) < 0 || int(a) >= len(l.offsets) {
+		return 0, fmt.Errorf("%w: %s attr #%d", ErrUnknownAttr, l.class.Name, a)
+	}
+	return l.offsets[a], nil
+}
+
+// AttrPages returns the pages an attribute occupies.
+func (l *Layout) AttrPages(a AttrID) (PageSet, error) {
+	if int(a) < 0 || int(a) >= len(l.attrPages) {
+		return nil, fmt.Errorf("%w: %s attr #%d", ErrUnknownAttr, l.class.Name, a)
+	}
+	return l.attrPages[a], nil
+}
+
+// MethodReadPages returns the conservative set of pages the method may
+// access (reads ∪ writes). This is the "predicted to be needed" set LOTEC
+// transfers at lock acquisition.
+func (l *Layout) MethodReadPages(m ids.MethodID) (PageSet, error) {
+	if int(m) < 0 || int(m) >= len(l.readPages) {
+		return nil, fmt.Errorf("%w: %s method #%d", ErrUnknownMethod, l.class.Name, m)
+	}
+	return l.readPages[m], nil
+}
+
+// MethodWritePages returns the conservative set of pages the method may
+// update ("the set of potentially updated pages" of §4.1).
+func (l *Layout) MethodWritePages(m ids.MethodID) (PageSet, error) {
+	if int(m) < 0 || int(m) >= len(l.writePages) {
+		return nil, fmt.Errorf("%w: %s method #%d", ErrUnknownMethod, l.class.Name, m)
+	}
+	return l.writePages[m], nil
+}
+
+// AllPages returns the full page set of the object (what COTEC transfers).
+func (l *Layout) AllPages() PageSet {
+	ps := make(PageSet, l.numPages)
+	for i := range ps {
+		ps[i] = ids.PageNum(i)
+	}
+	return ps
+}

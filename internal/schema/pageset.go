@@ -1,0 +1,127 @@
+package schema
+
+import (
+	"sort"
+
+	"lotec/internal/ids"
+)
+
+// PageSet is a sorted, duplicate-free set of page numbers within one object.
+// The zero value (nil) is the empty set. PageSets are treated as immutable:
+// every operation returns a fresh set.
+type PageSet []ids.PageNum
+
+// NewPageSet builds a PageSet from arbitrary page numbers, sorting and
+// deduplicating them.
+func NewPageSet(pages ...ids.PageNum) PageSet {
+	if len(pages) == 0 {
+		return nil
+	}
+	out := append(PageSet(nil), pages...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Contains reports whether p is in the set.
+func (s PageSet) Contains(p ids.PageNum) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	return i < len(s) && s[i] == p
+}
+
+// Union returns s ∪ t.
+func (s PageSet) Union(t PageSet) PageSet {
+	if len(s) == 0 {
+		return append(PageSet(nil), t...)
+	}
+	if len(t) == 0 {
+		return append(PageSet(nil), s...)
+	}
+	out := make(PageSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s PageSet) Intersect(t PageSet) PageSet {
+	var out PageSet
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns s \ t.
+func (s PageSet) Minus(t PageSet) PageSet {
+	var out PageSet
+	j := 0
+	for _, p := range s {
+		for j < len(t) && t[j] < p {
+			j++
+		}
+		if j < len(t) && t[j] == p {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// SubsetOf reports whether every page of s is in t.
+func (s PageSet) SubsetOf(t PageSet) bool {
+	j := 0
+	for _, p := range s {
+		for j < len(t) && t[j] < p {
+			j++
+		}
+		if j >= len(t) || t[j] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same pages.
+func (s PageSet) Equal(t PageSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}

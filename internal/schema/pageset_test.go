@@ -1,0 +1,150 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lotec/internal/ids"
+)
+
+func toSet(raw []uint8) PageSet {
+	ps := make([]ids.PageNum, 0, len(raw))
+	for _, r := range raw {
+		ps = append(ps, ids.PageNum(r%32))
+	}
+	return NewPageSet(ps...)
+}
+
+func TestNewPageSetSortsAndDedupes(t *testing.T) {
+	ps := NewPageSet(3, 1, 3, 2, 1)
+	if !ps.Equal(PageSet{1, 2, 3}) {
+		t.Errorf("NewPageSet = %v, want [1 2 3]", ps)
+	}
+	if NewPageSet() != nil {
+		t.Error("empty NewPageSet should be nil")
+	}
+}
+
+func TestPageSetContains(t *testing.T) {
+	ps := NewPageSet(1, 4, 9)
+	for _, p := range []ids.PageNum{1, 4, 9} {
+		if !ps.Contains(p) {
+			t.Errorf("Contains(%d) = false", p)
+		}
+	}
+	for _, p := range []ids.PageNum{0, 2, 10} {
+		if ps.Contains(p) {
+			t.Errorf("Contains(%d) = true", p)
+		}
+	}
+	if PageSet(nil).Contains(0) {
+		t.Error("nil set Contains(0) = true")
+	}
+}
+
+func TestPageSetOps(t *testing.T) {
+	a := NewPageSet(1, 2, 3)
+	b := NewPageSet(3, 4)
+	if got := a.Union(b); !got.Equal(NewPageSet(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewPageSet(3)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewPageSet(1, 2)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !NewPageSet(1, 3).SubsetOf(a) {
+		t.Error("SubsetOf = false, want true")
+	}
+	if NewPageSet(1, 5).SubsetOf(a) {
+		t.Error("SubsetOf = true, want false")
+	}
+}
+
+func TestPageSetOpsWithEmpty(t *testing.T) {
+	a := NewPageSet(1, 2)
+	var empty PageSet
+	if got := a.Union(empty); !got.Equal(a) {
+		t.Errorf("a ∪ ∅ = %v", got)
+	}
+	if got := empty.Union(a); !got.Equal(a) {
+		t.Errorf("∅ ∪ a = %v", got)
+	}
+	if got := a.Intersect(empty); len(got) != 0 {
+		t.Errorf("a ∩ ∅ = %v", got)
+	}
+	if got := empty.Minus(a); len(got) != 0 {
+		t.Errorf("∅ \\ a = %v", got)
+	}
+	if got := a.Minus(empty); !got.Equal(a) {
+		t.Errorf("a \\ ∅ = %v", got)
+	}
+	if !empty.SubsetOf(a) || !empty.SubsetOf(empty) {
+		t.Error("∅ must be subset of everything")
+	}
+	if !empty.Equal(nil) {
+		t.Error("empty sets must be Equal")
+	}
+}
+
+func TestPageSetUnionDoesNotAliasInputs(t *testing.T) {
+	a := NewPageSet(1, 2)
+	b := PageSet(nil)
+	u := a.Union(b)
+	u[0] = 99
+	if a[0] != 1 {
+		t.Error("Union aliased its input")
+	}
+}
+
+func TestPageSetPropertyUnionCommutes(t *testing.T) {
+	f := func(x, y []uint8) bool {
+		a, b := toSet(x), toSet(y)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageSetPropertyIntersectSubset(t *testing.T) {
+	f := func(x, y []uint8) bool {
+		a, b := toSet(x), toSet(y)
+		i := a.Intersect(b)
+		return i.SubsetOf(a) && i.SubsetOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageSetPropertyMinusDisjoint(t *testing.T) {
+	f := func(x, y []uint8) bool {
+		a, b := toSet(x), toSet(y)
+		m := a.Minus(b)
+		if len(m.Intersect(b)) != 0 {
+			return false
+		}
+		// m ∪ (a ∩ b) == a
+		return m.Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageSetPropertySortedDeduped(t *testing.T) {
+	f := func(x []uint8) bool {
+		s := toSet(x)
+		for i := 1; i < len(s); i++ {
+			if s[i-1] >= s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package schema models the object classes of a LOTEC system and the
+// compile-time artifacts the paper's compiler produces (§3.5, §4.1):
+//
+//   - attribute declarations and the compiler-chosen in-memory layout
+//     ("the compiler must … know where, in an object's representation in
+//     memory, each attribute is stored"),
+//   - per-method conservative read/write attribute sets ("attribute access
+//     analysis … performed in a conservative fashion"), and
+//   - the mapping from attribute sets to page sets that gives LOTEC its
+//     per-method predicted page sets ("Determining which pages will be
+//     updated is then simply a matter of mapping attributes to memory
+//     pages").
+//
+// Go has no compiler hook for intercepting field accesses, so classes are
+// declared through this package's builder and the runtime enforces that a
+// method's actual accesses stay inside its declared sets — the same
+// conservative guarantee the paper's compiler provides (see DESIGN.md §3).
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lotec/internal/ids"
+)
+
+// AttrID identifies an attribute within a class.
+type AttrID int32
+
+// Common schema errors.
+var (
+	ErrUnknownAttr   = errors.New("schema: unknown attribute")
+	ErrUnknownMethod = errors.New("schema: unknown method")
+	ErrUnknownClass  = errors.New("schema: unknown class")
+	ErrDuplicateName = errors.New("schema: duplicate name")
+)
+
+// Attribute is one declared data member of a class.
+type Attribute struct {
+	ID   AttrID
+	Name string
+	Size int // bytes
+}
+
+// Method is one declared operation of a class, with the conservative access
+// sets the paper's compiler would derive by attribute access analysis.
+type Method struct {
+	ID    ids.MethodID
+	Name  string
+	Reads []AttrID // attributes the method may read (excluding Writes)
+	// Writes holds attributes the method may update. Written attributes are
+	// implicitly also readable (read-modify-write is the common case).
+	Writes []AttrID
+	// Invokes lists the classes of objects this method may invoke methods
+	// on, if declared; used by workload generation and by the optimistic
+	// pre-acquisition extension discussed in §6 of the paper. May be empty.
+	Invokes []ids.ClassID
+}
+
+// Class is a fully built object class: attributes, methods and name indexes.
+// Build one with NewClassBuilder; a built Class is immutable and safe for
+// concurrent use.
+type Class struct {
+	ID   ids.ClassID
+	Name string
+
+	attrs        []Attribute
+	attrByName   map[string]AttrID
+	methods      []Method
+	methodByName map[string]ids.MethodID
+}
+
+// Attrs returns the class's attributes in declaration order. The returned
+// slice is shared; callers must not modify it.
+func (c *Class) Attrs() []Attribute { return c.attrs }
+
+// Methods returns the class's methods in declaration order. The returned
+// slice is shared; callers must not modify it.
+func (c *Class) Methods() []Method { return c.methods }
+
+// AttrByName looks up an attribute by name.
+func (c *Class) AttrByName(name string) (Attribute, error) {
+	id, ok := c.attrByName[name]
+	if !ok {
+		return Attribute{}, fmt.Errorf("%w: %s.%s", ErrUnknownAttr, c.Name, name)
+	}
+	return c.attrs[id], nil
+}
+
+// Attr returns the attribute with the given ID.
+func (c *Class) Attr(id AttrID) (Attribute, error) {
+	if int(id) < 0 || int(id) >= len(c.attrs) {
+		return Attribute{}, fmt.Errorf("%w: %s attr #%d", ErrUnknownAttr, c.Name, id)
+	}
+	return c.attrs[id], nil
+}
+
+// MethodByName looks up a method by name.
+func (c *Class) MethodByName(name string) (Method, error) {
+	id, ok := c.methodByName[name]
+	if !ok {
+		return Method{}, fmt.Errorf("%w: %s.%s", ErrUnknownMethod, c.Name, name)
+	}
+	return c.methods[id], nil
+}
+
+// Method returns the method with the given ID.
+func (c *Class) Method(id ids.MethodID) (Method, error) {
+	if int(id) < 0 || int(id) >= len(c.methods) {
+		return Method{}, fmt.Errorf("%w: %s method #%d", ErrUnknownMethod, c.Name, id)
+	}
+	return c.methods[id], nil
+}
+
+// ClassBuilder assembles a Class incrementally. Builders are not safe for
+// concurrent use.
+type ClassBuilder struct {
+	class *Class
+	err   error
+}
+
+// NewClassBuilder starts building a class with the given ID and name.
+func NewClassBuilder(id ids.ClassID, name string) *ClassBuilder {
+	return &ClassBuilder{class: &Class{
+		ID:           id,
+		Name:         name,
+		attrByName:   make(map[string]AttrID),
+		methodByName: make(map[string]ids.MethodID),
+	}}
+}
+
+// Attr declares an attribute of size bytes and returns the builder.
+func (b *ClassBuilder) Attr(name string, size int) *ClassBuilder {
+	if b.err != nil {
+		return b
+	}
+	if size <= 0 {
+		b.err = fmt.Errorf("schema: attribute %s.%s: size %d must be positive", b.class.Name, name, size)
+		return b
+	}
+	if _, dup := b.class.attrByName[name]; dup {
+		b.err = fmt.Errorf("%w: attribute %s.%s", ErrDuplicateName, b.class.Name, name)
+		return b
+	}
+	id := AttrID(len(b.class.attrs))
+	b.class.attrs = append(b.class.attrs, Attribute{ID: id, Name: name, Size: size})
+	b.class.attrByName[name] = id
+	return b
+}
+
+// MethodSpec describes a method being declared on a builder.
+type MethodSpec struct {
+	Name    string
+	Reads   []string // attribute names the method may read
+	Writes  []string // attribute names the method may update
+	Invokes []ids.ClassID
+}
+
+// Method declares a method from a spec and returns the builder.
+func (b *ClassBuilder) Method(spec MethodSpec) *ClassBuilder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.class.methodByName[spec.Name]; dup {
+		b.err = fmt.Errorf("%w: method %s.%s", ErrDuplicateName, b.class.Name, spec.Name)
+		return b
+	}
+	resolve := func(names []string) ([]AttrID, error) {
+		out := make([]AttrID, 0, len(names))
+		seen := make(map[AttrID]bool, len(names))
+		for _, n := range names {
+			id, ok := b.class.attrByName[n]
+			if !ok {
+				return nil, fmt.Errorf("%w: %s.%s in method %s", ErrUnknownAttr, b.class.Name, n, spec.Name)
+			}
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+	reads, err := resolve(spec.Reads)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	writes, err := resolve(spec.Writes)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	id := ids.MethodID(len(b.class.methods))
+	b.class.methods = append(b.class.methods, Method{
+		ID:      id,
+		Name:    spec.Name,
+		Reads:   reads,
+		Writes:  writes,
+		Invokes: append([]ids.ClassID(nil), spec.Invokes...),
+	})
+	b.class.methodByName[spec.Name] = id
+	return b
+}
+
+// Build finalizes the class. It fails if any prior builder call failed or if
+// the class has no attributes.
+func (b *ClassBuilder) Build() (*Class, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.class.attrs) == 0 {
+		return nil, fmt.Errorf("schema: class %s has no attributes", b.class.Name)
+	}
+	return b.class, nil
+}
+
+// Registry holds all built classes and their layouts for one system.
+// A filled Registry is immutable and safe for concurrent use.
+type Registry struct {
+	pageSize int
+	classes  map[ids.ClassID]*Class
+	layouts  map[ids.ClassID]*Layout
+	byName   map[string]ids.ClassID
+}
+
+// NewRegistry returns an empty registry that lays classes out on pages of
+// pageSize bytes (0 selects pstore's default page size of 4096).
+func NewRegistry(pageSize int) *Registry {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	return &Registry{
+		pageSize: pageSize,
+		classes:  make(map[ids.ClassID]*Class),
+		layouts:  make(map[ids.ClassID]*Layout),
+		byName:   make(map[string]ids.ClassID),
+	}
+}
+
+// PageSize returns the layout page size.
+func (r *Registry) PageSize() int { return r.pageSize }
+
+// Add builds the class's layout and registers it.
+func (r *Registry) Add(c *Class) error {
+	if _, dup := r.classes[c.ID]; dup {
+		return fmt.Errorf("%w: class id %d", ErrDuplicateName, c.ID)
+	}
+	if _, dup := r.byName[c.Name]; dup {
+		return fmt.Errorf("%w: class %s", ErrDuplicateName, c.Name)
+	}
+	l, err := NewLayout(c, r.pageSize)
+	if err != nil {
+		return fmt.Errorf("layout %s: %w", c.Name, err)
+	}
+	r.classes[c.ID] = c
+	r.layouts[c.ID] = l
+	r.byName[c.Name] = c.ID
+	return nil
+}
+
+// Class returns a registered class.
+func (r *Registry) Class(id ids.ClassID) (*Class, error) {
+	c, ok := r.classes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownClass, id)
+	}
+	return c, nil
+}
+
+// ClassByName returns a registered class by name.
+func (r *Registry) ClassByName(name string) (*Class, error) {
+	id, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownClass, name)
+	}
+	return r.classes[id], nil
+}
+
+// Layout returns the layout of a registered class.
+func (r *Registry) Layout(id ids.ClassID) (*Layout, error) {
+	l, ok := r.layouts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownClass, id)
+	}
+	return l, nil
+}
+
+// Classes returns all registered class IDs in ascending order.
+func (r *Registry) Classes() []ids.ClassID {
+	out := make([]ids.ClassID, 0, len(r.classes))
+	for id := range r.classes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

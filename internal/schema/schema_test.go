@@ -1,0 +1,289 @@
+package schema
+
+import (
+	"errors"
+	"testing"
+
+	"lotec/internal/ids"
+)
+
+func buildAccountClass(t *testing.T) *Class {
+	t.Helper()
+	c, err := NewClassBuilder(1, "Account").
+		Attr("balance", 8).
+		Attr("owner", 24).
+		Attr("history", 100).
+		Method(MethodSpec{Name: "deposit", Reads: []string{"owner"}, Writes: []string{"balance", "history"}}).
+		Method(MethodSpec{Name: "peek", Reads: []string{"balance"}}).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestClassBuilderHappyPath(t *testing.T) {
+	c := buildAccountClass(t)
+	if c.Name != "Account" || c.ID != 1 {
+		t.Errorf("class identity wrong: %+v", c)
+	}
+	if len(c.Attrs()) != 3 || len(c.Methods()) != 2 {
+		t.Fatalf("got %d attrs, %d methods", len(c.Attrs()), len(c.Methods()))
+	}
+	a, err := c.AttrByName("owner")
+	if err != nil || a.Size != 24 || a.ID != 1 {
+		t.Errorf("AttrByName(owner) = %+v, %v", a, err)
+	}
+	m, err := c.MethodByName("deposit")
+	if err != nil {
+		t.Fatalf("MethodByName: %v", err)
+	}
+	if len(m.Reads) != 1 || len(m.Writes) != 2 {
+		t.Errorf("deposit access sets = R%v W%v", m.Reads, m.Writes)
+	}
+}
+
+func TestClassBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*Class, error)
+	}{
+		{"zero-size attr", func() (*Class, error) {
+			return NewClassBuilder(1, "C").Attr("a", 0).Build()
+		}},
+		{"duplicate attr", func() (*Class, error) {
+			return NewClassBuilder(1, "C").Attr("a", 1).Attr("a", 1).Build()
+		}},
+		{"duplicate method", func() (*Class, error) {
+			return NewClassBuilder(1, "C").Attr("a", 1).
+				Method(MethodSpec{Name: "m"}).Method(MethodSpec{Name: "m"}).Build()
+		}},
+		{"unknown read attr", func() (*Class, error) {
+			return NewClassBuilder(1, "C").Attr("a", 1).
+				Method(MethodSpec{Name: "m", Reads: []string{"nope"}}).Build()
+		}},
+		{"unknown write attr", func() (*Class, error) {
+			return NewClassBuilder(1, "C").Attr("a", 1).
+				Method(MethodSpec{Name: "m", Writes: []string{"nope"}}).Build()
+		}},
+		{"no attributes", func() (*Class, error) {
+			return NewClassBuilder(1, "C").Build()
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.build(); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestClassLookupErrors(t *testing.T) {
+	c := buildAccountClass(t)
+	if _, err := c.AttrByName("zzz"); !errors.Is(err, ErrUnknownAttr) {
+		t.Errorf("AttrByName: %v", err)
+	}
+	if _, err := c.Attr(99); !errors.Is(err, ErrUnknownAttr) {
+		t.Errorf("Attr(99): %v", err)
+	}
+	if _, err := c.MethodByName("zzz"); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("MethodByName: %v", err)
+	}
+	if _, err := c.Method(99); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("Method(99): %v", err)
+	}
+}
+
+func TestMethodAccessSetDeduplication(t *testing.T) {
+	c, err := NewClassBuilder(1, "C").Attr("a", 4).
+		Method(MethodSpec{Name: "m", Reads: []string{"a", "a"}, Writes: []string{"a", "a"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Methods()[0]
+	if len(m.Reads) != 1 || len(m.Writes) != 1 {
+		t.Errorf("duplicate names not deduped: R%v W%v", m.Reads, m.Writes)
+	}
+}
+
+func TestLayoutSequentialPacking(t *testing.T) {
+	c := buildAccountClass(t)
+	l, err := NewLayout(c, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// balance@0(8), owner@8(24), history@32(100) → 132 bytes → 3 pages of 64.
+	wantOffsets := []int{0, 8, 32}
+	for i, want := range wantOffsets {
+		got, err := l.AttrOffset(AttrID(i))
+		if err != nil || got != want {
+			t.Errorf("AttrOffset(%d) = %d,%v, want %d", i, got, err, want)
+		}
+	}
+	if l.NumPages() != 3 {
+		t.Errorf("NumPages = %d, want 3", l.NumPages())
+	}
+	if l.Size() != 192 {
+		t.Errorf("Size = %d, want 192", l.Size())
+	}
+}
+
+func TestLayoutAttrPages(t *testing.T) {
+	c := buildAccountClass(t)
+	l, err := NewLayout(c, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// history spans [32,132) → pages 0,1,2.
+	hist, _ := c.AttrByName("history")
+	ps, err := l.AttrPages(hist.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps.Equal(NewPageSet(0, 1, 2)) {
+		t.Errorf("history pages = %v, want [0 1 2]", ps)
+	}
+	bal, _ := c.AttrByName("balance")
+	ps, _ = l.AttrPages(bal.ID)
+	if !ps.Equal(NewPageSet(0)) {
+		t.Errorf("balance pages = %v, want [0]", ps)
+	}
+}
+
+func TestLayoutMethodPrediction(t *testing.T) {
+	c := buildAccountClass(t)
+	l, err := NewLayout(c, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, _ := c.MethodByName("deposit")
+	wr, err := l.MethodWritePages(dep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// deposit writes balance (p0) + history (p0,1,2) → all three pages.
+	if !wr.Equal(NewPageSet(0, 1, 2)) {
+		t.Errorf("deposit write pages = %v", wr)
+	}
+	rd, _ := l.MethodReadPages(dep.ID)
+	if !wr.SubsetOf(rd) {
+		t.Error("write pages must be subset of read (accessed) pages")
+	}
+	peek, _ := c.MethodByName("peek")
+	pw, _ := l.MethodWritePages(peek.ID)
+	if len(pw) != 0 {
+		t.Errorf("peek write pages = %v, want empty", pw)
+	}
+	pr, _ := l.MethodReadPages(peek.ID)
+	if !pr.Equal(NewPageSet(0)) {
+		t.Errorf("peek read pages = %v, want [0]", pr)
+	}
+}
+
+func TestLayoutMinimumOnePage(t *testing.T) {
+	c, err := NewClassBuilder(2, "Tiny").Attr("x", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLayout(c, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumPages() != 1 {
+		t.Errorf("NumPages = %d, want 1", l.NumPages())
+	}
+	if !l.AllPages().Equal(NewPageSet(0)) {
+		t.Errorf("AllPages = %v", l.AllPages())
+	}
+}
+
+func TestLayoutBadInputs(t *testing.T) {
+	c := buildAccountClass(t)
+	if _, err := NewLayout(c, 0); err == nil {
+		t.Error("zero page size should fail")
+	}
+	l, _ := NewLayout(c, 64)
+	if _, err := l.AttrOffset(99); !errors.Is(err, ErrUnknownAttr) {
+		t.Errorf("AttrOffset(99): %v", err)
+	}
+	if _, err := l.AttrPages(99); !errors.Is(err, ErrUnknownAttr) {
+		t.Errorf("AttrPages(99): %v", err)
+	}
+	if _, err := l.MethodReadPages(99); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("MethodReadPages(99): %v", err)
+	}
+	if _, err := l.MethodWritePages(99); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("MethodWritePages(99): %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(64)
+	if r.PageSize() != 64 {
+		t.Errorf("PageSize = %d", r.PageSize())
+	}
+	c := buildAccountClass(t)
+	if err := r.Add(c); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := r.Add(c); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate Add: %v", err)
+	}
+	got, err := r.Class(1)
+	if err != nil || got != c {
+		t.Errorf("Class(1) = %v, %v", got, err)
+	}
+	if _, err := r.Class(9); !errors.Is(err, ErrUnknownClass) {
+		t.Errorf("Class(9): %v", err)
+	}
+	byName, err := r.ClassByName("Account")
+	if err != nil || byName != c {
+		t.Errorf("ClassByName = %v, %v", byName, err)
+	}
+	if _, err := r.ClassByName("Nope"); !errors.Is(err, ErrUnknownClass) {
+		t.Errorf("ClassByName(Nope): %v", err)
+	}
+	l, err := r.Layout(1)
+	if err != nil || l.NumPages() != 3 {
+		t.Errorf("Layout(1) = %v, %v", l, err)
+	}
+	if _, err := r.Layout(9); !errors.Is(err, ErrUnknownClass) {
+		t.Errorf("Layout(9): %v", err)
+	}
+	if cs := r.Classes(); len(cs) != 1 || cs[0] != 1 {
+		t.Errorf("Classes = %v", cs)
+	}
+}
+
+func TestRegistryDefaultPageSize(t *testing.T) {
+	if got := NewRegistry(0).PageSize(); got != 4096 {
+		t.Errorf("default page size = %d, want 4096", got)
+	}
+}
+
+func TestRegistryRejectsDuplicateClassName(t *testing.T) {
+	r := NewRegistry(64)
+	c1, _ := NewClassBuilder(1, "Same").Attr("a", 1).Build()
+	c2, _ := NewClassBuilder(2, "Same").Attr("a", 1).Build()
+	if err := r.Add(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(c2); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate name Add: %v", err)
+	}
+}
+
+func TestMethodInvokesCopied(t *testing.T) {
+	invokes := []ids.ClassID{7, 8}
+	c, err := NewClassBuilder(1, "C").Attr("a", 1).
+		Method(MethodSpec{Name: "m", Invokes: invokes}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invokes[0] = 99
+	if c.Methods()[0].Invokes[0] != 7 {
+		t.Error("Invokes slice aliased caller's memory")
+	}
+}

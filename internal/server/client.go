@@ -1,0 +1,145 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"lotec/internal/ids"
+	"lotec/internal/wire"
+)
+
+// Client submits root transactions to a LOTEC node over TCP. It is safe
+// for concurrent use; concurrent Run calls are multiplexed on one
+// connection.
+type Client struct {
+	node ids.NodeID
+
+	mu      sync.Mutex
+	conn    net.Conn
+	pending map[uint64]chan *wire.RunResp
+	closed  bool
+	readErr error
+
+	reqID atomic.Uint64
+}
+
+// ClientNodeBase offsets client identities above any real node ID (must
+// match the transport's clientIDBase).
+const ClientNodeBase = 1 << 20
+
+// Dial connects to the node serving at addr.
+func Dial(addr string, node ids.NodeID) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, callTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		node:    node,
+		conn:    conn,
+		pending: make(map[uint64]chan *wire.RunResp),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close shuts the client down; outstanding Runs fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	for _, ch := range c.pending {
+		close(ch)
+	}
+	c.pending = map[uint64]chan *wire.RunResp{}
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
+}
+
+func (c *Client) readLoop() {
+	for {
+		buf, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			c.pending = map[uint64]chan *wire.RunResp{}
+			c.mu.Unlock()
+			return
+		}
+		env, m, err := wire.Decode(buf)
+		if err != nil || env.ReqID&replyBit == 0 {
+			continue
+		}
+		resp, ok := m.(*wire.RunResp)
+		if !ok {
+			er, isErr := m.(*wire.ErrResp)
+			if !isErr {
+				continue
+			}
+			resp = &wire.RunResp{ErrMsg: er.Msg}
+		}
+		id := env.ReqID &^ replyBit
+		c.mu.Lock()
+		ch, found := c.pending[id]
+		if found {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if found {
+			ch <- resp
+		}
+	}
+}
+
+// Run executes method on obj as a root transaction at the connected node
+// and returns the body's result.
+func (c *Client) Run(obj ids.ObjectID, method string, arg []byte) ([]byte, error) {
+	id := c.reqID.Add(1)
+	ch := make(chan *wire.RunResp, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("client: closed")
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame := wire.Encode(wire.Envelope{
+		ReqID: id,
+		From:  ids.NodeID(ClientNodeBase),
+		To:    c.node,
+	}, &wire.RunReq{Obj: obj, Method: method, Arg: arg})
+	c.mu.Lock()
+	_, err := c.conn.Write(frameWithLen(frame))
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, ErrNoReply
+	}
+	if resp.ErrMsg != "" {
+		return nil, fmt.Errorf("client: transaction failed: %s", resp.ErrMsg)
+	}
+	return resp.Result, nil
+}
+
+// frameWithLen prepends the 4-byte length header.
+func frameWithLen(buf []byte) []byte {
+	out := make([]byte, 4+len(buf))
+	out[0] = byte(len(buf))
+	out[1] = byte(len(buf) >> 8)
+	out[2] = byte(len(buf) >> 16)
+	out[3] = byte(len(buf) >> 24)
+	copy(out[4:], buf)
+	return out
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"lotec/internal/ids"
+	"lotec/internal/transport"
+	"lotec/internal/wire"
+)
+
+func TestTCPNetCloseFailsPendingCalls(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	m := map[ids.NodeID]string{1: addrs[0], 2: addrs[1]}
+	a := NewTCPNet(1, m)
+	b := NewTCPNet(2, m)
+	// b never replies: its handler blackholes requests.
+	blackhole := make(chan struct{})
+	b.SetHandler(func(ids.NodeID, wire.Msg) wire.Msg {
+		<-blackhole
+		return nil
+	})
+	if err := a.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Call(2, &wire.CopySetReq{Obj: 1})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	_ = a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("pending call should fail on close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call hung after close")
+	}
+	close(blackhole)
+	_ = b.Close()
+
+	// Operations after close fail fast.
+	if _, err := a.Call(2, &wire.CopySetReq{}); err == nil {
+		t.Error("call after close should fail")
+	}
+}
+
+func TestTCPNetListenRequiresAddress(t *testing.T) {
+	n := NewTCPNet(9, map[ids.NodeID]string{1: "127.0.0.1:1"})
+	if err := n.Listen(); err == nil {
+		t.Error("listen without configured address should fail")
+	}
+	if _, err := n.Call(3, &wire.CopySetReq{}); err == nil {
+		t.Error("call to unconfigured peer should fail")
+	}
+	if n.Self() != 9 {
+		t.Error("Self mismatch")
+	}
+	if n.Now() < 0 {
+		t.Error("Now went backwards")
+	}
+}
+
+func TestChanFutureCompleteOnce(t *testing.T) {
+	n := NewTCPNet(1, nil)
+	f := n.NewFuture()
+	f.Complete(1, nil)
+	f.Complete(2, nil) // ignored
+	v, err := f.Wait()
+	if err != nil || v != 1 {
+		t.Errorf("Wait = %v, %v", v, err)
+	}
+	var _ transport.Future = f
+}
+
+func TestClientCloseFailsOutstandingRun(t *testing.T) {
+	topo, _, nodes := startDeployment(t, 1, nil)
+	createObject(t, nodes, 1, 1)
+	// Register a slow method on a second object class? Reuse: deposit is
+	// fast; instead dial, close immediately, then Run must fail.
+	c, err := Dial(topo.NodeAddrs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if _, err := c.Run(1, "peek", nil); err == nil {
+		t.Error("run on closed client should fail")
+	}
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"fmt"
+
+	"lotec/internal/core"
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
+	"lotec/internal/node"
+	"lotec/internal/pstore"
+	"lotec/internal/schema"
+	"lotec/internal/stats"
+	"lotec/internal/txn"
+	"lotec/internal/wire"
+)
+
+// Topology describes a TCP deployment: the data nodes (IDs 1..len(Nodes))
+// and the GDO service, which gets the node ID after the last data node.
+type Topology struct {
+	// NodeAddrs[i] is the host:port of node i+1.
+	NodeAddrs []string
+	// GDOAddr is the directory service's host:port.
+	GDOAddr string
+}
+
+// GDONode returns the directory's node ID.
+func (t Topology) GDONode() ids.NodeID { return ids.NodeID(len(t.NodeAddrs) + 1) }
+
+// addrMap builds the ID→address table shared by every process.
+func (t Topology) addrMap() map[ids.NodeID]string {
+	m := make(map[ids.NodeID]string, len(t.NodeAddrs)+1)
+	for i, a := range t.NodeAddrs {
+		m[ids.NodeID(i+1)] = a
+	}
+	m[t.GDONode()] = t.GDOAddr
+	return m
+}
+
+// GDOServer hosts the global directory of objects for a TCP deployment.
+type GDOServer struct {
+	topo Topology
+	net  *TCPNet
+	dir  *gdo.Directory
+}
+
+// NewGDOServer creates (without starting) a directory server.
+func NewGDOServer(topo Topology) *GDOServer {
+	s := &GDOServer{
+		topo: topo,
+		dir:  gdo.New(len(topo.NodeAddrs)),
+	}
+	s.net = NewTCPNet(topo.GDONode(), topo.addrMap())
+	s.net.SetHandler(s.handle)
+	return s
+}
+
+// Start begins serving.
+func (s *GDOServer) Start() error { return s.net.Listen() }
+
+// Close stops the server.
+func (s *GDOServer) Close() error { return s.net.Close() }
+
+// Addr returns the bound address.
+func (s *GDOServer) Addr() string { return s.net.Addr() }
+
+// Directory exposes the directory (diagnostics).
+func (s *GDOServer) Directory() *gdo.Directory { return s.dir }
+
+// handle serves the directory protocol. The event routing mirrors
+// node.Engine.routeEvents.
+func (s *GDOServer) handle(from ids.NodeID, m wire.Msg) wire.Msg {
+	switch req := m.(type) {
+	case *wire.AcquireReq:
+		res, events, err := s.dir.Acquire(req.Obj, req.Ref, req.Family, req.Age, req.Site, req.Mode)
+		if err != nil {
+			return &wire.ErrResp{Msg: err.Error()}
+		}
+		s.route(events)
+		return &wire.AcquireResp{
+			Obj:        req.Obj,
+			Status:     res.Status,
+			Mode:       res.Mode,
+			NumPages:   int32(res.NumPages),
+			LastWriter: res.LastWriter,
+			PageMap:    res.PageMap,
+		}
+	case *wire.ReleaseReq:
+		events, stamps, err := s.dir.Release(req.Family, req.Site, req.Commit, req.Rels)
+		if err != nil {
+			return &wire.ErrResp{Msg: err.Error()}
+		}
+		s.route(events)
+		return &wire.ReleaseResp{Stamps: stamps}
+	case *wire.CopySetReq:
+		sites, err := s.dir.CopySet(req.Obj)
+		if err != nil {
+			return &wire.ErrResp{Msg: err.Error()}
+		}
+		return &wire.CopySetResp{Sites: sites}
+	case *wire.RegisterReq:
+		err := s.dir.Register(req.Obj, int(req.NumPages), req.Owner)
+		if err != nil {
+			return &wire.ErrResp{Msg: err.Error()}
+		}
+		return &wire.RegisterResp{}
+	default:
+		return &wire.ErrResp{Msg: "gdo: unhandled message type"}
+	}
+}
+
+func (s *GDOServer) route(events []gdo.Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case gdo.EventGrant:
+			_ = s.net.Send(ev.Site, &wire.Grant{
+				Obj:        ev.Obj,
+				Family:     ev.Family,
+				Mode:       ev.Mode,
+				Upgrade:    ev.Upgrade,
+				NumPages:   int32(ev.NumPages),
+				LastWriter: ev.LastWriter,
+				Reqs:       ev.Reqs,
+				PageMap:    ev.PageMap,
+			})
+		case gdo.EventDeadlockAbort:
+			_ = s.net.Send(ev.Site, &wire.Abort{
+				Obj:    ev.Obj,
+				Family: ev.Family,
+				Reqs:   ev.Reqs,
+			})
+		}
+	}
+}
+
+// NodeConfig assembles one data node of a TCP deployment.
+type NodeConfig struct {
+	// Topology is the shared deployment layout.
+	Topology Topology
+	// Self is this node's ID (1-based index into Topology.NodeAddrs).
+	Self ids.NodeID
+	// Protocol is the default consistency protocol (must match
+	// cluster-wide).
+	Protocol core.Protocol
+	// ProtocolOverrides selects per-class protocols (must match
+	// cluster-wide).
+	ProtocolOverrides map[ids.ClassID]core.Protocol
+	// PageSize must match cluster-wide (0 → 4096).
+	PageSize int
+	// Lenient disables strict access checking.
+	Lenient bool
+	// Rec records traffic; may be nil.
+	Rec *stats.Recorder
+}
+
+// NodeServer is one LOTEC site over TCP: it executes transactions submitted
+// by clients (RunReq) and serves the protocol's inter-site messages.
+type NodeServer struct {
+	cfg     NodeConfig
+	net     *TCPNet
+	eng     *node.Engine
+	schemas *schema.Registry
+	methods *node.MethodTable
+}
+
+// NewNodeServer creates (without starting) a node.
+func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
+	if int(cfg.Self) < 1 || int(cfg.Self) > len(cfg.Topology.NodeAddrs) {
+		return nil, fmt.Errorf("server: node id %v outside topology", cfg.Self)
+	}
+	if cfg.Protocol == nil {
+		cfg.Protocol = core.LOTEC
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	s := &NodeServer{
+		cfg:     cfg,
+		schemas: schema.NewRegistry(cfg.PageSize),
+		methods: node.NewMethodTable(),
+	}
+	s.net = NewTCPNet(cfg.Self, cfg.Topology.addrMap())
+	gdoNode := cfg.Topology.GDONode()
+	eng, err := node.New(node.Config{
+		Env:               s.net,
+		Store:             pstore.NewStore(cfg.PageSize),
+		Schemas:           s.schemas,
+		Methods:           s.methods,
+		Manager:           txn.NewManagerAt(uint64(cfg.Self) << 40),
+		Protocol:          cfg.Protocol,
+		ProtocolOverrides: cfg.ProtocolOverrides,
+		HomeFn:            func(ids.ObjectID) ids.NodeID { return gdoNode },
+		Rec:               cfg.Rec,
+		Strict:            !cfg.Lenient,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	s.net.SetHandler(eng.Handle)
+	s.net.SetAsyncHandler(wire.TRunReq, s.handleRun)
+	return s, nil
+}
+
+// AddClass registers a class at this node. Every node of a deployment must
+// register the same classes (the schema is part of the application binary).
+func (s *NodeServer) AddClass(cls *schema.Class) error { return s.schemas.Add(cls) }
+
+// OnMethod registers a method body at this node.
+func (s *NodeServer) OnMethod(cls *schema.Class, method string, fn node.MethodFunc) error {
+	return s.methods.Register(cls, method, fn)
+}
+
+// CreateObject registers an object locally and, when this node is the
+// owner, also in the GDO (exactly one node per object should own it).
+func (s *NodeServer) CreateObject(obj ids.ObjectID, class ids.ClassID, owner ids.NodeID) error {
+	if err := s.eng.RegisterObject(obj, class, owner); err != nil {
+		return err
+	}
+	if owner != s.net.Self() {
+		return nil
+	}
+	layout, err := s.schemas.Layout(class)
+	if err != nil {
+		return err
+	}
+	reply, err := s.net.Call(s.cfg.Topology.GDONode(), &wire.RegisterReq{
+		Obj:      obj,
+		Class:    class,
+		NumPages: int32(layout.NumPages()),
+		Owner:    owner,
+	})
+	if err != nil {
+		return fmt.Errorf("server: register %v with GDO: %w", obj, err)
+	}
+	if _, ok := reply.(*wire.RegisterResp); !ok {
+		return fmt.Errorf("server: register %v: unexpected reply %T", obj, reply)
+	}
+	return nil
+}
+
+// Start begins serving.
+func (s *NodeServer) Start() error { return s.net.Listen() }
+
+// Close stops the node.
+func (s *NodeServer) Close() error { return s.net.Close() }
+
+// Addr returns the bound address.
+func (s *NodeServer) Addr() string { return s.net.Addr() }
+
+// Engine exposes the protocol engine (diagnostics).
+func (s *NodeServer) Engine() *node.Engine { return s.eng }
+
+// Run executes a root transaction at this node (in-process entry point).
+func (s *NodeServer) Run(obj ids.ObjectID, method string, arg []byte) ([]byte, error) {
+	out, _, err := s.eng.Run(obj, method, arg)
+	return out, err
+}
+
+// handleRun serves a client's RunReq: the transaction executes on its own
+// goroutine and the reply goes back on the arrival connection when it
+// finishes.
+func (s *NodeServer) handleRun(_ ids.NodeID, m wire.Msg, reply func(wire.Msg)) {
+	req, ok := m.(*wire.RunReq)
+	if !ok {
+		reply(&wire.ErrResp{Msg: "server: malformed run request"})
+		return
+	}
+	go func() {
+		out, _, err := s.eng.Run(req.Obj, req.Method, req.Arg)
+		resp := &wire.RunResp{Result: out}
+		if err != nil {
+			resp.ErrMsg = err.Error()
+		}
+		reply(resp)
+	}()
+}

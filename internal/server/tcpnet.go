@@ -1,0 +1,397 @@
+// Package server runs the LOTEC engine over real TCP: a transport.Env
+// implementation on sockets, a GDO directory server, a node (site) server
+// that executes transactions, and a thin client. The §6 remark that "an
+// actual implementation … is now underway" becomes this user-space runtime:
+// identical protocol code to the simulation, different transport.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lotec/internal/ids"
+	"lotec/internal/transport"
+	"lotec/internal/wire"
+)
+
+// replyBit marks an envelope's ReqID as a reply to the peer's request with
+// the same ID, so both directions of a connection share one ID space.
+const replyBit = uint64(1) << 63
+
+// callTimeout bounds how long an RPC waits for its reply.
+const callTimeout = 30 * time.Second
+
+// AsyncHandler processes messages whose replies are produced later (e.g.
+// RunReq, which executes a whole transaction). The reply closure writes the
+// response on the connection the request arrived on.
+type AsyncHandler func(from ids.NodeID, m wire.Msg, reply func(wire.Msg))
+
+// TCPNet is the sockets implementation of transport.Env. One TCPNet
+// instance represents one process (a site or the GDO); peers are dialed
+// lazily by node ID.
+type TCPNet struct {
+	self  ids.NodeID
+	addrs map[ids.NodeID]string
+	start time.Time
+
+	handler transport.Handler
+	async   map[wire.MsgType]AsyncHandler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[ids.NodeID]*tcpConn
+	pending  map[uint64]chan wire.Msg
+	closed   bool
+
+	reqID atomic.Uint64
+}
+
+var _ transport.Env = (*TCPNet)(nil)
+
+// tcpConn is one established connection with a write lock.
+type tcpConn struct {
+	c  net.Conn
+	wm sync.Mutex
+}
+
+// NewTCPNet creates the endpoint for node self. addrs maps every node ID in
+// the deployment (including self and the GDO node) to host:port.
+func NewTCPNet(self ids.NodeID, addrs map[ids.NodeID]string) *TCPNet {
+	cp := make(map[ids.NodeID]string, len(addrs))
+	for k, v := range addrs {
+		cp[k] = v
+	}
+	return &TCPNet{
+		self:    self,
+		addrs:   cp,
+		start:   time.Now(),
+		async:   make(map[wire.MsgType]AsyncHandler),
+		conns:   make(map[ids.NodeID]*tcpConn),
+		pending: make(map[uint64]chan wire.Msg),
+	}
+}
+
+// SetHandler installs the synchronous message handler (must not block).
+func (n *TCPNet) SetHandler(h transport.Handler) { n.handler = h }
+
+// SetAsyncHandler routes one message type to an asynchronous handler.
+func (n *TCPNet) SetAsyncHandler(t wire.MsgType, h AsyncHandler) { n.async[t] = h }
+
+// Listen starts accepting connections on the node's own address.
+func (n *TCPNet) Listen() error {
+	addr, ok := n.addrs[n.self]
+	if !ok {
+		return fmt.Errorf("server: no address configured for %v", n.self)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	n.mu.Lock()
+	n.listener = l
+	n.mu.Unlock()
+	go n.acceptLoop(l)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (n *TCPNet) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// Close shuts the endpoint down.
+func (n *TCPNet) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	l := n.listener
+	conns := n.conns
+	n.conns = map[ids.NodeID]*tcpConn{}
+	for _, ch := range n.pending {
+		close(ch)
+	}
+	n.pending = map[uint64]chan wire.Msg{}
+	n.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	return nil
+}
+
+func (n *TCPNet) acceptLoop(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go n.readLoop(&tcpConn{c: c}, ids.NoNode)
+	}
+}
+
+// conn returns (dialing if needed) the connection to a peer.
+func (n *TCPNet) conn(to ids.NodeID) (*tcpConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.addrs[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", transport.ErrUnknownNode, to)
+	}
+	raw, err := net.DialTimeout("tcp", addr, callTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %v at %s: %w", to, addr, err)
+	}
+	c := &tcpConn{c: raw}
+	n.mu.Lock()
+	if existing, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	n.conns[to] = c
+	n.mu.Unlock()
+	go n.readLoop(c, to)
+	return c, nil
+}
+
+// writeFrame sends one length-delimited encoded message.
+func (c *tcpConn) writeFrame(buf []byte) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(buf)))
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.c.Write(buf)
+	return err
+}
+
+// readFrame reads one length-delimited message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:])
+	if size > 64<<20 {
+		return nil, fmt.Errorf("server: oversized frame (%d bytes)", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readLoop decodes inbound frames: replies complete pending calls, requests
+// run through the handlers.
+func (n *TCPNet) readLoop(c *tcpConn, peer ids.NodeID) {
+	defer func() {
+		_ = c.c.Close()
+		if peer != ids.NoNode {
+			n.mu.Lock()
+			if n.conns[peer] == c {
+				delete(n.conns, peer)
+			}
+			n.mu.Unlock()
+		}
+	}()
+	for {
+		buf, err := readFrame(c.c)
+		if err != nil {
+			return
+		}
+		env, m, err := wire.Decode(buf)
+		if err != nil {
+			continue // drop undecodable frames
+		}
+		if peer == ids.NoNode && env.From != ids.NoNode && int64(env.From) < clientIDBase {
+			// Learn the peer's identity from its first frame so replies and
+			// future sends reuse this connection. Client identities are not
+			// learned: several clients share one synthetic ID and replies go
+			// back on the arrival connection anyway.
+			peer = env.From
+			n.mu.Lock()
+			if _, ok := n.conns[peer]; !ok {
+				n.conns[peer] = c
+			}
+			n.mu.Unlock()
+		}
+		if env.ReqID&replyBit != 0 {
+			id := env.ReqID &^ replyBit
+			n.mu.Lock()
+			ch, ok := n.pending[id]
+			if ok {
+				delete(n.pending, id)
+			}
+			n.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+			continue
+		}
+		n.dispatch(c, env, m)
+	}
+}
+
+// dispatch routes one inbound request.
+func (n *TCPNet) dispatch(c *tcpConn, env wire.Envelope, m wire.Msg) {
+	if h, ok := n.async[m.Type()]; ok {
+		reqID, from := env.ReqID, env.From
+		h(from, m, func(reply wire.Msg) {
+			if reqID == 0 {
+				return
+			}
+			_ = c.writeFrame(wire.Encode(wire.Envelope{
+				ReqID: reqID | replyBit,
+				From:  n.self,
+				To:    from,
+			}, reply))
+		})
+		return
+	}
+	if n.handler == nil {
+		return
+	}
+	reply := n.handler(env.From, m)
+	if reply == nil || env.ReqID == 0 {
+		return
+	}
+	out := wire.Encode(wire.Envelope{
+		ReqID: env.ReqID | replyBit,
+		From:  n.self,
+		To:    env.From,
+	}, reply)
+	_ = c.writeFrame(out)
+}
+
+// clientIDBase marks synthetic client identities (see package client).
+const clientIDBase = 1 << 20
+
+// Self implements transport.Env.
+func (n *TCPNet) Self() ids.NodeID { return n.self }
+
+// Now implements transport.Env.
+func (n *TCPNet) Now() time.Duration { return time.Since(n.start) }
+
+// Go implements transport.Env.
+func (n *TCPNet) Go(fn func()) { go fn() }
+
+// Sleep implements transport.Env.
+func (n *TCPNet) Sleep(d time.Duration) { time.Sleep(d) }
+
+// NewFuture implements transport.Env.
+func (n *TCPNet) NewFuture() transport.Future {
+	return &chanFuture{ch: make(chan futVal, 1)}
+}
+
+// Send implements transport.Env (one-way, ReqID 0).
+func (n *TCPNet) Send(to ids.NodeID, m wire.Msg) error {
+	if to == n.self {
+		if n.handler != nil {
+			go n.handler(n.self, m)
+		}
+		return nil
+	}
+	c, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(wire.Encode(wire.Envelope{From: n.self, To: to}, m))
+}
+
+// Call implements transport.Env.
+func (n *TCPNet) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
+	if to == n.self {
+		if n.handler == nil {
+			return nil, transport.ErrNoHandler
+		}
+		reply := n.handler(n.self, m)
+		if er, ok := reply.(*wire.ErrResp); ok {
+			return nil, fmt.Errorf("server: local error: %s", er.Msg)
+		}
+		return reply, nil
+	}
+	c, err := n.conn(to)
+	if err != nil {
+		return nil, err
+	}
+	id := n.reqID.Add(1)
+	ch := make(chan wire.Msg, 1)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	n.pending[id] = ch
+	n.mu.Unlock()
+	clear := func() {
+		n.mu.Lock()
+		delete(n.pending, id)
+		n.mu.Unlock()
+	}
+	if err := c.writeFrame(wire.Encode(wire.Envelope{ReqID: id, From: n.self, To: to}, m)); err != nil {
+		clear()
+		return nil, err
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, transport.ErrClosed
+		}
+		if er, ok := reply.(*wire.ErrResp); ok {
+			return nil, fmt.Errorf("server: remote error from %v: %s", to, er.Msg)
+		}
+		return reply, nil
+	case <-time.After(callTimeout):
+		clear()
+		return nil, fmt.Errorf("server: call to %v timed out", to)
+	}
+}
+
+// futVal carries a completion.
+type futVal struct {
+	v   any
+	err error
+}
+
+// chanFuture is the blocking Future for real deployments.
+type chanFuture struct {
+	once sync.Once
+	ch   chan futVal
+}
+
+// Complete implements transport.Future.
+func (f *chanFuture) Complete(v any, err error) {
+	f.once.Do(func() { f.ch <- futVal{v: v, err: err} })
+}
+
+// Wait implements transport.Future.
+func (f *chanFuture) Wait() (any, error) {
+	r := <-f.ch
+	return r.v, r.err
+}
+
+// ErrNoReply reports a closed connection during an RPC.
+var ErrNoReply = errors.New("server: connection closed before reply")

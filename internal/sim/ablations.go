@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lotec/internal/core"
+)
+
+// Ablations for the design choices DESIGN.md calls out. Each runs scaled
+// workloads (smaller than the figures) and renders a table.
+
+// PredictionWidthAblation measures how LOTEC's advantage erodes as the
+// compiler's declared access sets widen toward the whole object: at the
+// limit every method "may access" every page and LOTEC degenerates to OTEC
+// (§3.5's conservatism/precision trade-off).
+func PredictionWidthAblation() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: prediction width (LOTEC consistency bytes vs declared-set widening)\n")
+	fmt.Fprintf(&b, "%-8s%14s%14s%12s\n", "Widen", "LOTEC bytes", "OTEC bytes", "L/O ratio")
+	for _, widen := range []int{0, 1, 2, 4, 8} {
+		cfg := largeHigh()
+		cfg.Transactions = 80
+		cfg.PredictionWiden = widen
+		w, err := GenerateWorkload(cfg)
+		if err != nil {
+			return "", err
+		}
+		var lotecB, otecB int64
+		for _, p := range []core.Protocol{core.LOTEC, core.OTEC} {
+			c, _, err := w.Execute(Config{Protocol: p})
+			if err != nil {
+				return "", fmt.Errorf("widen %d (%s): %w", widen, p.Name(), err)
+			}
+			if p == core.LOTEC {
+				lotecB = c.Recorder().Totals().DataBytes
+			} else {
+				otecB = c.Recorder().Totals().DataBytes
+			}
+		}
+		fmt.Fprintf(&b, "%-8d%14d%14d%12.2f\n", widen, lotecB, otecB, float64(lotecB)/float64(otecB))
+	}
+	return b.String(), nil
+}
+
+// GranularityAblation reproduces the §5.1 discussion: LOTEC has "a natural
+// preference for coarse-grained concurrency since the larger objects are,
+// the fewer lock operations are necessary". Population layouts with the
+// same total page count but different object sizes are compared on global
+// lock operations per committed root.
+func GranularityAblation() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: object granularity (§5.1) — same data, different object sizes\n")
+	fmt.Fprintf(&b, "%-10s%-10s%14s%14s%14s\n", "Objects", "Pages", "GlobalLock", "Locks/commit", "LOTEC bytes")
+	for _, shape := range []struct{ objects, minP, maxP int }{
+		{80, 1, 2},
+		{40, 2, 4},
+		{20, 5, 7},
+		{10, 11, 13},
+	} {
+		cfg := WorkloadConfig{
+			Seed: 77, Objects: shape.objects, MinPages: shape.minP, MaxPages: shape.maxP,
+			Transactions: 100, Nodes: 8,
+			HotFraction: 0.25, HotWeight: 0.85,
+			ArrivalSpacing: 200 * time.Microsecond,
+		}
+		w, err := GenerateWorkload(cfg)
+		if err != nil {
+			return "", err
+		}
+		c, _, err := w.Execute(Config{Protocol: core.LOTEC})
+		if err != nil {
+			return "", fmt.Errorf("granularity %dx%d-%d: %w", shape.objects, shape.minP, shape.maxP, err)
+		}
+		cnt := c.Recorder().Counters()
+		perCommit := float64(cnt.GlobalLockOps) / float64(cnt.Commits)
+		fmt.Fprintf(&b, "%-10d%d-%-8d%14d%14.2f%14d\n",
+			shape.objects, shape.minP, shape.maxP, cnt.GlobalLockOps, perCommit,
+			c.Recorder().Totals().DataBytes)
+	}
+	return b.String(), nil
+}
+
+// DemandFetchAblation measures the §4.3 fallback: as prediction accuracy
+// degrades (methods write undeclared segments with growing probability,
+// lenient mode), LOTEC pays demand fetches.
+func DemandFetchAblation() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: demand fetches under imperfect prediction (lenient LOTEC)\n")
+	fmt.Fprintf(&b, "%-12s%10s%14s%10s\n", "Mispredict", "Demand", "Bytes", "Msgs")
+	for _, prob := range []float64{0, 0.1, 0.3, 0.6} {
+		cfg := mediumHigh()
+		cfg.Transactions = 80
+		cfg.MispredictProb = prob
+		w, err := GenerateWorkload(cfg)
+		if err != nil {
+			return "", err
+		}
+		c, _, err := w.Execute(Config{Protocol: core.LOTEC, Lenient: true})
+		if err != nil {
+			return "", fmt.Errorf("mispredict %.1f: %w", prob, err)
+		}
+		cnt := c.Recorder().Counters()
+		fmt.Fprintf(&b, "%-12.1f%10d%14d%10d\n",
+			prob, cnt.DemandFetches, c.Recorder().Totals().DataBytes, c.Recorder().MsgCount())
+	}
+	return b.String(), nil
+}
+
+// DisorderAblation measures the cost of abandoning ordered lock
+// acquisition: deadlock aborts and retries rise with the probability that
+// an invocation breaks the canonical object order (the deadlock detector
+// and wound-wait retry machinery absorb them).
+func DisorderAblation() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: deadlock cost vs acquisition disorder\n")
+	fmt.Fprintf(&b, "%-10s%10s%10s%10s%10s\n", "Disorder", "Aborts", "Retries", "Commits", "Failures")
+	for _, prob := range []float64{0, 0.05, 0.15, 0.3} {
+		cfg := WorkloadConfig{
+			Seed: 99, Objects: 30, MinPages: 1, MaxPages: 4,
+			Transactions: 80, Nodes: 8,
+			HotFraction: 0.4, HotWeight: 0.6,
+			ArrivalSpacing: 300 * time.Microsecond,
+			DisorderProb:   prob,
+		}
+		w, err := GenerateWorkload(cfg)
+		if err != nil {
+			return "", err
+		}
+		c, _, err := w.Execute(Config{Protocol: core.LOTEC, MaxRetries: 100})
+		if err != nil {
+			return "", fmt.Errorf("disorder %.2f: %w", prob, err)
+		}
+		cnt := c.Recorder().Counters()
+		fmt.Fprintf(&b, "%-10.2f%10d%10d%10d%10d\n",
+			prob, cnt.Aborts, cnt.Retries, cnt.Commits, len(c.FailedResults()))
+	}
+	return b.String(), nil
+}
+
+// LockingOverheadReport renders the §5.1 local-vs-global lock operation
+// split for one figure's runs.
+func LockingOverheadReport(res *FigureResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Locking overhead (§5.1) — figure %s\n", res.Spec.ID)
+	fmt.Fprintf(&b, "%-10s%12s%12s%16s\n", "Protocol", "LocalLock", "GlobalLock", "Global/commit")
+	for _, run := range res.Runs {
+		c := run.Counters
+		fmt.Fprintf(&b, "%-10s%12d%12d%16.2f\n",
+			run.Protocol, c.LocalLockOps, c.GlobalLockOps,
+			float64(c.GlobalLockOps)/float64(c.Commits))
+	}
+	return b.String()
+}

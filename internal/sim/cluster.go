@@ -1,0 +1,287 @@
+// Package sim assembles the paper's simulation system (§5): a cluster of
+// LOTEC sites over the deterministic event-driven network, the shared GDO,
+// the randomized nested-object-transaction workload generator, and the
+// experiment definitions that regenerate every figure of the evaluation.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lotec/internal/core"
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
+	"lotec/internal/netmodel"
+	"lotec/internal/node"
+	"lotec/internal/pstore"
+	"lotec/internal/schema"
+	"lotec/internal/stats"
+	"lotec/internal/transport"
+	"lotec/internal/txn"
+)
+
+// Config shapes a simulated cluster.
+type Config struct {
+	// Nodes is the number of sites (default 8).
+	Nodes int
+	// PageSize in bytes (default 4096).
+	PageSize int
+	// Protocol selects the default consistency protocol (core.LOTEC).
+	Protocol core.Protocol
+	// ProtocolOverrides selects a different protocol per class (§6
+	// future-work extension).
+	ProtocolOverrides map[ids.ClassID]core.Protocol
+	// Net is the simulated network (default fast Ethernet + 20 µs software
+	// cost, the paper's mid-range configuration).
+	Net netmodel.Params
+	// Strict enforces declared access sets (default true — the paper's
+	// conservative compiler).
+	Strict bool
+	// Lenient disables Strict (kept separate so the zero value of Config
+	// means strict).
+	Lenient bool
+	// MaxRetries bounds deadlock retries per root (default 20).
+	MaxRetries int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 4096
+	}
+	if c.Protocol == nil {
+		c.Protocol = core.LOTEC
+	}
+	if c.Net.BandwidthBps == 0 {
+		c.Net = netmodel.Ethernet100.WithSoftwareCost(20 * time.Microsecond)
+	}
+	c.Strict = !c.Lenient
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 20
+	}
+	return c
+}
+
+// Cluster is one simulated LOTEC deployment. Build it, add classes and
+// bodies, create objects, submit root transactions, then Run.
+type Cluster struct {
+	cfg     Config
+	net     *transport.SimNet
+	dir     *gdo.Directory
+	rec     *stats.Recorder
+	schemas *schema.Registry
+	methods *node.MethodTable
+	mgr     *txn.Manager
+	engines map[ids.NodeID]*node.Engine
+	stores  map[ids.NodeID]*pstore.Store
+	objGen  ids.ObjectIDGenerator
+
+	results []*Result
+}
+
+// Result captures one submitted root transaction's outcome.
+type Result struct {
+	Node   ids.NodeID
+	Obj    ids.ObjectID
+	Method string
+	Out    []byte
+	Err    error
+	// Family is the committed root transaction's family (the last attempt
+	// if retried).
+	Family ids.FamilyID
+	// CommitSeq is the family's position in the GDO's global commit order
+	// (0 if the root never committed).
+	CommitSeq uint64
+	// Tag is the caller-supplied identity from SubmitTagged.
+	Tag any
+}
+
+// NewCluster builds a cluster; classes must be added before objects, and
+// objects before Run.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:     cfg,
+		rec:     stats.NewRecorder(),
+		dir:     gdo.New(cfg.Nodes),
+		schemas: schema.NewRegistry(cfg.PageSize),
+		methods: node.NewMethodTable(),
+		mgr:     txn.NewManager(),
+		engines: make(map[ids.NodeID]*node.Engine, cfg.Nodes),
+		stores:  make(map[ids.NodeID]*pstore.Store, cfg.Nodes),
+	}
+	c.net = transport.NewSimNet(cfg.Nodes, cfg.Net, c.rec)
+	for i := 1; i <= cfg.Nodes; i++ {
+		id := ids.NodeID(i)
+		store := pstore.NewStore(cfg.PageSize)
+		eng, err := node.New(node.Config{
+			Env:               c.net.Env(id),
+			Store:             store,
+			Schemas:           c.schemas,
+			Methods:           c.methods,
+			Manager:           c.mgr,
+			Protocol:          cfg.Protocol,
+			ProtocolOverrides: cfg.ProtocolOverrides,
+			HomeFn:            c.dir.HomeNode,
+			Dir:               c.dir,
+			Rec:               c.rec,
+			MaxRetries:        cfg.MaxRetries,
+			Strict:            cfg.Strict,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %v: %w", id, err)
+		}
+		c.engines[id] = eng
+		c.stores[id] = store
+		c.net.SetHandler(id, eng.Handle)
+	}
+	return c, nil
+}
+
+// Schemas exposes the class registry.
+func (c *Cluster) Schemas() *schema.Registry { return c.schemas }
+
+// Recorder exposes the run's statistics.
+func (c *Cluster) Recorder() *stats.Recorder { return c.rec }
+
+// Directory exposes the shared GDO (tests and verification).
+func (c *Cluster) Directory() *gdo.Directory { return c.dir }
+
+// Protocol returns the cluster's consistency protocol.
+func (c *Cluster) Protocol() core.Protocol { return c.cfg.Protocol }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// AddClass registers a class (and computes its layout).
+func (c *Cluster) AddClass(cls *schema.Class) error { return c.schemas.Add(cls) }
+
+// RegisterBody binds a Go body to class.method on every node.
+func (c *Cluster) RegisterBody(cls *schema.Class, method string, fn node.MethodFunc) error {
+	return c.methods.Register(cls, method, fn)
+}
+
+// CreateObject instantiates an object of class at owner and registers it
+// everywhere (pages materialize at the owner at version 1).
+func (c *Cluster) CreateObject(class ids.ClassID, owner ids.NodeID) (ids.ObjectID, error) {
+	layout, err := c.schemas.Layout(class)
+	if err != nil {
+		return 0, err
+	}
+	obj := c.objGen.Next()
+	if err := c.dir.Register(obj, layout.NumPages(), owner); err != nil {
+		return 0, err
+	}
+	for _, eng := range c.engines {
+		if err := eng.RegisterObject(obj, class, owner); err != nil {
+			return 0, err
+		}
+	}
+	return obj, nil
+}
+
+// Submit schedules a root transaction: at virtual time `at`, node runs
+// method on obj. The outcome is appended to Results in completion order.
+func (c *Cluster) Submit(at time.Duration, nodeID ids.NodeID, obj ids.ObjectID, method string, arg []byte) error {
+	return c.SubmitTagged(at, nodeID, obj, method, arg, nil)
+}
+
+// SubmitTagged is Submit with a caller-supplied identity surfaced on the
+// Result (e.g. a workload root index).
+func (c *Cluster) SubmitTagged(at time.Duration, nodeID ids.NodeID, obj ids.ObjectID, method string, arg []byte, tag any) error {
+	eng, ok := c.engines[nodeID]
+	if !ok {
+		return fmt.Errorf("sim: unknown node %v", nodeID)
+	}
+	env := c.net.Env(nodeID)
+	env.Go(func() {
+		if at > 0 {
+			env.Sleep(at)
+		}
+		out, fam, err := eng.Run(obj, method, arg)
+		seq, _ := c.dir.CommitSeq(fam)
+		c.results = append(c.results, &Result{
+			Node: nodeID, Obj: obj, Method: method, Out: out, Err: err,
+			Family: fam, CommitSeq: seq, Tag: tag,
+		})
+	})
+	return nil
+}
+
+// Run drives the simulation to quiescence.
+func (c *Cluster) Run() error { return c.net.Run() }
+
+// Results returns the root-transaction outcomes in completion order.
+func (c *Cluster) Results() []*Result { return c.results }
+
+// ResultsByCommitOrder returns the outcomes sorted by the GDO's global
+// commit sequence — the serialization order strict O2PL guarantees.
+func (c *Cluster) ResultsByCommitOrder() []*Result {
+	out := append([]*Result(nil), c.results...)
+	sort.Slice(out, func(i, j int) bool { return out[i].CommitSeq < out[j].CommitSeq })
+	return out
+}
+
+// FailedResults returns the outcomes whose Err is non-nil.
+func (c *Cluster) FailedResults() []*Result {
+	var out []*Result
+	for _, r := range c.results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Now returns the cluster's virtual time.
+func (c *Cluster) Now() time.Duration { return c.net.Now() }
+
+// ObjectBytes assembles the authoritative final contents of obj by reading
+// each page from the site holding its newest version (per the GDO page
+// map). Used by tests to compare protocol runs and serial replays.
+func (c *Cluster) ObjectBytes(obj ids.ObjectID) ([]byte, error) {
+	pm, err := c.dir.PageMap(obj)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(pm)*c.cfg.PageSize)
+	for p, loc := range pm {
+		store, ok := c.stores[loc.Node]
+		if !ok {
+			return nil, fmt.Errorf("sim: page map names unknown node %v", loc.Node)
+		}
+		data, ver, err := store.PageCopy(ids.PageID{Object: obj, Page: ids.PageNum(p)})
+		if err != nil {
+			return nil, fmt.Errorf("authoritative page %v/p%d: %w", obj, p, err)
+		}
+		if ver != loc.Version {
+			return nil, fmt.Errorf("sim: %v/p%d version %d at %v, page map says %d",
+				obj, p, ver, loc.Node, loc.Version)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// VerifyPageMapCoherence checks invariant 6 of DESIGN.md: after a run,
+// every page-map entry points at a node that actually holds that version.
+func (c *Cluster) VerifyPageMapCoherence() error {
+	var errs []error
+	for _, obj := range c.dir.Objects() {
+		if _, err := c.ObjectBytes(obj); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Engine returns a node's engine (tests).
+func (c *Cluster) Engine(id ids.NodeID) *node.Engine { return c.engines[id] }
+
+// Store returns a node's page store (tests).
+func (c *Cluster) Store(id ids.NodeID) *pstore.Store { return c.stores[id] }

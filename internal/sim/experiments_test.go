@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"lotec/internal/core"
+	"lotec/internal/netmodel"
+	"lotec/internal/stats"
+)
+
+// smallFigure shrinks a figure spec so tests stay fast.
+func smallFigure(t *testing.T, id string) FigureSpec {
+	t.Helper()
+	spec, err := FigureByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workload.Transactions = 40
+	spec.Workload.Objects = 12
+	return spec
+}
+
+func TestFigureSpecsComplete(t *testing.T) {
+	want := []string{"2", "3", "4", "5", "6", "7", "8", "rc"}
+	specs := FigureSpecs()
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	for i, id := range want {
+		if specs[i].ID != id {
+			t.Errorf("spec %d = %s, want %s", i, specs[i].ID, id)
+		}
+		if specs[i].Title == "" {
+			t.Errorf("spec %s has empty title", id)
+		}
+	}
+	if _, err := FigureByID("nope"); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestFigureNetworkMapping(t *testing.T) {
+	for id, want := range map[string]string{"6": "10Mbps", "7": "100Mbps", "8": "1Gbps"} {
+		bw, ok := figureNetwork(id)
+		if !ok || bw.Name != want {
+			t.Errorf("figureNetwork(%s) = %v, %v", id, bw, ok)
+		}
+	}
+	if _, ok := figureNetwork("2"); ok {
+		t.Error("figure 2 is not a time figure")
+	}
+}
+
+func TestRunFigureByteOrdering(t *testing.T) {
+	res, err := RunFigure(smallFigure(t, "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	get := func(name string) int64 {
+		run, ok := res.Run(name)
+		if !ok {
+			t.Fatalf("missing run %s", name)
+		}
+		return run.Recorder.Totals().DataBytes
+	}
+	c, o, l := get("COTEC"), get("OTEC"), get("LOTEC")
+	if !(l <= o && o <= c) {
+		t.Errorf("byte ordering violated: COTEC=%d OTEC=%d LOTEC=%d", c, o, l)
+	}
+	if l == 0 {
+		t.Error("no data moved")
+	}
+	if _, ok := res.Run("RC"); ok {
+		t.Error("figure 2 should not include RC")
+	}
+	oc, lo, ok := res.HeadlineRatios()
+	if !ok || oc <= 0 || oc > 1 || lo <= 0 || lo > 1 {
+		t.Errorf("ratios = %.2f, %.2f, %v", oc, lo, ok)
+	}
+}
+
+func TestRunFigureRCIncluded(t *testing.T) {
+	res, err := RunFigure(smallFigure(t, "rc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	rc, ok := res.Run("RC")
+	if !ok {
+		t.Fatal("missing RC run")
+	}
+	lotec, _ := res.Run("LOTEC")
+	// RC pushes updates to every caching site: it must move at least as
+	// much data as LOTEC on a shared workload.
+	if rc.Recorder.Totals().DataBytes < lotec.Recorder.Totals().DataBytes {
+		t.Errorf("RC bytes %d < LOTEC bytes %d",
+			rc.Recorder.Totals().DataBytes, lotec.Recorder.Totals().DataBytes)
+	}
+}
+
+func TestFigureTablesRender(t *testing.T) {
+	res, err := RunFigure(smallFigure(t, "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := res.BytesTable()
+	if !strings.Contains(bt, "COTEC") || !strings.Contains(bt, "TOTAL") {
+		t.Errorf("bytes table malformed:\n%s", bt)
+	}
+	tt := res.TimeTable(netmodel.Gigabit)
+	if !strings.Contains(tt, "100µs") || !strings.Contains(tt, "500ns") {
+		t.Errorf("time table malformed:\n%s", tt)
+	}
+	ct := res.CountersTable()
+	if !strings.Contains(ct, "GlobalLock") {
+		t.Errorf("counters table malformed:\n%s", ct)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+	if lo := LockingOverheadReport(res); !strings.Contains(lo, "Global/commit") {
+		t.Errorf("locking overhead malformed:\n%s", lo)
+	}
+}
+
+func TestTimeFigureRendersTimeTable(t *testing.T) {
+	spec := smallFigure(t, "8")
+	res, err := RunFigure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "1Gbps") {
+		t.Errorf("figure 8 render missing bandwidth:\n%s", out)
+	}
+}
+
+func TestHottestObject(t *testing.T) {
+	res, err := RunFigure(smallFigure(t, "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := res.HottestObject()
+	if obj == stats.NoObject {
+		t.Fatal("no hottest object")
+	}
+	run := res.Runs[0]
+	for _, o := range run.Objects {
+		if run.PerObject[o].TotalBytes() > run.PerObject[obj].TotalBytes() {
+			t.Errorf("object %v hotter than reported hottest %v", o, obj)
+		}
+	}
+	empty := &FigureResult{}
+	if empty.HottestObject() != stats.NoObject {
+		t.Error("empty result should have no hottest object")
+	}
+}
+
+// TestTransferTimeMonotoneInSoftwareCost checks the Figures 6–8 x-axis
+// behaviour: lower software cost never increases an object's transfer time.
+func TestTransferTimeMonotoneInSoftwareCost(t *testing.T) {
+	res, err := RunFigure(smallFigure(t, "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := res.HottestObject()
+	for _, run := range res.Runs {
+		prev := run.Recorder.TransferTime(obj, netmodel.Gigabit.WithSoftwareCost(netmodel.SoftwareCosts[0]))
+		for _, sc := range netmodel.SoftwareCosts[1:] {
+			cur := run.Recorder.TransferTime(obj, netmodel.Gigabit.WithSoftwareCost(sc))
+			if cur > prev {
+				t.Errorf("%s: transfer time rose as software cost fell", run.Protocol)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestProtocolEquivalenceOnFigureWorkload(t *testing.T) {
+	spec := smallFigure(t, "2")
+	w, err := GenerateWorkload(spec.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four protocols commit the same number of roots.
+	for _, p := range core.AllWithRC() {
+		c, _, err := w.Execute(Config{Protocol: p})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if got := c.Recorder().Counters().Commits; got != int64(len(w.Roots)) {
+			t.Errorf("%s: commits = %d, want %d", p.Name(), got, len(w.Roots))
+		}
+		if err := c.VerifyPageMapCoherence(); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	for name, fn := range map[string]func() (string, error){
+		"prediction":  PredictionWidthAblation,
+		"granularity": GranularityAblation,
+		"demand":      DemandFetchAblation,
+		"disorder":    DisorderAblation,
+	} {
+		out, err := fn()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(strings.Split(out, "\n")) < 4 {
+			t.Errorf("%s: table too small:\n%s", name, out)
+		}
+	}
+}

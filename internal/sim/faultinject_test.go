@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"lotec/internal/core"
+)
+
+// failsOut predicts whether a generated call tree aborts its root: its own
+// injected failure, or an untolerated child failure, propagates.
+func failsOut(c Call) bool {
+	for _, ch := range c.Children {
+		if failsOut(ch) && !ch.Tolerate {
+			return true
+		}
+	}
+	return c.Fail
+}
+
+func TestFaultInjectionOutcomesMatchPrediction(t *testing.T) {
+	cfg := smallWorkload(31)
+	cfg.AbortProb = 0.2
+	cfg.Transactions = 60
+	w, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := w.Execute(Config{Protocol: core.LOTEC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fails, commits int
+	for _, r := range c.Results() {
+		idx := r.Tag.(int)
+		want := failsOut(w.Roots[idx].Call)
+		if want && r.Err == nil {
+			t.Errorf("root %d should have failed", idx)
+		}
+		if !want && r.Err != nil {
+			t.Errorf("root %d failed unexpectedly: %v", idx, r.Err)
+		}
+		if r.Err != nil {
+			if !errors.Is(r.Err, errInjectedFailure) {
+				t.Errorf("root %d failed with wrong error: %v", idx, r.Err)
+			}
+			fails++
+		} else {
+			commits++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("fault injection produced no failures; test is vacuous")
+	}
+	if commits == 0 {
+		t.Fatal("every root failed; contention test is vacuous")
+	}
+	cnt := c.Recorder().Counters()
+	if cnt.Commits != int64(commits) || cnt.Aborts < int64(fails) {
+		t.Errorf("counters %+v vs observed commits=%d fails=%d", cnt, commits, fails)
+	}
+	if err := c.VerifyPageMapCoherence(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFaultInjectionSerialEquivalence: with aborts injected at every level,
+// the committed final state still equals a serial replay in commit order
+// (failed roots leave no trace in either run).
+func TestFaultInjectionSerialEquivalence(t *testing.T) {
+	cfg := smallWorkload(37)
+	cfg.AbortProb = 0.25
+	cfg.Transactions = 50
+	w, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, objs, err := w.Execute(Config{Protocol: core.LOTEC})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewCluster(Config{Protocol: core.LOTEC, Nodes: w.Cfg.Nodes, PageSize: w.Cfg.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sObjs, err := w.Install(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration
+	for _, r := range c.ResultsByCommitOrder() {
+		if r.Err != nil {
+			continue // aborted roots left no effects to replay
+		}
+		call := w.Roots[r.Tag.(int)].Call
+		at += 50 * time.Millisecond
+		if err := s.Submit(at, r.Node, sObjs[call.ObjIndex], call.Method, encodeCall(sObjs, call)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range objs {
+		concurrent, err := c.ObjectBytes(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := s.ObjectBytes(sObjs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(concurrent, serial) {
+			t.Errorf("object %v: committed state differs from serial replay", o)
+		}
+	}
+}
+
+// TestFaultInjectionAllProtocols: rollback correctness is protocol-
+// independent.
+func TestFaultInjectionAllProtocols(t *testing.T) {
+	cfg := smallWorkload(41)
+	cfg.AbortProb = 0.3
+	cfg.Transactions = 30
+	w, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range core.AllWithRC() {
+		c, _, err := w.Execute(Config{Protocol: p})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for _, r := range c.Results() {
+			idx := r.Tag.(int)
+			if want := failsOut(w.Roots[idx].Call); want != (r.Err != nil) {
+				t.Errorf("%s: root %d outcome mismatch (want fail=%v, err=%v)",
+					p.Name(), idx, want, r.Err)
+			}
+		}
+		if err := c.VerifyPageMapCoherence(); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}

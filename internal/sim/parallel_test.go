@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"lotec/internal/ids"
+	"lotec/internal/node"
+	"lotec/internal/schema"
+)
+
+// packObjs packs an amount plus object IDs into an argument.
+func packObjs(amount int64, objs ...ids.ObjectID) []byte {
+	out := make([]byte, 8+8*len(objs))
+	binary.LittleEndian.PutUint64(out, uint64(amount))
+	for i, o := range objs {
+		binary.LittleEndian.PutUint64(out[8+8*i:], uint64(o))
+	}
+	return out
+}
+
+// unpackObjs recovers the object IDs.
+func unpackObjs(arg []byte) []ids.ObjectID {
+	var out []ids.ObjectID
+	for off := 8; off+8 <= len(arg); off += 8 {
+		out = append(out, ids.ObjectID(binary.LittleEndian.Uint64(arg[off:])))
+	}
+	return out
+}
+
+// parallelBed builds a cluster whose Job class fans sub-transactions out
+// with InvokeAll (the intra-family concurrency of §3.3).
+func parallelBed(t *testing.T) (*Cluster, *schema.Class, *schema.Class) {
+	t.Helper()
+	c, err := NewCluster(Config{Nodes: 3, PageSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	account, err := schema.NewClassBuilder(1, "Account").
+		Attr("balance", 8).
+		Method(schema.MethodSpec{Name: "deposit", Writes: []string{"balance"}}).
+		Method(schema.MethodSpec{Name: "peek", Reads: []string{"balance"}}).
+		Method(schema.MethodSpec{Name: "fail", Writes: []string{"balance"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := schema.NewClassBuilder(2, "Job").
+		Attr("note", 8).
+		Method(schema.MethodSpec{Name: "fanOut", Writes: []string{"note"}}).
+		Method(schema.MethodSpec{Name: "fanOutOneFails", Writes: []string{"note"}}).
+		Method(schema.MethodSpec{Name: "parallelReads", Reads: []string{"note"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddClass(account); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddClass(job); err != nil {
+		t.Fatal(err)
+	}
+	reg := func(cls *schema.Class, name string, fn node.MethodFunc) {
+		t.Helper()
+		if err := c.RegisterBody(cls, name, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg(account, "deposit", func(ctx *node.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		return ctx.Write("balance", i64(dec64(cur)+dec64(ctx.Arg())))
+	})
+	reg(account, "peek", func(ctx *node.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		ctx.SetResult(cur)
+		return nil
+	})
+	reg(account, "fail", func(ctx *node.Ctx) error {
+		if err := ctx.Write("balance", i64(-999)); err != nil {
+			return err
+		}
+		return errors.New("deliberate failure")
+	})
+	reg(job, "fanOut", func(ctx *node.Ctx) error {
+		amount := ctx.Arg()[:8]
+		var calls []node.InvokeSpec
+		for _, o := range unpackObjs(ctx.Arg()) {
+			calls = append(calls, node.InvokeSpec{Obj: o, Method: "deposit", Arg: amount})
+		}
+		for _, r := range ctx.InvokeAll(calls) {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		return ctx.Write("note", i64(1))
+	})
+	reg(job, "fanOutOneFails", func(ctx *node.Ctx) error {
+		amount := ctx.Arg()[:8]
+		objs := unpackObjs(ctx.Arg())
+		rs := ctx.InvokeAll([]node.InvokeSpec{
+			{Obj: objs[0], Method: "deposit", Arg: amount},
+			{Obj: objs[1], Method: "fail"},
+		})
+		if rs[0].Err != nil {
+			return rs[0].Err
+		}
+		if rs[1].Err == nil {
+			return errors.New("expected child failure")
+		}
+		// Survive the failed sibling — closed nesting rolled it back.
+		return ctx.Write("note", i64(2))
+	})
+	reg(job, "parallelReads", func(ctx *node.Ctx) error {
+		var calls []node.InvokeSpec
+		for _, o := range unpackObjs(ctx.Arg()) {
+			calls = append(calls, node.InvokeSpec{Obj: o, Method: "peek"})
+		}
+		var sum int64
+		for _, r := range ctx.InvokeAll(calls) {
+			if r.Err != nil {
+				return r.Err
+			}
+			sum += dec64(r.Out)
+		}
+		ctx.SetResult(i64(sum))
+		return nil
+	})
+	return c, account, job
+}
+
+func TestInvokeAllParallelDeposits(t *testing.T) {
+	c, account, job := parallelBed(t)
+	var accts []ids.ObjectID
+	for n := 1; n <= 3; n++ {
+		accts = append(accts, mustObject(t, c, account.ID, ids.NodeID(n)))
+	}
+	j := mustObject(t, c, job.ID, 1)
+	if err := c.Submit(0, 1, j, "fanOut", packObjs(7, accts...)); err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, c)
+	for _, a := range accts {
+		final, err := c.ObjectBytes(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dec64(final[:8]); got != 7 {
+			t.Errorf("account %v = %d, want 7", a, got)
+		}
+	}
+	if err := c.VerifyPageMapCoherence(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvokeAllFailedSiblingRolledBack(t *testing.T) {
+	c, account, job := parallelBed(t)
+	a := mustObject(t, c, account.ID, 1)
+	b := mustObject(t, c, account.ID, 2)
+	j := mustObject(t, c, job.ID, 1)
+	if err := c.Submit(0, 1, j, "fanOutOneFails", packObjs(5, a, b)); err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, c)
+	fa, err := c.ObjectBytes(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec64(fa[:8]) != 5 {
+		t.Errorf("surviving sibling's deposit lost: %d", dec64(fa[:8]))
+	}
+	fb, err := c.ObjectBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec64(fb[:8]) != 0 {
+		t.Errorf("failed sibling's write not rolled back: %d", dec64(fb[:8]))
+	}
+}
+
+func TestInvokeAllParallelReadsShareLock(t *testing.T) {
+	c, account, job := parallelBed(t)
+	a := mustObject(t, c, account.ID, 1)
+	j2 := mustObject(t, c, job.ID, 2)
+	// Seed the balance, then read it from two parallel siblings plus the
+	// same object twice (retained read lock served locally).
+	if err := c.Submit(0, 1, a, "deposit", i64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1e9, 2, j2, "parallelReads", packObjs(0, a, a)); err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, c)
+	var got *Result
+	for _, r := range c.Results() {
+		if r.Method == "parallelReads" {
+			got = r
+		}
+	}
+	if dec64(got.Out) != 18 {
+		t.Errorf("parallel reads sum = %d, want 18", dec64(got.Out))
+	}
+}
+
+func TestInvokeAllFamilyCommitsAtomically(t *testing.T) {
+	// A root whose parallel fan-out succeeds but whose own write then
+	// fails must roll back the children's effects too.
+	c, err := NewCluster(Config{Nodes: 2, PageSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	account, err := schema.NewClassBuilder(1, "Acct").
+		Attr("balance", 8).
+		Method(schema.MethodSpec{Name: "deposit", Writes: []string{"balance"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := schema.NewClassBuilder(2, "Job").
+		Attr("note", 8).
+		Method(schema.MethodSpec{Name: "fanOutThenFail", Writes: []string{"note"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddClass(account); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddClass(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterBody(account, "deposit", func(ctx *node.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		return ctx.Write("balance", i64(dec64(cur)+1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterBody(job, "fanOutThenFail", func(ctx *node.Ctx) error {
+		for _, r := range ctx.InvokeAll([]node.InvokeSpec{
+			{Obj: unpackObjs(ctx.Arg())[0], Method: "deposit"},
+			{Obj: unpackObjs(ctx.Arg())[1], Method: "deposit"},
+		}) {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		return errors.New("root changes its mind")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a := mustObject(t, c, account.ID, 1)
+	b := mustObject(t, c, account.ID, 2)
+	j := mustObject(t, c, job.ID, 1)
+	if err := c.Submit(0, 1, j, "fanOutThenFail", packObjs(0, a, b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Results()[0].Err == nil {
+		t.Fatal("root should have failed")
+	}
+	for _, o := range []ids.ObjectID{a, b} {
+		final, err := c.ObjectBytes(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec64(final[:8]) != 0 {
+			t.Errorf("object %v not rolled back: %d", o, dec64(final[:8]))
+		}
+	}
+}

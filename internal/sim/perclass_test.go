@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"lotec/internal/core"
+	"lotec/internal/ids"
+	"lotec/internal/node"
+	"lotec/internal/schema"
+)
+
+// TestPerClassProtocolOverride: a cluster defaulting to LOTEC but pinning
+// one class to COTEC must move whole objects for that class only (the §6
+// per-class consistency extension).
+func TestPerClassProtocolOverride(t *testing.T) {
+	build := func(overrides map[ids.ClassID]core.Protocol) (int64, int64) {
+		c, err := NewCluster(Config{
+			Nodes:             2,
+			PageSize:          128,
+			Protocol:          core.LOTEC,
+			ProtocolOverrides: overrides,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two structurally identical classes: three pages, a method that
+		// touches only the first.
+		mk := func(id ids.ClassID, name string) *schema.Class {
+			cls, err := schema.NewClassBuilder(id, name).
+				Attr("hot", 128).
+				Attr("cold", 256).
+				Method(schema.MethodSpec{Name: "touch", Writes: []string{"hot"}}).
+				Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cls
+		}
+		a := mk(1, "Lazy")
+		b := mk(2, "Conservative")
+		for _, cls := range []*schema.Class{a, b} {
+			if err := c.AddClass(cls); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RegisterBody(cls, "touch", func(ctx *node.Ctx) error {
+				cur, err := ctx.ReadAt("hot", 0, 1)
+				if err != nil {
+					return err
+				}
+				return ctx.WriteAt("hot", 0, []byte{cur[0] + 1})
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		objA := mustObject(t, c, a.ID, 1)
+		objB := mustObject(t, c, b.ID, 1)
+		// Bounce both objects between the two nodes.
+		for i := 0; i < 6; i++ {
+			n := ids.NodeID(i%2 + 1)
+			if err := c.Submit(int64ToDur(i), n, objA, "touch", nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Submit(int64ToDur(i)+int64ToDur(1)/2, n, objB, "touch", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runAll(t, c)
+		return c.Recorder().Object(objA).DataBytes, c.Recorder().Object(objB).DataBytes
+	}
+
+	lazyA, lazyB := build(nil) // both LOTEC
+	mixedA, mixedB := build(map[ids.ClassID]core.Protocol{2: core.COTEC})
+
+	if mixedA != lazyA {
+		t.Errorf("LOTEC class traffic changed under override: %d vs %d", mixedA, lazyA)
+	}
+	if mixedB <= lazyB {
+		t.Errorf("COTEC-pinned class should move more data: %d (mixed) vs %d (all-LOTEC)", mixedB, lazyB)
+	}
+}

@@ -1,0 +1,303 @@
+// Package stats records the message trace a protocol run generates and
+// aggregates it the way the paper's evaluation reports it: bytes transferred
+// per shared object (Figures 2–5), message counts, local-vs-global lock
+// operation counts (§5.1), and total per-object message time under a given
+// network model (Figures 6–8).
+//
+// Recording the full trace once and re-pricing it under the fifteen
+// bandwidth × software-cost combinations reproduces Figures 6–8 without
+// re-running the workload (see EXPERIMENTS.md for the fidelity note).
+package stats
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"lotec/internal/ids"
+	"lotec/internal/netmodel"
+)
+
+// MsgKind classifies a recorded message.
+type MsgKind int
+
+// Message kinds.
+const (
+	KindLockReq   MsgKind = iota + 1 // global acquire request → GDO
+	KindLockReply                    // GDO reply (grant/queued + page map)
+	KindGrant                        // deferred grant GDO → site
+	KindRelease                      // global release → GDO (dirty info piggybacked)
+	KindReleaseReply
+	KindFetchReq  // page fetch request (Alg 4.5 gather)
+	KindPageData  // page payload reply
+	KindPush      // RC eager update push
+	KindPushReply // RC push acknowledgement
+	KindAbort     // deadlock-abort notification
+	KindOther
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case KindLockReq:
+		return "lock-req"
+	case KindLockReply:
+		return "lock-reply"
+	case KindGrant:
+		return "grant"
+	case KindRelease:
+		return "release"
+	case KindReleaseReply:
+		return "release-reply"
+	case KindFetchReq:
+		return "fetch-req"
+	case KindPageData:
+		return "page-data"
+	case KindPush:
+		return "push"
+	case KindPushReply:
+		return "push-reply"
+	case KindAbort:
+		return "abort"
+	default:
+		return "other"
+	}
+}
+
+// IsData reports whether the kind carries page payloads (consistency data)
+// as opposed to control information.
+func (k MsgKind) IsData() bool {
+	return k == KindPageData || k == KindPush
+}
+
+// MsgRecord is one message of the trace. Obj attributes the message to the
+// shared object whose consistency it maintains; NoObject (-1) marks
+// messages that serve several objects at once (batched root-commit
+// releases), whose cost is attributed to each object in Objs.
+type MsgRecord struct {
+	From ids.NodeID
+	To   ids.NodeID
+	Obj  ids.ObjectID
+	Objs []ids.ObjectID // set when one message serves several objects
+	Kind MsgKind
+	// Bytes is the full on-wire message size (headers included).
+	Bytes int
+	// Payload is the page-data portion of Bytes (0 for control messages).
+	// The paper's "bytes transferred to maintain consistency" counts
+	// payload; Bytes-Payload is messaging overhead.
+	Payload int
+}
+
+// NoObject marks a record without a single-object attribution.
+const NoObject ids.ObjectID = -1
+
+// ObjStats aggregates the trace for one object.
+type ObjStats struct {
+	Msgs int
+	// ControlBytes is message bytes that are not page payload (headers,
+	// lock traffic, page maps).
+	ControlBytes int64
+	// DataBytes is page payload (the paper's per-object byte counts).
+	DataBytes int64
+}
+
+// TotalBytes returns control + data bytes.
+func (s ObjStats) TotalBytes() int64 { return s.ControlBytes + s.DataBytes }
+
+// Recorder accumulates a run's trace and counters. It is safe for
+// concurrent use.
+type Recorder struct {
+	mu   sync.Mutex
+	msgs []MsgRecord
+
+	localLockOps  int64
+	globalLockOps int64
+	demandFetches int64
+	aborts        int64
+	retries       int64
+	commits       int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Record appends one message record.
+func (r *Recorder) Record(rec MsgRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.msgs = append(r.msgs, rec)
+}
+
+// Counter bumps. Each corresponds to one §5/§5.1 metric.
+
+// AddLocalLockOp counts a lock operation satisfied from the locally cached
+// GDO information (no directory involvement).
+func (r *Recorder) AddLocalLockOp() { r.add(&r.localLockOps) }
+
+// AddGlobalLockOp counts a lock operation that had to consult the GDO.
+func (r *Recorder) AddGlobalLockOp() { r.add(&r.globalLockOps) }
+
+// AddDemandFetch counts a page fetched on demand after a LOTEC
+// misprediction.
+func (r *Recorder) AddDemandFetch() { r.add(&r.demandFetches) }
+
+// AddAbort counts a root-transaction abort (deadlock victim or user abort).
+func (r *Recorder) AddAbort() { r.add(&r.aborts) }
+
+// AddRetry counts a root-transaction retry after an abort.
+func (r *Recorder) AddRetry() { r.add(&r.retries) }
+
+// AddCommit counts a root-transaction commit.
+func (r *Recorder) AddCommit() { r.add(&r.commits) }
+
+func (r *Recorder) add(p *int64) {
+	r.mu.Lock()
+	*p++
+	r.mu.Unlock()
+}
+
+// Counters is a snapshot of the scalar counters.
+type Counters struct {
+	LocalLockOps  int64
+	GlobalLockOps int64
+	DemandFetches int64
+	Aborts        int64
+	Retries       int64
+	Commits       int64
+}
+
+// Counters returns a snapshot of the scalar counters.
+func (r *Recorder) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Counters{
+		LocalLockOps:  r.localLockOps,
+		GlobalLockOps: r.globalLockOps,
+		DemandFetches: r.demandFetches,
+		Aborts:        r.aborts,
+		Retries:       r.retries,
+		Commits:       r.commits,
+	}
+}
+
+// MsgCount returns the number of recorded messages.
+func (r *Recorder) MsgCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs)
+}
+
+// Trace returns a copy of the full message trace.
+func (r *Recorder) Trace() []MsgRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]MsgRecord(nil), r.msgs...)
+}
+
+// forEachAttribution calls fn once per (object, record) attribution.
+func (r *Recorder) forEachAttribution(fn func(obj ids.ObjectID, rec *MsgRecord)) {
+	for i := range r.msgs {
+		rec := &r.msgs[i]
+		if rec.Obj != NoObject {
+			fn(rec.Obj, rec)
+			continue
+		}
+		for _, o := range rec.Objs {
+			fn(o, rec)
+		}
+	}
+}
+
+// PerObject aggregates the trace per object. Multi-object messages
+// contribute their full size to each named object's message count and
+// control bytes divided evenly (they carry only control data).
+func (r *Recorder) PerObject() map[ids.ObjectID]ObjStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[ids.ObjectID]ObjStats)
+	for i := range r.msgs {
+		rec := &r.msgs[i]
+		if rec.Obj != NoObject {
+			s := out[rec.Obj]
+			s.Msgs++
+			s.DataBytes += int64(rec.Payload)
+			s.ControlBytes += int64(rec.Bytes - rec.Payload)
+			out[rec.Obj] = s
+			continue
+		}
+		if len(rec.Objs) == 0 {
+			continue
+		}
+		share := int64(rec.Bytes) / int64(len(rec.Objs))
+		for _, o := range rec.Objs {
+			s := out[o]
+			s.Msgs++
+			s.ControlBytes += share
+			out[o] = s
+		}
+	}
+	return out
+}
+
+// Object returns the aggregate for one object.
+func (r *Recorder) Object(obj ids.ObjectID) ObjStats {
+	return r.PerObject()[obj]
+}
+
+// Objects returns the objects with any attributed traffic, ascending.
+func (r *Recorder) Objects() []ids.ObjectID {
+	per := r.PerObject()
+	out := make([]ids.ObjectID, 0, len(per))
+	for o := range per {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Totals sums the whole trace.
+func (r *Recorder) Totals() ObjStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s ObjStats
+	for i := range r.msgs {
+		rec := &r.msgs[i]
+		s.Msgs++
+		s.DataBytes += int64(rec.Payload)
+		s.ControlBytes += int64(rec.Bytes - rec.Payload)
+	}
+	return s
+}
+
+// TransferTime prices every message attributed to obj under p and returns
+// the total — the paper's "total message time required to maintain the
+// consistency of an arbitrary shared object" (Figures 6–8).
+func (r *Recorder) TransferTime(obj ids.ObjectID, p netmodel.Params) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total time.Duration
+	r.forEachAttribution(func(o ids.ObjectID, rec *MsgRecord) {
+		if o != obj {
+			return
+		}
+		b := rec.Bytes
+		if rec.Obj == NoObject && len(rec.Objs) > 0 {
+			b = rec.Bytes / len(rec.Objs)
+		}
+		total += p.MsgTime(b)
+	})
+	return total
+}
+
+// TotalTime prices the entire trace under p.
+func (r *Recorder) TotalTime(p netmodel.Params) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total time.Duration
+	for i := range r.msgs {
+		total += p.MsgTime(r.msgs[i].Bytes)
+	}
+	return total
+}

@@ -1,0 +1,310 @@
+package transport
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"lotec/internal/ids"
+	"lotec/internal/netmodel"
+	"lotec/internal/stats"
+	"lotec/internal/wire"
+)
+
+// SimNet is a deterministic discrete-event network simulator. All nodes
+// share one virtual clock; at most one proc (transaction goroutine) runs at
+// any instant, and events fire in strict (time, sequence) order, so a given
+// workload produces byte-identical traces on every run.
+//
+// Construct with NewSimNet, attach handlers, start procs with the node
+// Envs' Go, then Run until quiescent.
+type SimNet struct {
+	params netmodel.Params
+	rec    *stats.Recorder // may be nil
+
+	mu       sync.Mutex
+	now      time.Duration
+	seq      uint64
+	pq       eventQueue
+	handlers map[ids.NodeID]Handler
+	envs     map[ids.NodeID]*simEnv
+	active   int // procs started and not yet finished
+
+	// yield carries the "current proc has blocked or finished" signal back
+	// to the scheduler. Procs send; only the scheduler receives.
+	yield chan struct{}
+}
+
+// event is one scheduled occurrence.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fire func()
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewSimNet creates a simulator for nodes 1..n with the given network
+// parameters. rec may be nil to skip tracing.
+func NewSimNet(n int, params netmodel.Params, rec *stats.Recorder) *SimNet {
+	s := &SimNet{
+		params:   params,
+		rec:      rec,
+		handlers: make(map[ids.NodeID]Handler, n),
+		envs:     make(map[ids.NodeID]*simEnv, n),
+		yield:    make(chan struct{}),
+	}
+	for i := 1; i <= n; i++ {
+		id := ids.NodeID(i)
+		s.envs[id] = &simEnv{net: s, self: id}
+	}
+	return s
+}
+
+// Env returns the Env of a node (1-based).
+func (s *SimNet) Env(id ids.NodeID) Env { return s.envs[id] }
+
+// SetHandler installs the inbound-message handler for a node.
+func (s *SimNet) SetHandler(id ids.NodeID, h Handler) { s.handlers[id] = h }
+
+// Now returns the current virtual time.
+func (s *SimNet) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// schedule enqueues fn to fire at the given virtual time (>= now).
+func (s *SimNet) schedule(at time.Duration, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: at, seq: s.seq, fire: fn})
+}
+
+// record traces one message if a recorder is attached.
+func (s *SimNet) record(from, to ids.NodeID, m wire.Msg) {
+	if s.rec == nil {
+		return
+	}
+	rec := wire.Classify(m)
+	rec.From, rec.To = from, to
+	s.rec.Record(rec)
+}
+
+// latency returns the simulated transmission time of m.
+func (s *SimNet) latency(m wire.Msg) time.Duration {
+	return s.params.MsgTime(m.Size())
+}
+
+// Run drives the simulation until no events remain. It returns an error if
+// procs are still blocked at quiescence (a protocol deadlock — the
+// engine's deadlock detector should have prevented it).
+func (s *SimNet) Run() error {
+	for {
+		s.mu.Lock()
+		if s.pq.Len() == 0 {
+			active := s.active
+			s.mu.Unlock()
+			if active > 0 {
+				return fmt.Errorf("transport: simulation quiescent with %d proc(s) still blocked", active)
+			}
+			return nil
+		}
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.at
+		s.mu.Unlock()
+		// Events run on the scheduler goroutine. An event that wakes a proc
+		// blocks (inside fire) until that proc yields again, preserving the
+		// one-runnable-at-a-time invariant.
+		e.fire()
+	}
+}
+
+// runProcUntilBlocked starts or resumes proc execution and waits for it to
+// block or finish. Must be called from the scheduler goroutine only.
+func (s *SimNet) waitYield() { <-s.yield }
+
+// procYield signals the scheduler that the calling proc has blocked or
+// finished. Must be called from proc goroutines only.
+func (s *SimNet) procYield() { s.yield <- struct{}{} }
+
+// simEnv is the per-node Env.
+type simEnv struct {
+	net  *SimNet
+	self ids.NodeID
+}
+
+var _ Env = (*simEnv)(nil)
+
+// Self implements Env.
+func (e *simEnv) Self() ids.NodeID { return e.self }
+
+// Now implements Env.
+func (e *simEnv) Now() time.Duration { return e.net.Now() }
+
+// Go implements Env: the proc starts at the current virtual time.
+func (e *simEnv) Go(fn func()) {
+	s := e.net
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+	s.schedule(s.Now(), func() {
+		go func() {
+			fn()
+			s.mu.Lock()
+			s.active--
+			s.mu.Unlock()
+			s.procYield()
+		}()
+		s.waitYield()
+	})
+}
+
+// Sleep implements Env.
+func (e *simEnv) Sleep(d time.Duration) {
+	f := e.NewFuture()
+	e.net.schedule(e.net.Now()+d, func() { f.Complete(nil, nil) })
+	_, _ = f.Wait()
+}
+
+// NewFuture implements Env.
+func (e *simEnv) NewFuture() Future {
+	return &simFuture{net: e.net, resume: make(chan futResult, 1)}
+}
+
+// Send implements Env: schedules delivery after the message's simulated
+// latency and runs the destination handler at that time.
+func (e *simEnv) Send(to ids.NodeID, m wire.Msg) error {
+	s := e.net
+	h, ok := s.handlers[to]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoHandler, to)
+	}
+	if to == e.self {
+		// Local delivery: no network cost, but still deferred through the
+		// event queue so handler effects stay ordered.
+		s.schedule(s.Now(), func() { h(e.self, m) })
+		return nil
+	}
+	s.record(e.self, to, m)
+	from := e.self
+	s.schedule(s.Now()+s.latency(m), func() { h(from, m) })
+	return nil
+}
+
+// Call implements Env. Calls to self run the handler inline with no cost
+// (the locally cached / co-located GDO partition case of §4.1).
+func (e *simEnv) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
+	s := e.net
+	h, ok := s.handlers[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoHandler, to)
+	}
+	if to == e.self {
+		return h(e.self, m), nil
+	}
+	f := e.NewFuture()
+	from := e.self
+	s.record(from, to, m)
+	s.schedule(s.Now()+s.latency(m), func() {
+		reply := h(from, m)
+		if reply == nil {
+			reply = &wire.ErrResp{Msg: "no reply"}
+		}
+		s.record(to, from, reply)
+		s.schedule(s.Now()+s.latency(reply), func() {
+			f.Complete(reply, nil)
+		})
+	})
+	v, err := f.Wait()
+	if err != nil {
+		return nil, err
+	}
+	reply := v.(wire.Msg)
+	if er, ok := reply.(*wire.ErrResp); ok {
+		return nil, fmt.Errorf("transport: remote error from %v: %s", to, er.Msg)
+	}
+	return reply, nil
+}
+
+// futResult carries a completion.
+type futResult struct {
+	v   any
+	err error
+}
+
+// simFuture parks a proc until completed.
+//
+// If Complete fires before Wait, the result is stored and Wait returns it
+// without yielding. If Wait parks first, Complete schedules a wake-up event
+// so the hand-off always goes through the scheduler, preserving the
+// one-runnable-at-a-time invariant no matter which context calls Complete.
+type simFuture struct {
+	net    *SimNet
+	resume chan futResult
+
+	mu      sync.Mutex
+	done    bool
+	waiting bool
+	res     futResult
+}
+
+// Complete implements Future.
+func (f *simFuture) Complete(v any, err error) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
+	f.done = true
+	f.res = futResult{v: v, err: err}
+	waiting := f.waiting
+	f.mu.Unlock()
+	if !waiting {
+		return // Wait will pick the result up synchronously
+	}
+	s := f.net
+	s.schedule(s.Now(), func() {
+		f.resume <- f.res
+		s.waitYield()
+	})
+}
+
+// Wait implements Future. Must be called from a proc.
+func (f *simFuture) Wait() (any, error) {
+	f.mu.Lock()
+	if f.done {
+		r := f.res
+		f.mu.Unlock()
+		return r.v, r.err
+	}
+	f.waiting = true
+	f.mu.Unlock()
+	f.net.procYield()
+	r := <-f.resume
+	return r.v, r.err
+}

@@ -1,0 +1,66 @@
+// Package transport abstracts how LOTEC sites exchange messages so that the
+// identical protocol engine (package node) runs both under the paper's
+// deterministic simulation (§5) and over real TCP (package server).
+//
+// Two implementations are provided:
+//
+//   - SimNet: a deterministic discrete-event simulator with a virtual clock.
+//     Message latency follows the netmodel cost model, every message is
+//     recorded into a stats.Recorder, and transaction goroutines are
+//     cooperatively scheduled one at a time so runs are exactly
+//     reproducible.
+//   - TCPNet (package server): real sockets, real blocking.
+//
+// The contract: transaction code runs in "procs" started with Env.Go and
+// may block (Call, Future.Wait, Sleep); message handlers run on delivery
+// and must never block.
+package transport
+
+import (
+	"errors"
+	"time"
+
+	"lotec/internal/ids"
+	"lotec/internal/wire"
+)
+
+// Handler processes one inbound message at a node. For RPCs it returns the
+// reply; for one-way messages it returns nil. Handlers must not block and
+// must not call Env.Call (use Env.Send or complete futures instead).
+type Handler func(from ids.NodeID, m wire.Msg) wire.Msg
+
+// Future is a one-shot completion slot used to park a transaction until a
+// deferred event (lock grant, deadlock abort) arrives.
+type Future interface {
+	// Complete delivers the value. Later calls are ignored.
+	Complete(v any, err error)
+	// Wait blocks the calling proc until Complete is called.
+	Wait() (any, error)
+}
+
+// Env is one node's interface to the cluster.
+type Env interface {
+	// Self returns this node's ID.
+	Self() ids.NodeID
+	// Call performs an RPC. A call to Self() runs the local handler inline
+	// with no message cost (the local GDO partition case).
+	Call(to ids.NodeID, m wire.Msg) (wire.Msg, error)
+	// Send delivers a one-way message.
+	Send(to ids.NodeID, m wire.Msg) error
+	// NewFuture creates a completion slot.
+	NewFuture() Future
+	// Go starts a proc (a blockable flow of control, e.g. one root
+	// transaction).
+	Go(fn func())
+	// Sleep pauses the calling proc.
+	Sleep(d time.Duration)
+	// Now returns the current (virtual or wall) time since start.
+	Now() time.Duration
+}
+
+// Transport-level errors.
+var (
+	ErrUnknownNode = errors.New("transport: unknown node")
+	ErrNoHandler   = errors.New("transport: node has no handler")
+	ErrClosed      = errors.New("transport: closed")
+)

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"lotec/internal/ids"
+	"lotec/internal/stats"
+)
+
+// Classify maps a message onto its stats record: kind, size, and the shared
+// object(s) whose consistency maintenance the message is attributed to
+// (Figures 2–5 report bytes per object; Figures 6–8 report message time per
+// object). From/To are left for the transport to fill in.
+func Classify(m Msg) stats.MsgRecord {
+	rec := stats.MsgRecord{Obj: stats.NoObject, Bytes: m.Size(), Kind: stats.KindOther}
+	switch t := m.(type) {
+	case *AcquireReq:
+		rec.Kind, rec.Obj = stats.KindLockReq, t.Obj
+	case *AcquireResp:
+		rec.Kind, rec.Obj = stats.KindLockReply, t.Obj
+	case *ReleaseReq:
+		rec.Kind = stats.KindRelease
+		objs := make([]ids.ObjectID, 0, len(t.Rels))
+		for _, rel := range t.Rels {
+			objs = append(objs, rel.Obj)
+		}
+		rec.Objs = objs
+	case *ReleaseResp:
+		rec.Kind = stats.KindReleaseReply
+		objs := make([]ids.ObjectID, 0, len(t.Stamps))
+		seen := make(map[ids.ObjectID]bool, len(t.Stamps))
+		for _, st := range t.Stamps {
+			if !seen[st.Obj] {
+				seen[st.Obj] = true
+				objs = append(objs, st.Obj)
+			}
+		}
+		rec.Objs = objs
+	case *Grant:
+		rec.Kind, rec.Obj = stats.KindGrant, t.Obj
+	case *Abort:
+		rec.Kind, rec.Obj = stats.KindAbort, t.Obj
+	case *FetchReq:
+		rec.Kind, rec.Obj = stats.KindFetchReq, t.Obj
+	case *FetchResp:
+		rec.Kind, rec.Obj = stats.KindPageData, t.Obj
+		for _, pg := range t.Pages {
+			rec.Payload += len(pg.Data)
+		}
+	case *PushReq:
+		rec.Kind, rec.Obj = stats.KindPush, t.Obj
+		for _, pg := range t.Pages {
+			rec.Payload += len(pg.Data)
+		}
+	case *PushResp:
+		rec.Kind = stats.KindPushReply
+	case *CopySetReq:
+		rec.Kind, rec.Obj = stats.KindLockReq, t.Obj
+	case *CopySetResp:
+		rec.Kind = stats.KindLockReply
+	}
+	return rec
+}

@@ -1,0 +1,447 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
+	"lotec/internal/o2pl"
+)
+
+// Envelope is the fixed 32-byte message header.
+type Envelope struct {
+	Type  MsgType
+	ReqID uint64
+	From  ids.NodeID
+	To    ids.NodeID
+}
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("wire: short buffer")
+	ErrTrailing    = errors.New("wire: trailing bytes after body")
+)
+
+// writer accumulates a little-endian body.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) str(s string)         { w.bytes([]byte(s)) }
+func (w *writer) ref(r ids.TxRef)      { w.u64(uint64(r.Tx)); w.i32(int32(r.Node)) }
+func (w *writer) loc(l gdo.PageLoc)    { w.i32(int32(l.Node)); w.u64(l.Version) }
+func (w *writer) qreq(q gdo.QueuedReq) { w.ref(q.Ref); w.u8(uint8(q.Mode)) }
+
+// reader consumes a little-endian body, accumulating the first error.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(n int) bool {
+	if r.err != nil {
+		return true
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d at %d of %d", ErrShortBuffer, n, r.off, len(r.buf))
+		return true
+	}
+	return false
+}
+
+func (r *reader) u8() uint8 {
+	if r.fail(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.fail(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.fail(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32     { return int32(r.u32()) }
+func (r *reader) i64() int64     { return int64(r.u64()) }
+func (r *reader) boolean() bool  { return r.u8() != 0 }
+func (r *reader) ref() ids.TxRef { return ids.TxRef{Tx: ids.TxID(r.u64()), Node: ids.NodeID(r.i32())} }
+func (r *reader) loc() gdo.PageLoc {
+	return gdo.PageLoc{Node: ids.NodeID(r.i32()), Version: r.u64()}
+}
+func (r *reader) qreq() gdo.QueuedReq {
+	return gdo.QueuedReq{Ref: r.ref(), Mode: o2pl.Mode(r.u8())}
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if n == 0 || r.fail(n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += n
+	return out
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+// count reads a collection length with a sanity bound.
+func (r *reader) count() int {
+	n := int(r.u32())
+	if r.err == nil && (n < 0 || n > 1<<24) {
+		r.err = fmt.Errorf("wire: absurd collection length %d", n)
+		return 0
+	}
+	return n
+}
+
+// Encode serializes env+m into a fresh buffer. The envelope's Type field is
+// taken from the message, not from env.
+func Encode(env Envelope, m Msg) []byte {
+	var w writer
+	w.buf = make([]byte, 0, m.Size())
+	w.u8(uint8(m.Type()))
+	w.u64(env.ReqID)
+	w.i32(int32(env.From))
+	w.i32(int32(env.To))
+	w.u32(0) // body length back-patched below
+	// Reserved/padding to HeaderSize.
+	for len(w.buf) < HeaderSize {
+		w.u8(0)
+	}
+	m.encodeBody(&w)
+	binary.LittleEndian.PutUint32(w.buf[17:], uint32(len(w.buf)-HeaderSize))
+	return w.buf
+}
+
+// Decode parses a full message buffer produced by Encode.
+func Decode(buf []byte) (Envelope, Msg, error) {
+	if len(buf) < HeaderSize {
+		return Envelope{}, nil, fmt.Errorf("%w: header", ErrShortBuffer)
+	}
+	env := Envelope{
+		Type:  MsgType(buf[0]),
+		ReqID: binary.LittleEndian.Uint64(buf[1:]),
+		From:  ids.NodeID(int32(binary.LittleEndian.Uint32(buf[9:]))),
+		To:    ids.NodeID(int32(binary.LittleEndian.Uint32(buf[13:]))),
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(buf[17:]))
+	if HeaderSize+bodyLen > len(buf) {
+		return env, nil, fmt.Errorf("%w: body wants %d, have %d", ErrShortBuffer, bodyLen, len(buf)-HeaderSize)
+	}
+	m, err := newMsg(env.Type)
+	if err != nil {
+		return env, nil, err
+	}
+	r := &reader{buf: buf[HeaderSize : HeaderSize+bodyLen]}
+	m.decodeBody(r)
+	if r.err != nil {
+		return env, nil, fmt.Errorf("decode %d: %w", env.Type, r.err)
+	}
+	if r.off != len(r.buf) {
+		return env, nil, fmt.Errorf("%w: %d of %d consumed", ErrTrailing, r.off, len(r.buf))
+	}
+	return env, m, nil
+}
+
+// Body encoders/decoders. Each pair must mirror the other exactly; the test
+// suite round-trips every type and cross-checks Size.
+
+func (m *AcquireReq) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	w.ref(m.Ref)
+	w.u64(uint64(m.Family))
+	w.u64(m.Age)
+	w.i32(int32(m.Site))
+	w.u8(uint8(m.Mode))
+}
+
+func (m *AcquireReq) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Ref = r.ref()
+	m.Family = ids.FamilyID(r.u64())
+	m.Age = r.u64()
+	m.Site = ids.NodeID(r.i32())
+	m.Mode = o2pl.Mode(r.u8())
+}
+
+func (m *AcquireResp) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	w.u8(uint8(m.Status))
+	w.u8(uint8(m.Mode))
+	w.i32(m.NumPages)
+	w.i32(int32(m.LastWriter))
+	w.u32(uint32(len(m.PageMap)))
+	for _, l := range m.PageMap {
+		w.loc(l)
+	}
+}
+
+func (m *AcquireResp) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Status = gdo.AcquireStatus(r.u8())
+	m.Mode = o2pl.Mode(r.u8())
+	m.NumPages = r.i32()
+	m.LastWriter = ids.NodeID(r.i32())
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.PageMap = append(m.PageMap, r.loc())
+	}
+}
+
+func (m *ReleaseReq) encodeBody(w *writer) {
+	w.u64(uint64(m.Family))
+	w.i32(int32(m.Site))
+	w.boolean(m.Commit)
+	w.u32(uint32(len(m.Rels)))
+	for _, rel := range m.Rels {
+		w.i64(int64(rel.Obj))
+		w.u32(uint32(len(rel.Dirty)))
+		for _, p := range rel.Dirty {
+			w.i32(int32(p))
+		}
+	}
+}
+
+func (m *ReleaseReq) decodeBody(r *reader) {
+	m.Family = ids.FamilyID(r.u64())
+	m.Site = ids.NodeID(r.i32())
+	m.Commit = r.boolean()
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		rel := gdo.ObjectRelease{Obj: ids.ObjectID(r.i64())}
+		k := r.count()
+		for j := 0; j < k && r.err == nil; j++ {
+			rel.Dirty = append(rel.Dirty, ids.PageNum(r.i32()))
+		}
+		m.Rels = append(m.Rels, rel)
+	}
+}
+
+func (m *ReleaseResp) encodeBody(w *writer) {
+	w.u32(uint32(len(m.Stamps)))
+	for _, s := range m.Stamps {
+		w.i64(int64(s.Obj))
+		w.i32(int32(s.Page))
+		w.u64(s.Version)
+	}
+}
+
+func (m *ReleaseResp) decodeBody(r *reader) {
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Stamps = append(m.Stamps, gdo.PageStamp{
+			Obj:     ids.ObjectID(r.i64()),
+			Page:    ids.PageNum(r.i32()),
+			Version: r.u64(),
+		})
+	}
+}
+
+func (m *Grant) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	w.u64(uint64(m.Family))
+	w.u8(uint8(m.Mode))
+	w.boolean(m.Upgrade)
+	w.i32(m.NumPages)
+	w.i32(int32(m.LastWriter))
+	w.u32(uint32(len(m.Reqs)))
+	for _, q := range m.Reqs {
+		w.qreq(q)
+	}
+	w.u32(uint32(len(m.PageMap)))
+	for _, l := range m.PageMap {
+		w.loc(l)
+	}
+}
+
+func (m *Grant) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Family = ids.FamilyID(r.u64())
+	m.Mode = o2pl.Mode(r.u8())
+	m.Upgrade = r.boolean()
+	m.NumPages = r.i32()
+	m.LastWriter = ids.NodeID(r.i32())
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Reqs = append(m.Reqs, r.qreq())
+	}
+	n = r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.PageMap = append(m.PageMap, r.loc())
+	}
+}
+
+func (m *Abort) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	w.u64(uint64(m.Family))
+	w.u32(uint32(len(m.Reqs)))
+	for _, q := range m.Reqs {
+		w.qreq(q)
+	}
+}
+
+func (m *Abort) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Family = ids.FamilyID(r.u64())
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Reqs = append(m.Reqs, r.qreq())
+	}
+}
+
+func (m *FetchReq) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	w.boolean(m.Demand)
+	w.u32(uint32(len(m.Pages)))
+	for _, p := range m.Pages {
+		w.i32(int32(p))
+	}
+}
+
+func (m *FetchReq) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Demand = r.boolean()
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Pages = append(m.Pages, ids.PageNum(r.i32()))
+	}
+}
+
+func encodePages(w *writer, pages []PagePayload) {
+	w.u32(uint32(len(pages)))
+	for _, p := range pages {
+		w.i32(int32(p.Page))
+		w.u64(p.Version)
+		w.bytes(p.Data)
+	}
+}
+
+func decodePages(r *reader) []PagePayload {
+	n := r.count()
+	var out []PagePayload
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, PagePayload{
+			Page:    ids.PageNum(r.i32()),
+			Version: r.u64(),
+			Data:    r.bytes(),
+		})
+	}
+	return out
+}
+
+func (m *FetchResp) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	encodePages(w, m.Pages)
+}
+
+func (m *FetchResp) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Pages = decodePages(r)
+}
+
+func (m *PushReq) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	encodePages(w, m.Pages)
+}
+
+func (m *PushReq) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Pages = decodePages(r)
+}
+
+func (*PushResp) encodeBody(*writer) {}
+func (*PushResp) decodeBody(*reader) {}
+
+func (m *CopySetReq) encodeBody(w *writer) { w.i64(int64(m.Obj)) }
+func (m *CopySetReq) decodeBody(r *reader) { m.Obj = ids.ObjectID(r.i64()) }
+
+func (m *CopySetResp) encodeBody(w *writer) {
+	w.u32(uint32(len(m.Sites)))
+	for _, s := range m.Sites {
+		w.i32(int32(s))
+	}
+}
+
+func (m *CopySetResp) decodeBody(r *reader) {
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Sites = append(m.Sites, ids.NodeID(r.i32()))
+	}
+}
+
+func (m *RegisterReq) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	w.i32(int32(m.Class))
+	w.i32(m.NumPages)
+	w.i32(int32(m.Owner))
+}
+
+func (m *RegisterReq) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Class = ids.ClassID(r.i32())
+	m.NumPages = r.i32()
+	m.Owner = ids.NodeID(r.i32())
+}
+
+func (*RegisterResp) encodeBody(*writer) {}
+func (*RegisterResp) decodeBody(*reader) {}
+
+func (m *RunReq) encodeBody(w *writer) {
+	w.i64(int64(m.Obj))
+	w.str(m.Method)
+	w.bytes(m.Arg)
+}
+
+func (m *RunReq) decodeBody(r *reader) {
+	m.Obj = ids.ObjectID(r.i64())
+	m.Method = r.str()
+	m.Arg = r.bytes()
+}
+
+func (m *RunResp) encodeBody(w *writer) {
+	w.bytes(m.Result)
+	w.str(m.ErrMsg)
+}
+
+func (m *RunResp) decodeBody(r *reader) {
+	m.Result = r.bytes()
+	m.ErrMsg = r.str()
+}
+
+func (m *ErrResp) encodeBody(w *writer) { w.str(m.Msg) }
+func (m *ErrResp) decodeBody(r *reader) { m.Msg = r.str() }

@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"lotec/internal/gdo"
+)
+
+// TestDecodeNeverPanicsOnGarbage feeds random byte strings (and corrupted
+// valid frames) through Decode: malformed input must produce errors, never
+// panics or absurd allocations.
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Pure noise.
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		_, _, _ = Decode(buf)
+	}
+	// Corrupted valid frames: flip bytes one at a time.
+	base := Encode(Envelope{ReqID: 9, From: 1, To: 2}, &Grant{
+		Obj: 3, Family: 4, Mode: 2, NumPages: 5,
+		Reqs:    []gdo.QueuedReq{{Mode: 1}},
+		PageMap: []gdo.PageLoc{{Node: 1, Version: 2}},
+	})
+	for i := 0; i < len(base); i++ {
+		for _, delta := range []byte{1, 0x80, 0xFF} {
+			buf := append([]byte(nil), base...)
+			buf[i] ^= delta
+			_, _, _ = Decode(buf)
+		}
+	}
+	// Truncations of a valid frame at every length.
+	for n := 0; n <= len(base); n++ {
+		_, _, _ = Decode(base[:n])
+	}
+}

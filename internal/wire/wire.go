@@ -1,0 +1,369 @@
+// Package wire defines the messages the LOTEC protocols exchange and a
+// compact binary codec for them.
+//
+// Every message has a deterministic Size — the bytes it occupies on the
+// wire, envelope included — which is what the simulation's cost accounting
+// and the paper's byte counts (Figures 2–5) are computed from. Size is
+// defined to equal the actual encoded length; the test suite checks the two
+// against each other for every message type.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
+	"lotec/internal/o2pl"
+)
+
+// MsgType discriminates message bodies.
+type MsgType uint8
+
+// Message types.
+const (
+	TAcquireReq MsgType = iota + 1
+	TAcquireResp
+	TReleaseReq
+	TReleaseResp
+	TGrant
+	TAbort
+	TFetchReq
+	TFetchResp
+	TPushReq
+	TPushResp
+	TCopySetReq
+	TCopySetResp
+	TRegisterReq
+	TRegisterResp
+	TRunReq
+	TRunResp
+	TErrResp
+)
+
+// HeaderSize is the envelope size: type(1) + reqID(8) + from(4) + to(4) +
+// bodyLen(4) + flags/padding(11) = 32 bytes, a realistic header for a
+// lightweight reliable messaging layer.
+const HeaderSize = 32
+
+// Msg is implemented by every message body.
+type Msg interface {
+	Type() MsgType
+	// Size returns the full on-wire size in bytes (HeaderSize + body).
+	Size() int
+	encodeBody(w *writer)
+	decodeBody(r *reader)
+}
+
+// Fixed field sizes used by the Size formulas.
+const (
+	sizeTxRef     = 12 // txID(8) + node(4)
+	sizePageLoc   = 12 // node(4) + version(8)
+	sizeQueuedReq = 13 // ref(12) + mode(1)
+	sizeStamp     = 20 // obj(8) + page(4) + version(8)
+)
+
+// PagePayload carries one page's bytes and version.
+type PagePayload struct {
+	Page    ids.PageNum
+	Version uint64
+	Data    []byte
+}
+
+func (p PagePayload) size() int { return 4 + 8 + 4 + len(p.Data) }
+
+// AcquireReq asks the GDO to acquire obj's lock (Alg 4.2 input).
+type AcquireReq struct {
+	Obj    ids.ObjectID
+	Ref    ids.TxRef
+	Family ids.FamilyID
+	// Age is the family's stable priority for deadlock-victim selection:
+	// the root TxID of its *first* attempt, reused across retries so a
+	// repeatedly victimized root eventually becomes oldest and wins.
+	Age  uint64
+	Site ids.NodeID
+	Mode o2pl.Mode
+}
+
+// Type implements Msg.
+func (*AcquireReq) Type() MsgType { return TAcquireReq }
+
+// Size implements Msg.
+func (*AcquireReq) Size() int { return HeaderSize + 8 + sizeTxRef + 8 + 8 + 4 + 1 }
+
+// AcquireResp replies to AcquireReq.
+type AcquireResp struct {
+	Obj        ids.ObjectID
+	Status     gdo.AcquireStatus
+	Mode       o2pl.Mode
+	NumPages   int32
+	LastWriter ids.NodeID
+	PageMap    []gdo.PageLoc
+}
+
+// Type implements Msg.
+func (*AcquireResp) Type() MsgType { return TAcquireResp }
+
+// Size implements Msg.
+func (m *AcquireResp) Size() int {
+	return HeaderSize + 8 + 1 + 1 + 4 + 4 + 4 + sizePageLoc*len(m.PageMap)
+}
+
+// ReleaseReq releases a family's holds on the listed objects (Alg 4.4
+// input), with dirty-page info piggybacked.
+type ReleaseReq struct {
+	Family ids.FamilyID
+	Site   ids.NodeID
+	// Commit distinguishes a root-commit release (dirty info meaningful,
+	// counts toward the global commit order) from an abort release.
+	Commit bool
+	Rels   []gdo.ObjectRelease
+}
+
+// Type implements Msg.
+func (*ReleaseReq) Type() MsgType { return TReleaseReq }
+
+// Size implements Msg.
+func (m *ReleaseReq) Size() int {
+	n := HeaderSize + 8 + 4 + 1 + 4
+	for _, rel := range m.Rels {
+		n += 8 + 4 + 4*len(rel.Dirty)
+	}
+	return n
+}
+
+// ReleaseResp replies with the new page versions assigned.
+type ReleaseResp struct {
+	Stamps []gdo.PageStamp
+}
+
+// Type implements Msg.
+func (*ReleaseResp) Type() MsgType { return TReleaseResp }
+
+// Size implements Msg.
+func (m *ReleaseResp) Size() int { return HeaderSize + 4 + sizeStamp*len(m.Stamps) }
+
+// Grant delivers a deferred lock grant to the new holder family's site:
+// the family's request list plus the page map (Alg 4.4's "Send the list
+// pointed to by HolderPtr and the page map to the new holder's site").
+type Grant struct {
+	Obj        ids.ObjectID
+	Family     ids.FamilyID
+	Mode       o2pl.Mode
+	Upgrade    bool
+	NumPages   int32
+	LastWriter ids.NodeID
+	Reqs       []gdo.QueuedReq
+	PageMap    []gdo.PageLoc
+}
+
+// Type implements Msg.
+func (*Grant) Type() MsgType { return TGrant }
+
+// Size implements Msg.
+func (m *Grant) Size() int {
+	return HeaderSize + 8 + 8 + 1 + 1 + 4 + 4 +
+		4 + sizeQueuedReq*len(m.Reqs) +
+		4 + sizePageLoc*len(m.PageMap)
+}
+
+// Abort tells a site its family's queued requests were cancelled as a
+// deadlock victim.
+type Abort struct {
+	Obj    ids.ObjectID
+	Family ids.FamilyID
+	Reqs   []gdo.QueuedReq
+}
+
+// Type implements Msg.
+func (*Abort) Type() MsgType { return TAbort }
+
+// Size implements Msg.
+func (m *Abort) Size() int { return HeaderSize + 8 + 8 + 4 + sizeQueuedReq*len(m.Reqs) }
+
+// FetchReq asks a site for specific pages of one object (Alg 4.5 gather;
+// Demand marks a post-misprediction demand fetch).
+type FetchReq struct {
+	Obj    ids.ObjectID
+	Demand bool
+	Pages  []ids.PageNum
+}
+
+// Type implements Msg.
+func (*FetchReq) Type() MsgType { return TFetchReq }
+
+// Size implements Msg.
+func (m *FetchReq) Size() int { return HeaderSize + 8 + 1 + 4 + 4*len(m.Pages) }
+
+// FetchResp returns the requested page payloads.
+type FetchResp struct {
+	Obj   ids.ObjectID
+	Pages []PagePayload
+}
+
+// Type implements Msg.
+func (*FetchResp) Type() MsgType { return TFetchResp }
+
+// Size implements Msg.
+func (m *FetchResp) Size() int {
+	n := HeaderSize + 8 + 4
+	for _, p := range m.Pages {
+		n += p.size()
+	}
+	return n
+}
+
+// PushReq eagerly pushes updated pages to a caching site (the Release
+// Consistency extension of §6).
+type PushReq struct {
+	Obj   ids.ObjectID
+	Pages []PagePayload
+}
+
+// Type implements Msg.
+func (*PushReq) Type() MsgType { return TPushReq }
+
+// Size implements Msg.
+func (m *PushReq) Size() int {
+	n := HeaderSize + 8 + 4
+	for _, p := range m.Pages {
+		n += p.size()
+	}
+	return n
+}
+
+// PushResp acknowledges a PushReq (pushes must land before the lock is
+// released).
+type PushResp struct{}
+
+// Type implements Msg.
+func (*PushResp) Type() MsgType { return TPushResp }
+
+// Size implements Msg.
+func (*PushResp) Size() int { return HeaderSize }
+
+// CopySetReq asks the GDO which sites cache obj.
+type CopySetReq struct {
+	Obj ids.ObjectID
+}
+
+// Type implements Msg.
+func (*CopySetReq) Type() MsgType { return TCopySetReq }
+
+// Size implements Msg.
+func (*CopySetReq) Size() int { return HeaderSize + 8 }
+
+// CopySetResp lists the caching sites.
+type CopySetResp struct {
+	Sites []ids.NodeID
+}
+
+// Type implements Msg.
+func (*CopySetResp) Type() MsgType { return TCopySetResp }
+
+// Size implements Msg.
+func (m *CopySetResp) Size() int { return HeaderSize + 4 + 4*len(m.Sites) }
+
+// RegisterReq registers an object in the GDO (deployment setup).
+type RegisterReq struct {
+	Obj      ids.ObjectID
+	Class    ids.ClassID
+	NumPages int32
+	Owner    ids.NodeID
+}
+
+// Type implements Msg.
+func (*RegisterReq) Type() MsgType { return TRegisterReq }
+
+// Size implements Msg.
+func (*RegisterReq) Size() int { return HeaderSize + 8 + 4 + 4 + 4 }
+
+// RegisterResp acknowledges a RegisterReq.
+type RegisterResp struct{}
+
+// Type implements Msg.
+func (*RegisterResp) Type() MsgType { return TRegisterResp }
+
+// Size implements Msg.
+func (*RegisterResp) Size() int { return HeaderSize }
+
+// RunReq asks a node to run a root transaction: invoke Method on Obj.
+type RunReq struct {
+	Obj    ids.ObjectID
+	Method string
+	Arg    []byte
+}
+
+// Type implements Msg.
+func (*RunReq) Type() MsgType { return TRunReq }
+
+// Size implements Msg.
+func (m *RunReq) Size() int { return HeaderSize + 8 + 4 + len(m.Method) + 4 + len(m.Arg) }
+
+// RunResp returns a root transaction's result.
+type RunResp struct {
+	Result []byte
+	ErrMsg string
+}
+
+// Type implements Msg.
+func (*RunResp) Type() MsgType { return TRunResp }
+
+// Size implements Msg.
+func (m *RunResp) Size() int { return HeaderSize + 4 + len(m.Result) + 4 + len(m.ErrMsg) }
+
+// ErrResp is a generic error reply.
+type ErrResp struct {
+	Msg string
+}
+
+// Type implements Msg.
+func (*ErrResp) Type() MsgType { return TErrResp }
+
+// Size implements Msg.
+func (m *ErrResp) Size() int { return HeaderSize + 4 + len(m.Msg) }
+
+// ErrUnknownType reports an undecodable message type.
+var ErrUnknownType = errors.New("wire: unknown message type")
+
+// newMsg constructs an empty message of the given type.
+func newMsg(t MsgType) (Msg, error) {
+	switch t {
+	case TAcquireReq:
+		return &AcquireReq{}, nil
+	case TAcquireResp:
+		return &AcquireResp{}, nil
+	case TReleaseReq:
+		return &ReleaseReq{}, nil
+	case TReleaseResp:
+		return &ReleaseResp{}, nil
+	case TGrant:
+		return &Grant{}, nil
+	case TAbort:
+		return &Abort{}, nil
+	case TFetchReq:
+		return &FetchReq{}, nil
+	case TFetchResp:
+		return &FetchResp{}, nil
+	case TPushReq:
+		return &PushReq{}, nil
+	case TPushResp:
+		return &PushResp{}, nil
+	case TCopySetReq:
+		return &CopySetReq{}, nil
+	case TCopySetResp:
+		return &CopySetResp{}, nil
+	case TRegisterReq:
+		return &RegisterReq{}, nil
+	case TRegisterResp:
+		return &RegisterResp{}, nil
+	case TRunReq:
+		return &RunReq{}, nil
+	case TRunResp:
+		return &RunResp{}, nil
+	case TErrResp:
+		return &ErrResp{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}

@@ -1,0 +1,285 @@
+package lotec_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"lotec"
+)
+
+func i64(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func dec64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// buildBank assembles a small banking schema on a cluster.
+func buildBank(t *testing.T, opts lotec.Options) (*lotec.Cluster, *lotec.Class) {
+	t.Helper()
+	c, err := lotec.NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	account, err := lotec.NewClass(1, "Account").
+		Attr("balance", 8).
+		Attr("history", 64).
+		Method(lotec.MethodSpec{Name: "deposit", Writes: []string{"balance"}}).
+		Method(lotec.MethodSpec{Name: "withdraw", Writes: []string{"balance"}}).
+		Method(lotec.MethodSpec{Name: "peek", Reads: []string{"balance"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAddClass(account)
+	c.MustOnMethod(account, "deposit", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		next := dec64(cur) + dec64(ctx.Arg())
+		if err := ctx.Write("balance", i64(next)); err != nil {
+			return err
+		}
+		ctx.SetResult(i64(next))
+		return nil
+	})
+	c.MustOnMethod(account, "withdraw", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		if dec64(cur) < dec64(ctx.Arg()) {
+			return errors.New("insufficient funds")
+		}
+		return ctx.Write("balance", i64(dec64(cur)-dec64(ctx.Arg())))
+	})
+	c.MustOnMethod(account, "peek", func(ctx *lotec.Ctx) error {
+		cur, err := ctx.Read("balance")
+		if err != nil {
+			return err
+		}
+		ctx.SetResult(cur)
+		return nil
+	})
+	return c, account
+}
+
+func TestClusterExec(t *testing.T) {
+	c, account := buildBank(t, lotec.Options{Nodes: 3, PageSize: 256})
+	obj, err := c.NewObject(account.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Exec(2, obj, "deposit", i64(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec64(out) != 40 {
+		t.Errorf("deposit = %d", dec64(out))
+	}
+	out, err = c.Exec(3, obj, "peek", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec64(out) != 40 {
+		t.Errorf("peek at third node = %d, want 40", dec64(out))
+	}
+	if _, err := c.Exec(1, obj, "withdraw", i64(100)); err == nil {
+		t.Error("overdraft should fail")
+	}
+	out, _ = c.Exec(1, obj, "peek", nil)
+	if dec64(out) != 40 {
+		t.Errorf("balance after failed withdraw = %d", dec64(out))
+	}
+	if c.Counters().Commits != 3 {
+		t.Errorf("commits = %d", c.Counters().Commits)
+	}
+	if c.TotalStats().TotalBytes() == 0 {
+		t.Error("no consistency traffic recorded")
+	}
+	if c.ObjectStats(obj).Msgs == 0 {
+		t.Error("no per-object traffic")
+	}
+	if c.TransferTime(obj, lotec.Gigabit) == 0 {
+		t.Error("zero transfer time")
+	}
+	final, err := c.ObjectBytes(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec64(final[:8]) != 40 {
+		t.Error("ObjectBytes disagrees with peek")
+	}
+}
+
+func TestClusterSubmitRunResults(t *testing.T) {
+	c, account := buildBank(t, lotec.Options{Nodes: 2, PageSize: 256, Protocol: lotec.OTEC})
+	obj, err := c.NewObject(account.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(time.Duration(i)*time.Millisecond, lotec.NodeID(i%2+1), obj, "deposit", i64(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rs := c.Results()
+	if len(rs) != 5 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("%s on %v: %v", r.Method, r.Obj, r.Err)
+		}
+	}
+	out, err := c.Exec(1, obj, "peek", nil)
+	if err != nil || dec64(out) != 10 {
+		t.Errorf("final balance = %d, %v", dec64(out), err)
+	}
+	if c.Protocol().Name() != "OTEC" {
+		t.Errorf("protocol = %s", c.Protocol().Name())
+	}
+	if c.Now() == 0 {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	for _, name := range []string{"COTEC", "OTEC", "LOTEC", "RC"} {
+		p, err := lotec.ProtocolByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ProtocolByName(%s) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := lotec.ProtocolByName("XYZ"); err == nil {
+		t.Error("unknown protocol should fail")
+	}
+}
+
+func TestStrictModeSurfacesUndeclaredAccess(t *testing.T) {
+	c, err := lotec.NewCluster(lotec.Options{Nodes: 1, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := lotec.NewClass(1, "Sneaky").
+		Attr("a", 8).
+		Attr("b", 8).
+		Method(lotec.MethodSpec{Name: "m", Writes: []string{"a"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAddClass(cls)
+	c.MustOnMethod(cls, "m", func(ctx *lotec.Ctx) error {
+		return ctx.Write("b", i64(1)) // undeclared
+	})
+	obj, err := c.NewObject(cls.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(1, obj, "m", nil); !errors.Is(err, lotec.ErrUndeclaredAccess) {
+		t.Errorf("err = %v, want ErrUndeclaredAccess", err)
+	}
+}
+
+func TestRemoteDeployment(t *testing.T) {
+	// Reserve loopback addresses.
+	var addrs []string
+	var ls []net.Listener
+	for i := 0; i < 3; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls = append(ls, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	for _, l := range ls {
+		_ = l.Close()
+	}
+	topo := lotec.Topology{NodeAddrs: addrs[:2], GDOAddr: addrs[2]}
+
+	g, err := lotec.StartGDO(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	account, err := lotec.NewClass(1, "Account").
+		Attr("balance", 8).
+		Method(lotec.MethodSpec{Name: "deposit", Writes: []string{"balance"}}).
+		Method(lotec.MethodSpec{Name: "peek", Reads: []string{"balance"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*lotec.Node
+	for i := 1; i <= 2; i++ {
+		n, err := lotec.NewNode(lotec.NodeOptions{Topology: topo, Self: lotec.NodeID(i), PageSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddClass(account); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.OnMethod(account, "deposit", func(ctx *lotec.Ctx) error {
+			cur, err := ctx.Read("balance")
+			if err != nil {
+				return err
+			}
+			return ctx.Write("balance", i64(dec64(cur)+dec64(ctx.Arg())))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.OnMethod(account, "peek", func(ctx *lotec.Ctx) error {
+			cur, err := ctx.Read("balance")
+			if err != nil {
+				return err
+			}
+			ctx.SetResult(cur)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	// Owner creates first, then the peer.
+	if err := nodes[0].CreateObject(1, account.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].CreateObject(1, account.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := lotec.Dial(topo.NodeAddrs[1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Run(1, "deposit", i64(11)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := nodes[0].Run(1, "peek", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, i64(11)) {
+		t.Errorf("remote peek = %d, want 11", dec64(out))
+	}
+	if g.Addr() == "" || nodes[0].Addr() == "" {
+		t.Error("addresses not reported")
+	}
+}

@@ -1,0 +1,19 @@
+# Tier-1 gate: everything must build, vet clean, and pass under the race
+# detector before a change lands.
+.PHONY: check build vet test bench
+
+check: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test -race ./...
+
+# Regenerate BENCH_results.json (figure workload timings + sharded
+# directory throughput).
+bench:
+	go run ./cmd/lotec-bench -figure 3 -json BENCH_results.json

@@ -29,6 +29,11 @@ type Options struct {
 	Lenient bool
 	// MaxRetries bounds automatic deadlock retries per transaction.
 	MaxRetries int
+	// DirectoryShards partitions the GDO into that many independent lock
+	// shards (0 or 1 → the paper's single logical directory). Object
+	// placement and per-object cost attribution are identical at every
+	// shard count; sharding only relieves directory contention.
+	DirectoryShards int
 }
 
 // Cluster is an in-process LOTEC deployment: a set of simulated sites over
@@ -65,6 +70,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Net:               opts.Net,
 		Lenient:           opts.Lenient,
 		MaxRetries:        opts.MaxRetries,
+		DirectoryShards:   opts.DirectoryShards,
 	})
 	if err != nil {
 		return nil, err

@@ -3,19 +3,50 @@
 // trace under every bandwidth × software-cost combination — the full grid
 // behind Figures 6–8, for finding where LOTEC's smaller-but-more-numerous
 // messages win or lose.
+//
+// With -json, it additionally benchmarks the directory itself — concurrent
+// acquire/release throughput at 1, 2, 4 and 8 lock shards — and writes
+// machine-readable results to BENCH_results.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"lotec/internal/core"
+	"lotec/internal/directory"
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
 	"lotec/internal/netmodel"
+	"lotec/internal/o2pl"
 	"lotec/internal/sim"
 )
 
+// benchResult is one line of BENCH_results.json.
+type benchResult struct {
+	// Op names the benchmark ("workload/figure3", "directory/acquire-release/shards=4").
+	Op string `json:"op"`
+	// Protocol is the consistency protocol, where one applies.
+	Protocol string `json:"protocol,omitempty"`
+	// Shards is the directory partition count, for directory benchmarks.
+	Shards int `json:"shards,omitempty"`
+	// Ops is the number of operations timed.
+	Ops int `json:"ops"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesMoved is the consistency data traffic of the run (simulated
+	// runs only; the directory benchmark is in-process).
+	BytesMoved int64 `json:"bytes_moved"`
+}
+
 func main() {
 	figure := flag.String("figure", "3", "workload figure to sweep (2..5)")
+	jsonOut := flag.String("json", "", "also benchmark directory sharding and write results to this file (e.g. BENCH_results.json)")
 	flag.Parse()
 
 	spec, err := sim.FigureByID(*figure)
@@ -23,6 +54,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lotec-bench:", err)
 		os.Exit(1)
 	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(spec, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "lotec-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	res, err := sim.RunFigure(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-bench:", err)
@@ -35,4 +75,116 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Println(res.CountersTable())
+}
+
+// writeJSON times the figure workload per protocol and the sharded
+// directory's acquire/release path, then writes every result to path.
+func writeJSON(spec sim.FigureSpec, path string) error {
+	var results []benchResult
+
+	for _, p := range []core.Protocol{core.COTEC, core.OTEC, core.LOTEC} {
+		// Fresh workload per run: clusters mutate installed class state.
+		w, err := sim.GenerateWorkload(spec.Workload)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		c, _, err := w.Execute(sim.Config{Protocol: p})
+		if err != nil {
+			return fmt.Errorf("%s workload: %w", p.Name(), err)
+		}
+		elapsed := time.Since(start)
+		n := len(c.Results())
+		results = append(results, benchResult{
+			Op:         "workload/figure" + spec.ID,
+			Protocol:   p.Name(),
+			Ops:        n,
+			NsPerOp:    float64(elapsed.Nanoseconds()) / float64(n),
+			BytesMoved: c.Recorder().Totals().DataBytes,
+		})
+		fmt.Printf("workload/figure%s  %-6s %8d ops  %12.0f ns/op  %10d bytes\n",
+			spec.ID, p.Name(), n, results[len(results)-1].NsPerOp, results[len(results)-1].BytesMoved)
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		nsPerOp, ops, err := benchDirectory(shards)
+		if err != nil {
+			return fmt.Errorf("directory bench (%d shards): %w", shards, err)
+		}
+		results = append(results, benchResult{
+			Op:      fmt.Sprintf("directory/acquire-release/shards=%d", shards),
+			Shards:  shards,
+			Ops:     ops,
+			NsPerOp: nsPerOp,
+		})
+		fmt.Printf("directory/acquire-release  %d shard(s) %8d ops  %12.0f ns/op\n", shards, ops, nsPerOp)
+	}
+
+	buf, err := json.MarshalIndent(struct {
+		Figure  string        `json:"figure"`
+		Results []benchResult `json:"results"`
+	}{Figure: spec.ID, Results: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(results))
+	return nil
+}
+
+// benchDirectory times write-acquire + release round trips against a
+// sharded directory under concurrent load: 8 sites hammer 512 registered
+// objects with single-object transactions over disjoint object ranges (so
+// every acquire grants immediately and the lock-service path itself is what
+// is measured). Each release scans its partition's entries, so throughput
+// scales with the partition count even on one core.
+func benchDirectory(shards int) (nsPerOp float64, ops int, err error) {
+	const (
+		objects = 512
+		workers = 8
+		iters   = 2000
+	)
+	s := directory.NewSharded(shards, workers)
+	for o := ids.ObjectID(1); o <= objects; o++ {
+		if err := s.Register(o, 1, 1); err != nil {
+			return 0, 0, err
+		}
+	}
+	var (
+		nextFam  atomic.Uint64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		benchErr error
+	)
+	span := objects / workers
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := ids.NodeID(w + 1)
+			for i := 0; i < iters; i++ {
+				obj := ids.ObjectID(w*span + i%span + 1)
+				fam := ids.FamilyID(nextFam.Add(1))
+				ref := ids.TxRef{Tx: ids.TxID(fam), Node: site}
+				if _, _, err := s.Acquire(obj, ref, fam, uint64(fam), site, o2pl.Write); err != nil {
+					errOnce.Do(func() { benchErr = err })
+					return
+				}
+				if _, _, err := s.Release(fam, site, false, []gdo.ObjectRelease{{Obj: obj}}); err != nil {
+					errOnce.Do(func() { benchErr = err })
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if benchErr != nil {
+		return 0, 0, benchErr
+	}
+	ops = workers * iters
+	return float64(elapsed.Nanoseconds()) / float64(ops), ops, nil
 }

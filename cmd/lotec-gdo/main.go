@@ -18,6 +18,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7100", "listen address of the directory")
 	nodes := flag.String("nodes", "", "comma-separated data node addresses, in node-ID order")
+	shards := flag.Int("shards", 1, "directory partitions; every node must be started with the same value")
 	flag.Parse()
 
 	nodeAddrs := strings.Split(*nodes, ",")
@@ -25,13 +26,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lotec-gdo: -nodes is required")
 		os.Exit(2)
 	}
-	topo := lotec.Topology{NodeAddrs: nodeAddrs, GDOAddr: *addr}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "lotec-gdo: -shards must be at least 1")
+		os.Exit(2)
+	}
+	topo := lotec.Topology{NodeAddrs: nodeAddrs, GDOAddr: *addr, DirectoryShards: *shards}
 	g, err := lotec.StartGDO(topo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-gdo:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("GDO serving %d-node deployment at %s\n", len(nodeAddrs), g.Addr())
+	fmt.Printf("GDO serving %d-node deployment at %s (%d shard(s))\n", len(nodeAddrs), g.Addr(), *shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -74,6 +74,11 @@ type Event struct {
 	NumPages   int
 	Upgrade    bool       // EventGrant: this grant is a read→write upgrade
 	LastWriter ids.NodeID // EventGrant: site of the most recent update
+	// Shard is the directory partition the event originated from. The
+	// single Directory always reports 0; the sharded router (package
+	// directory) stamps the owning shard so the wire messages built from
+	// the event stay shard-addressed.
+	Shard int32
 }
 
 // Acquire implements Algorithm 4.2 (GlobalLockAcquisition) for a request by
@@ -125,6 +130,7 @@ func (d *Directory) Acquire(obj ids.ObjectID, ref ids.TxRef, family ids.FamilyID
 			e.queues = append(e.queues, q)
 		}
 		q.reqs = append(q.reqs, QueuedReq{Ref: ref, Mode: mode})
+		d.noteWaitersLocked(e)
 
 		if victim, cycle := d.findDeadlockVictim(family); cycle {
 			if victim == family {
@@ -153,6 +159,7 @@ func (d *Directory) acquireHolding(e *entry, h *familyHold, ref ids.TxRef, age u
 	}
 	// Wait for the other reader families to drain.
 	e.upgrades = append(e.upgrades, &upgradeWait{family: h.family, site: site, age: age, ref: ref})
+	d.noteWaitersLocked(e)
 	if victim, cycle := d.findDeadlockVictim(h.family); cycle {
 		if victim == h.family {
 			d.dropUpgradeLocked(e, h.family)
@@ -181,6 +188,7 @@ func (d *Directory) dropUpgradeLocked(e *entry, family ids.FamilyID) {
 	for i, u := range e.upgrades {
 		if u.family == family {
 			e.upgrades = append(e.upgrades[:i], e.upgrades[i+1:]...)
+			d.noteWaitersLocked(e)
 			return
 		}
 	}

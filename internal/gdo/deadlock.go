@@ -18,10 +18,76 @@ import (
 // (wound-wait style), so a repeatedly victimized root eventually becomes
 // the oldest in any cycle and is guaranteed to win — no starvation.
 
+// WaitEdge is one family-level waits-for edge: From is queued (or upgrading)
+// behind a lock To currently holds. Edge summaries are what a partitioned
+// directory's shards exchange so inter-shard cycles stay detectable (see
+// package directory).
+type WaitEdge struct {
+	From ids.FamilyID
+	To   ids.FamilyID
+}
+
+// HasWaiters reports whether any family is queued or upgrading here. The
+// sharded router uses it as an O(1) precheck: a cycle spanning shards needs
+// waiting families in at least two of them.
+func (d *Directory) HasWaiters() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.waitObjs) > 0
+}
+
+// WaitEdges summarizes this directory's waits-for relation: the edge list
+// plus the waiting families' deadlock ages. The sharded router unions the
+// summaries of every shard and runs the same cycle search findDeadlockVictim
+// performs locally.
+func (d *Directory) WaitEdges() ([]WaitEdge, map[ids.FamilyID]uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	adj, ages := d.buildWaitsForLocked()
+	var edges []WaitEdge
+	for from, tos := range adj {
+		for _, to := range tos {
+			edges = append(edges, WaitEdge{From: from, To: to})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges, ages
+}
+
+// AbortVictim cancels every queued request and pending upgrade of victim in
+// this directory and returns the deadlock-abort events for its site(s). It
+// is the externally driven form of the abort performed when local detection
+// picks a victim; the sharded router calls it on every shard once an
+// inter-shard cycle is found.
+func (d *Directory) AbortVictim(victim ids.FamilyID) []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.abortVictimLocked(victim)
+}
+
+// PurgeFamily silently removes family from every queue and upgrade list
+// (no events). The sharded router uses it when the requesting family itself
+// is chosen as the victim of an inter-shard cycle: the synchronous
+// DeadlockAbort reply covers the notification, exactly as the local
+// detector's purge does.
+func (d *Directory) PurgeFamily(family ids.FamilyID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.purgeFamilyLocked(family)
+}
+
 // buildWaitsForLocked derives the waits-for adjacency from current directory
 // state: a queued family waits on every holder of that object; an upgrading
 // family waits on every *other* holder. Caller holds d.mu.
 func (d *Directory) buildWaitsForLocked() (map[ids.FamilyID][]ids.FamilyID, map[ids.FamilyID]uint64) {
+	if len(d.waitObjs) == 0 {
+		return nil, nil
+	}
 	adj := make(map[ids.FamilyID][]ids.FamilyID)
 	ages := make(map[ids.FamilyID]uint64)
 	add := func(from, to ids.FamilyID) {
@@ -30,7 +96,9 @@ func (d *Directory) buildWaitsForLocked() (map[ids.FamilyID][]ids.FamilyID, map[
 		}
 		adj[from] = append(adj[from], to)
 	}
-	for _, e := range d.entries {
+	// Only entries someone waits on can contribute edges; waitObjs indexes
+	// exactly those, so idle directories pay nothing here.
+	for _, e := range d.waitObjs {
 		for _, q := range e.queues {
 			ages[q.family] = q.age
 			for _, h := range e.holders {

@@ -12,11 +12,12 @@
 // inter-family deadlock detection on the waits-for graph with
 // youngest-family victim selection (the paper's simulation sidesteps both).
 //
-// The Directory is a single logical service. The paper partitions and
-// replicates it for scale/reliability; here partitioning appears in the cost
-// model (each object has a home node that global messages are charged to —
-// see HomeNode) while the state is kept in one structure, which is how the
-// TCP deployment hosts it too.
+// A Directory holds one partition's worth of state. The paper partitions
+// and replicates the GDO for scale/reliability; package directory realizes
+// the partitioning — a Sharded router over N Directory instances, one per
+// shard — while HomeNode keeps the cost model's per-object message
+// attribution. A deployment with a single partition (the default) uses one
+// Directory exactly as before.
 package gdo
 
 import (
@@ -163,6 +164,11 @@ type Directory struct {
 	entries map[ids.ObjectID]*entry
 	nodes   int // cluster size, for HomeNode
 
+	// waitObjs indexes the entries that currently have queued requests or
+	// pending upgrades, so waits-for graph construction touches only
+	// objects someone is actually waiting on (the common case is none).
+	waitObjs map[ids.ObjectID]*entry
+
 	// Commit-order bookkeeping: strict O2PL serializes committed families
 	// in the order their (first) committing release reaches the directory.
 	commitSeq   uint64
@@ -178,7 +184,18 @@ func New(n int) *Directory {
 	return &Directory{
 		entries:     make(map[ids.ObjectID]*entry),
 		nodes:       n,
+		waitObjs:    make(map[ids.ObjectID]*entry),
 		commitOrder: make(map[ids.FamilyID]uint64),
+	}
+}
+
+// noteWaitersLocked keeps waitObjs exact; it must be called after any
+// mutation of e's queues or upgrades. Caller holds d.mu.
+func (d *Directory) noteWaitersLocked(e *entry) {
+	if len(e.queues) > 0 || len(e.upgrades) > 0 {
+		d.waitObjs[e.obj] = e
+	} else {
+		delete(d.waitObjs, e.obj)
 	}
 }
 

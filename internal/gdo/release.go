@@ -96,6 +96,7 @@ func (d *Directory) scheduleLocked(e *entry) []Event {
 		for i, u := range e.upgrades {
 			if u.family == h.family {
 				e.upgrades = append(e.upgrades[:i], e.upgrades[i+1:]...)
+				d.noteWaitersLocked(e)
 				h.mode = o2pl.Write
 				h.refs = append(h.refs, u.ref)
 				events = append(events, Event{
@@ -122,6 +123,7 @@ func (d *Directory) scheduleLocked(e *entry) []Event {
 	if len(e.holders) == 0 && len(e.queues) > 0 {
 		q := e.queues[0]
 		e.queues = e.queues[1:]
+		d.noteWaitersLocked(e)
 		mode := o2pl.Read
 		for _, r := range q.reqs {
 			if r.Mode == o2pl.Write {
@@ -186,6 +188,9 @@ func (d *Directory) CancelRequest(obj ids.ObjectID, family ids.FamilyID) (bool, 
 			break
 		}
 	}
+	if removed {
+		d.noteWaitersLocked(e)
+	}
 	return removed, nil
 }
 
@@ -193,17 +198,23 @@ func (d *Directory) CancelRequest(obj ids.ObjectID, family ids.FamilyID) (bool, 
 // list. Caller holds d.mu.
 func (d *Directory) purgeFamilyLocked(family ids.FamilyID) {
 	for _, e := range d.entries {
+		removed := false
 		for i := 0; i < len(e.queues); i++ {
 			if e.queues[i].family == family {
 				e.queues = append(e.queues[:i], e.queues[i+1:]...)
 				i--
+				removed = true
 			}
 		}
 		for i := 0; i < len(e.upgrades); i++ {
 			if e.upgrades[i].family == family {
 				e.upgrades = append(e.upgrades[:i], e.upgrades[i+1:]...)
 				i--
+				removed = true
 			}
+		}
+		if removed {
+			d.noteWaitersLocked(e)
 		}
 	}
 }
@@ -243,6 +254,7 @@ func (d *Directory) abortVictimLocked(victim ids.FamilyID) []Event {
 				Reqs:   []QueuedReq{{Ref: u.ref, Mode: o2pl.Write}},
 			})
 		}
+		d.noteWaitersLocked(e)
 	}
 	return events
 }

@@ -107,6 +107,7 @@ func (e *Engine) acquireGlobal(ts *txState, obj ids.ObjectID, mode o2pl.Mode) er
 		Age:    age,
 		Site:   e.self,
 		Mode:   mode,
+		Shard:  e.shardOf(obj),
 	})
 	if err != nil {
 		clearPending()

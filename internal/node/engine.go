@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"lotec/internal/core"
+	"lotec/internal/directory"
 	"lotec/internal/gdo"
 	"lotec/internal/ids"
 	"lotec/internal/o2pl"
@@ -69,8 +70,13 @@ type Config struct {
 	ProtocolOverrides map[ids.ClassID]core.Protocol
 	// HomeFn maps an object to the node hosting its GDO partition.
 	HomeFn func(ids.ObjectID) ids.NodeID
-	// Dir, when non-nil, makes this node serve GDO requests from Dir.
-	Dir *gdo.Directory
+	// ShardFn maps an object to its directory shard. All nodes of a
+	// deployment must agree with the directory's own placement; nil means
+	// a single-shard directory (every object on shard 0).
+	ShardFn func(ids.ObjectID) int
+	// Dir, when non-nil, makes this node serve GDO requests from Dir —
+	// either a single *gdo.Directory or a *directory.Sharded router.
+	Dir directory.Service
 	// Rec records the message trace and counters; may be nil.
 	Rec *stats.Recorder
 	// MaxRetries bounds deadlock-victim retries of a root (default 20).
@@ -158,6 +164,14 @@ func New(cfg Config) (*Engine, error) {
 
 // Self returns the node's ID.
 func (e *Engine) Self() ids.NodeID { return e.self }
+
+// shardOf resolves an object's directory shard for outgoing lock messages.
+func (e *Engine) shardOf(obj ids.ObjectID) int32 {
+	if e.cfg.ShardFn == nil {
+		return 0
+	}
+	return int32(e.cfg.ShardFn(obj))
+}
 
 // Protocol returns the default consistency protocol.
 func (e *Engine) Protocol() core.Protocol { return e.cfg.Protocol }
@@ -589,35 +603,47 @@ func (e *Engine) releaseGlobal(fam *famState, objs []ids.ObjectID, dirty map[ids
 	if len(objs) == 0 {
 		return nil
 	}
-	byHome := make(map[ids.NodeID][]gdo.ObjectRelease)
+	// One batch per (home node, directory shard): shard-addressed releases
+	// let the GDO host hand each batch straight to the owning partition.
+	type dest struct {
+		home  ids.NodeID
+		shard int32
+	}
+	byDest := make(map[dest][]gdo.ObjectRelease)
 	for _, obj := range objs {
-		home := e.cfg.HomeFn(obj)
-		byHome[home] = append(byHome[home], gdo.ObjectRelease{Obj: obj, Dirty: dirty[obj]})
+		d := dest{home: e.cfg.HomeFn(obj), shard: e.shardOf(obj)}
+		byDest[d] = append(byDest[d], gdo.ObjectRelease{Obj: obj, Dirty: dirty[obj]})
 	}
-	homes := make([]ids.NodeID, 0, len(byHome))
-	for h := range byHome {
-		homes = append(homes, h)
+	dests := make([]dest, 0, len(byDest))
+	for d := range byDest {
+		dests = append(dests, d)
 	}
-	sort.Slice(homes, func(i, j int) bool { return homes[i] < homes[j] })
+	sort.Slice(dests, func(i, j int) bool {
+		if dests[i].home != dests[j].home {
+			return dests[i].home < dests[j].home
+		}
+		return dests[i].shard < dests[j].shard
+	})
 
 	family := fam.root.Family()
 	var verifyErr error
-	for _, home := range homes {
+	for _, d := range dests {
 		if e.cfg.Rec != nil {
 			e.cfg.Rec.AddGlobalLockOp()
 		}
-		reply, err := e.env.Call(home, &wire.ReleaseReq{
+		reply, err := e.env.Call(d.home, &wire.ReleaseReq{
 			Family: family,
 			Site:   e.self,
 			Commit: commit,
-			Rels:   byHome[home],
+			Shard:  d.shard,
+			Rels:   byDest[d],
 		})
 		if err != nil {
-			return fmt.Errorf("global release to %v: %w", home, err)
+			return fmt.Errorf("global release to %v: %w", d.home, err)
 		}
 		resp, ok := reply.(*wire.ReleaseResp)
 		if !ok {
-			return fmt.Errorf("global release to %v: unexpected reply %T", home, reply)
+			return fmt.Errorf("global release to %v: unexpected reply %T", d.home, reply)
 		}
 		for _, st := range resp.Stamps {
 			pid := ids.PageID{Object: st.Obj, Page: st.Page}

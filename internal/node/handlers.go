@@ -48,6 +48,7 @@ func (e *Engine) handleGrant(g *wire.Grant) {
 		_ = e.env.Send(e.cfg.HomeFn(g.Obj), &wire.ReleaseReq{
 			Family: g.Family,
 			Site:   e.self,
+			Shard:  g.Shard,
 			Rels:   []gdo.ObjectRelease{{Obj: g.Obj}},
 		})
 		return
@@ -156,6 +157,7 @@ func (e *Engine) handleGDOAcquire(req *wire.AcquireReq) wire.Msg {
 		Status:   res.Status,
 		Mode:     res.Mode,
 		NumPages: int32(res.NumPages),
+		Shard:    req.Shard,
 		PageMap:  res.PageMap,
 	}
 }
@@ -169,7 +171,7 @@ func (e *Engine) handleGDORelease(req *wire.ReleaseReq) wire.Msg {
 		return &wire.ErrResp{Msg: err.Error()}
 	}
 	e.routeEvents(events)
-	return &wire.ReleaseResp{Stamps: stamps}
+	return &wire.ReleaseResp{Shard: req.Shard, Stamps: stamps}
 }
 
 func (e *Engine) handleGDOCopySet(req *wire.CopySetReq) wire.Msg {
@@ -207,6 +209,7 @@ func (e *Engine) routeEvents(events []gdo.Event) {
 				Upgrade:    ev.Upgrade,
 				NumPages:   int32(ev.NumPages),
 				LastWriter: ev.LastWriter,
+				Shard:      ev.Shard,
 				Reqs:       ev.Reqs,
 				PageMap:    ev.PageMap,
 			})
@@ -214,6 +217,7 @@ func (e *Engine) routeEvents(events []gdo.Event) {
 			_ = e.env.Send(ev.Site, &wire.Abort{
 				Obj:    ev.Obj,
 				Family: ev.Family,
+				Shard:  ev.Shard,
 				Reqs:   ev.Reqs,
 			})
 		}

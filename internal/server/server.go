@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lotec/internal/core"
+	"lotec/internal/directory"
 	"lotec/internal/gdo"
 	"lotec/internal/ids"
 	"lotec/internal/node"
@@ -21,10 +22,20 @@ type Topology struct {
 	NodeAddrs []string
 	// GDOAddr is the directory service's host:port.
 	GDOAddr string
+	// DirectoryShards partitions the directory service into that many
+	// independent shards (0 or 1 → a single partition). Every process of a
+	// deployment must use the same value: nodes compute shard addresses
+	// from it and the GDO host dispatches on them.
+	DirectoryShards int
 }
 
 // GDONode returns the directory's node ID.
 func (t Topology) GDONode() ids.NodeID { return ids.NodeID(len(t.NodeAddrs) + 1) }
+
+// Placement returns the deployment's shared object→shard/home assignment.
+func (t Topology) Placement() directory.Placement {
+	return directory.NewPlacement(t.DirectoryShards, len(t.NodeAddrs))
+}
 
 // addrMap builds the ID→address table shared by every process.
 func (t Topology) addrMap() map[ids.NodeID]string {
@@ -40,14 +51,15 @@ func (t Topology) addrMap() map[ids.NodeID]string {
 type GDOServer struct {
 	topo Topology
 	net  *TCPNet
-	dir  *gdo.Directory
+	dir  *directory.Sharded
 }
 
 // NewGDOServer creates (without starting) a directory server.
 func NewGDOServer(topo Topology) *GDOServer {
+	p := topo.Placement()
 	s := &GDOServer{
 		topo: topo,
-		dir:  gdo.New(len(topo.NodeAddrs)),
+		dir:  directory.NewSharded(p.Shards, p.Nodes),
 	}
 	s.net = NewTCPNet(topo.GDONode(), topo.addrMap())
 	s.net.SetHandler(s.handle)
@@ -64,13 +76,18 @@ func (s *GDOServer) Close() error { return s.net.Close() }
 func (s *GDOServer) Addr() string { return s.net.Addr() }
 
 // Directory exposes the directory (diagnostics).
-func (s *GDOServer) Directory() *gdo.Directory { return s.dir }
+func (s *GDOServer) Directory() *directory.Sharded { return s.dir }
 
 // handle serves the directory protocol. The event routing mirrors
 // node.Engine.routeEvents.
 func (s *GDOServer) handle(from ids.NodeID, m wire.Msg) wire.Msg {
 	switch req := m.(type) {
 	case *wire.AcquireReq:
+		if want := s.dir.ShardOf(req.Obj); int(req.Shard) != want {
+			return &wire.ErrResp{Msg: fmt.Sprintf(
+				"gdo: acquire of %v addressed to shard %d, owned by shard %d (placement mismatch)",
+				req.Obj, req.Shard, want)}
+		}
 		res, events, err := s.dir.Acquire(req.Obj, req.Ref, req.Family, req.Age, req.Site, req.Mode)
 		if err != nil {
 			return &wire.ErrResp{Msg: err.Error()}
@@ -82,15 +99,23 @@ func (s *GDOServer) handle(from ids.NodeID, m wire.Msg) wire.Msg {
 			Mode:       res.Mode,
 			NumPages:   int32(res.NumPages),
 			LastWriter: res.LastWriter,
+			Shard:      req.Shard,
 			PageMap:    res.PageMap,
 		}
 	case *wire.ReleaseReq:
+		for _, rel := range req.Rels {
+			if want := s.dir.ShardOf(rel.Obj); int(req.Shard) != want {
+				return &wire.ErrResp{Msg: fmt.Sprintf(
+					"gdo: release of %v addressed to shard %d, owned by shard %d (placement mismatch)",
+					rel.Obj, req.Shard, want)}
+			}
+		}
 		events, stamps, err := s.dir.Release(req.Family, req.Site, req.Commit, req.Rels)
 		if err != nil {
 			return &wire.ErrResp{Msg: err.Error()}
 		}
 		s.route(events)
-		return &wire.ReleaseResp{Stamps: stamps}
+		return &wire.ReleaseResp{Shard: req.Shard, Stamps: stamps}
 	case *wire.CopySetReq:
 		sites, err := s.dir.CopySet(req.Obj)
 		if err != nil {
@@ -119,6 +144,7 @@ func (s *GDOServer) route(events []gdo.Event) {
 				Upgrade:    ev.Upgrade,
 				NumPages:   int32(ev.NumPages),
 				LastWriter: ev.LastWriter,
+				Shard:      ev.Shard,
 				Reqs:       ev.Reqs,
 				PageMap:    ev.PageMap,
 			})
@@ -126,6 +152,7 @@ func (s *GDOServer) route(events []gdo.Event) {
 			_ = s.net.Send(ev.Site, &wire.Abort{
 				Obj:    ev.Obj,
 				Family: ev.Family,
+				Shard:  ev.Shard,
 				Reqs:   ev.Reqs,
 			})
 		}
@@ -180,6 +207,7 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 	}
 	s.net = NewTCPNet(cfg.Self, cfg.Topology.addrMap())
 	gdoNode := cfg.Topology.GDONode()
+	place := cfg.Topology.Placement()
 	eng, err := node.New(node.Config{
 		Env:               s.net,
 		Store:             pstore.NewStore(cfg.PageSize),
@@ -189,6 +217,7 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		Protocol:          cfg.Protocol,
 		ProtocolOverrides: cfg.ProtocolOverrides,
 		HomeFn:            func(ids.ObjectID) ids.NodeID { return gdoNode },
+		ShardFn:           place.ShardOf,
 		Rec:               cfg.Rec,
 		Strict:            !cfg.Lenient,
 	})

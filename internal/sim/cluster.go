@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"lotec/internal/core"
-	"lotec/internal/gdo"
+	"lotec/internal/directory"
 	"lotec/internal/ids"
 	"lotec/internal/netmodel"
 	"lotec/internal/node"
@@ -44,6 +44,10 @@ type Config struct {
 	Lenient bool
 	// MaxRetries bounds deadlock retries per root (default 20).
 	MaxRetries int
+	// DirectoryShards partitions the GDO into that many independent shards
+	// (default 1 — the paper's single logical directory). Placement and
+	// per-object cost attribution are unchanged at any shard count.
+	DirectoryShards int
 }
 
 // withDefaults fills unset fields.
@@ -64,6 +68,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 20
 	}
+	if c.DirectoryShards <= 0 {
+		c.DirectoryShards = 1
+	}
 	return c
 }
 
@@ -72,7 +79,7 @@ func (c Config) withDefaults() Config {
 type Cluster struct {
 	cfg     Config
 	net     *transport.SimNet
-	dir     *gdo.Directory
+	dir     *directory.Sharded
 	rec     *stats.Recorder
 	schemas *schema.Registry
 	methods *node.MethodTable
@@ -108,7 +115,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:     cfg,
 		rec:     stats.NewRecorder(),
-		dir:     gdo.New(cfg.Nodes),
+		dir:     directory.NewSharded(cfg.DirectoryShards, cfg.Nodes),
 		schemas: schema.NewRegistry(cfg.PageSize),
 		methods: node.NewMethodTable(),
 		mgr:     txn.NewManager(),
@@ -128,6 +135,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Protocol:          cfg.Protocol,
 			ProtocolOverrides: cfg.ProtocolOverrides,
 			HomeFn:            c.dir.HomeNode,
+			ShardFn:           c.dir.ShardOf,
 			Dir:               c.dir,
 			Rec:               c.rec,
 			MaxRetries:        cfg.MaxRetries,
@@ -150,7 +158,7 @@ func (c *Cluster) Schemas() *schema.Registry { return c.schemas }
 func (c *Cluster) Recorder() *stats.Recorder { return c.rec }
 
 // Directory exposes the shared GDO (tests and verification).
-func (c *Cluster) Directory() *gdo.Directory { return c.dir }
+func (c *Cluster) Directory() *directory.Sharded { return c.dir }
 
 // Protocol returns the cluster's consistency protocol.
 func (c *Cluster) Protocol() core.Protocol { return c.cfg.Protocol }

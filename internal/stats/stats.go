@@ -86,10 +86,17 @@ type MsgRecord struct {
 	// The paper's "bytes transferred to maintain consistency" counts
 	// payload; Bytes-Payload is messaging overhead.
 	Payload int
+	// Shard is the directory partition a lock-service message was
+	// addressed to; NoShard (-1) marks messages that do not involve the
+	// directory (page fetches, pushes, transaction control).
+	Shard int
 }
 
 // NoObject marks a record without a single-object attribution.
 const NoObject ids.ObjectID = -1
+
+// NoShard marks a record with no directory-shard attribution.
+const NoShard = -1
 
 // ObjStats aggregates the trace for one object.
 type ObjStats struct {
@@ -237,6 +244,27 @@ func (r *Recorder) PerObject() map[ids.ObjectID]ObjStats {
 			s.ControlBytes += share
 			out[o] = s
 		}
+	}
+	return out
+}
+
+// PerShard aggregates the directory-addressed portion of the trace per
+// shard, exposing how evenly a partitioned GDO's lock traffic spreads.
+// Records with Shard == NoShard (non-directory traffic) are excluded.
+func (r *Recorder) PerShard() map[int]ObjStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]ObjStats)
+	for i := range r.msgs {
+		rec := &r.msgs[i]
+		if rec.Shard == NoShard {
+			continue
+		}
+		s := out[rec.Shard]
+		s.Msgs++
+		s.DataBytes += int64(rec.Payload)
+		s.ControlBytes += int64(rec.Bytes - rec.Payload)
+		out[rec.Shard] = s
 	}
 	return out
 }

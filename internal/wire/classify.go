@@ -10,21 +10,21 @@ import (
 // (Figures 2–5 report bytes per object; Figures 6–8 report message time per
 // object). From/To are left for the transport to fill in.
 func Classify(m Msg) stats.MsgRecord {
-	rec := stats.MsgRecord{Obj: stats.NoObject, Bytes: m.Size(), Kind: stats.KindOther}
+	rec := stats.MsgRecord{Obj: stats.NoObject, Bytes: m.Size(), Kind: stats.KindOther, Shard: stats.NoShard}
 	switch t := m.(type) {
 	case *AcquireReq:
-		rec.Kind, rec.Obj = stats.KindLockReq, t.Obj
+		rec.Kind, rec.Obj, rec.Shard = stats.KindLockReq, t.Obj, int(t.Shard)
 	case *AcquireResp:
-		rec.Kind, rec.Obj = stats.KindLockReply, t.Obj
+		rec.Kind, rec.Obj, rec.Shard = stats.KindLockReply, t.Obj, int(t.Shard)
 	case *ReleaseReq:
-		rec.Kind = stats.KindRelease
+		rec.Kind, rec.Shard = stats.KindRelease, int(t.Shard)
 		objs := make([]ids.ObjectID, 0, len(t.Rels))
 		for _, rel := range t.Rels {
 			objs = append(objs, rel.Obj)
 		}
 		rec.Objs = objs
 	case *ReleaseResp:
-		rec.Kind = stats.KindReleaseReply
+		rec.Kind, rec.Shard = stats.KindReleaseReply, int(t.Shard)
 		objs := make([]ids.ObjectID, 0, len(t.Stamps))
 		seen := make(map[ids.ObjectID]bool, len(t.Stamps))
 		for _, st := range t.Stamps {
@@ -35,9 +35,9 @@ func Classify(m Msg) stats.MsgRecord {
 		}
 		rec.Objs = objs
 	case *Grant:
-		rec.Kind, rec.Obj = stats.KindGrant, t.Obj
+		rec.Kind, rec.Obj, rec.Shard = stats.KindGrant, t.Obj, int(t.Shard)
 	case *Abort:
-		rec.Kind, rec.Obj = stats.KindAbort, t.Obj
+		rec.Kind, rec.Obj, rec.Shard = stats.KindAbort, t.Obj, int(t.Shard)
 	case *FetchReq:
 		rec.Kind, rec.Obj = stats.KindFetchReq, t.Obj
 	case *FetchResp:

@@ -188,6 +188,7 @@ func (m *AcquireReq) encodeBody(w *writer) {
 	w.u64(m.Age)
 	w.i32(int32(m.Site))
 	w.u8(uint8(m.Mode))
+	w.i32(m.Shard)
 }
 
 func (m *AcquireReq) decodeBody(r *reader) {
@@ -197,6 +198,7 @@ func (m *AcquireReq) decodeBody(r *reader) {
 	m.Age = r.u64()
 	m.Site = ids.NodeID(r.i32())
 	m.Mode = o2pl.Mode(r.u8())
+	m.Shard = r.i32()
 }
 
 func (m *AcquireResp) encodeBody(w *writer) {
@@ -205,6 +207,7 @@ func (m *AcquireResp) encodeBody(w *writer) {
 	w.u8(uint8(m.Mode))
 	w.i32(m.NumPages)
 	w.i32(int32(m.LastWriter))
+	w.i32(m.Shard)
 	w.u32(uint32(len(m.PageMap)))
 	for _, l := range m.PageMap {
 		w.loc(l)
@@ -217,6 +220,7 @@ func (m *AcquireResp) decodeBody(r *reader) {
 	m.Mode = o2pl.Mode(r.u8())
 	m.NumPages = r.i32()
 	m.LastWriter = ids.NodeID(r.i32())
+	m.Shard = r.i32()
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		m.PageMap = append(m.PageMap, r.loc())
@@ -227,6 +231,7 @@ func (m *ReleaseReq) encodeBody(w *writer) {
 	w.u64(uint64(m.Family))
 	w.i32(int32(m.Site))
 	w.boolean(m.Commit)
+	w.i32(m.Shard)
 	w.u32(uint32(len(m.Rels)))
 	for _, rel := range m.Rels {
 		w.i64(int64(rel.Obj))
@@ -241,6 +246,7 @@ func (m *ReleaseReq) decodeBody(r *reader) {
 	m.Family = ids.FamilyID(r.u64())
 	m.Site = ids.NodeID(r.i32())
 	m.Commit = r.boolean()
+	m.Shard = r.i32()
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		rel := gdo.ObjectRelease{Obj: ids.ObjectID(r.i64())}
@@ -253,6 +259,7 @@ func (m *ReleaseReq) decodeBody(r *reader) {
 }
 
 func (m *ReleaseResp) encodeBody(w *writer) {
+	w.i32(m.Shard)
 	w.u32(uint32(len(m.Stamps)))
 	for _, s := range m.Stamps {
 		w.i64(int64(s.Obj))
@@ -262,6 +269,7 @@ func (m *ReleaseResp) encodeBody(w *writer) {
 }
 
 func (m *ReleaseResp) decodeBody(r *reader) {
+	m.Shard = r.i32()
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Stamps = append(m.Stamps, gdo.PageStamp{
@@ -279,6 +287,7 @@ func (m *Grant) encodeBody(w *writer) {
 	w.boolean(m.Upgrade)
 	w.i32(m.NumPages)
 	w.i32(int32(m.LastWriter))
+	w.i32(m.Shard)
 	w.u32(uint32(len(m.Reqs)))
 	for _, q := range m.Reqs {
 		w.qreq(q)
@@ -296,6 +305,7 @@ func (m *Grant) decodeBody(r *reader) {
 	m.Upgrade = r.boolean()
 	m.NumPages = r.i32()
 	m.LastWriter = ids.NodeID(r.i32())
+	m.Shard = r.i32()
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Reqs = append(m.Reqs, r.qreq())
@@ -309,6 +319,7 @@ func (m *Grant) decodeBody(r *reader) {
 func (m *Abort) encodeBody(w *writer) {
 	w.i64(int64(m.Obj))
 	w.u64(uint64(m.Family))
+	w.i32(m.Shard)
 	w.u32(uint32(len(m.Reqs)))
 	for _, q := range m.Reqs {
 		w.qreq(q)
@@ -318,6 +329,7 @@ func (m *Abort) encodeBody(w *writer) {
 func (m *Abort) decodeBody(r *reader) {
 	m.Obj = ids.ObjectID(r.i64())
 	m.Family = ids.FamilyID(r.u64())
+	m.Shard = r.i32()
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Reqs = append(m.Reqs, r.qreq())

@@ -83,13 +83,18 @@ type AcquireReq struct {
 	Age  uint64
 	Site ids.NodeID
 	Mode o2pl.Mode
+	// Shard addresses the directory partition owning Obj (0 under a
+	// single-partition directory). The requester computes it from the
+	// deployment's shared placement; the directory host dispatches on it
+	// and rejects mismatches, which catches placement disagreement early.
+	Shard int32
 }
 
 // Type implements Msg.
 func (*AcquireReq) Type() MsgType { return TAcquireReq }
 
 // Size implements Msg.
-func (*AcquireReq) Size() int { return HeaderSize + 8 + sizeTxRef + 8 + 8 + 4 + 1 }
+func (*AcquireReq) Size() int { return HeaderSize + 8 + sizeTxRef + 8 + 8 + 4 + 1 + 4 }
 
 // AcquireResp replies to AcquireReq.
 type AcquireResp struct {
@@ -98,7 +103,10 @@ type AcquireResp struct {
 	Mode       o2pl.Mode
 	NumPages   int32
 	LastWriter ids.NodeID
-	PageMap    []gdo.PageLoc
+	// Shard echoes the request's partition so replies are attributed to
+	// the same shard in the stats trace.
+	Shard   int32
+	PageMap []gdo.PageLoc
 }
 
 // Type implements Msg.
@@ -106,7 +114,7 @@ func (*AcquireResp) Type() MsgType { return TAcquireResp }
 
 // Size implements Msg.
 func (m *AcquireResp) Size() int {
-	return HeaderSize + 8 + 1 + 1 + 4 + 4 + 4 + sizePageLoc*len(m.PageMap)
+	return HeaderSize + 8 + 1 + 1 + 4 + 4 + 4 + 4 + sizePageLoc*len(m.PageMap)
 }
 
 // ReleaseReq releases a family's holds on the listed objects (Alg 4.4
@@ -117,7 +125,10 @@ type ReleaseReq struct {
 	// Commit distinguishes a root-commit release (dirty info meaningful,
 	// counts toward the global commit order) from an abort release.
 	Commit bool
-	Rels   []gdo.ObjectRelease
+	// Shard addresses the directory partition owning every object in
+	// Rels; releasing sites batch one ReleaseReq per (home, shard).
+	Shard int32
+	Rels  []gdo.ObjectRelease
 }
 
 // Type implements Msg.
@@ -125,7 +136,7 @@ func (*ReleaseReq) Type() MsgType { return TReleaseReq }
 
 // Size implements Msg.
 func (m *ReleaseReq) Size() int {
-	n := HeaderSize + 8 + 4 + 1 + 4
+	n := HeaderSize + 8 + 4 + 1 + 4 + 4
 	for _, rel := range m.Rels {
 		n += 8 + 4 + 4*len(rel.Dirty)
 	}
@@ -134,6 +145,8 @@ func (m *ReleaseReq) Size() int {
 
 // ReleaseResp replies with the new page versions assigned.
 type ReleaseResp struct {
+	// Shard echoes the request's partition (stats attribution).
+	Shard  int32
 	Stamps []gdo.PageStamp
 }
 
@@ -141,7 +154,7 @@ type ReleaseResp struct {
 func (*ReleaseResp) Type() MsgType { return TReleaseResp }
 
 // Size implements Msg.
-func (m *ReleaseResp) Size() int { return HeaderSize + 4 + sizeStamp*len(m.Stamps) }
+func (m *ReleaseResp) Size() int { return HeaderSize + 4 + 4 + sizeStamp*len(m.Stamps) }
 
 // Grant delivers a deferred lock grant to the new holder family's site:
 // the family's request list plus the page map (Alg 4.4's "Send the list
@@ -153,8 +166,10 @@ type Grant struct {
 	Upgrade    bool
 	NumPages   int32
 	LastWriter ids.NodeID
-	Reqs       []gdo.QueuedReq
-	PageMap    []gdo.PageLoc
+	// Shard is the directory partition the grant originated from.
+	Shard   int32
+	Reqs    []gdo.QueuedReq
+	PageMap []gdo.PageLoc
 }
 
 // Type implements Msg.
@@ -162,7 +177,7 @@ func (*Grant) Type() MsgType { return TGrant }
 
 // Size implements Msg.
 func (m *Grant) Size() int {
-	return HeaderSize + 8 + 8 + 1 + 1 + 4 + 4 +
+	return HeaderSize + 8 + 8 + 1 + 1 + 4 + 4 + 4 +
 		4 + sizeQueuedReq*len(m.Reqs) +
 		4 + sizePageLoc*len(m.PageMap)
 }
@@ -172,14 +187,16 @@ func (m *Grant) Size() int {
 type Abort struct {
 	Obj    ids.ObjectID
 	Family ids.FamilyID
-	Reqs   []gdo.QueuedReq
+	// Shard is the directory partition that cancelled the requests.
+	Shard int32
+	Reqs  []gdo.QueuedReq
 }
 
 // Type implements Msg.
 func (*Abort) Type() MsgType { return TAbort }
 
 // Size implements Msg.
-func (m *Abort) Size() int { return HeaderSize + 8 + 8 + 4 + sizeQueuedReq*len(m.Reqs) }
+func (m *Abort) Size() int { return HeaderSize + 8 + 8 + 4 + 4 + sizeQueuedReq*len(m.Reqs) }
 
 // FetchReq asks a site for specific pages of one object (Alg 4.5 gather;
 // Demand marks a post-misprediction demand fetch).

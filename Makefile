@@ -1,14 +1,19 @@
-# Tier-1 gate: everything must build, vet clean, and pass under the race
-# detector before a change lands.
-.PHONY: check build vet test bench
+# Tier-1 gate: everything must build, vet clean, lint clean, and pass
+# under the race detector before a change lands.
+.PHONY: check build vet lint test bench
 
-check: build vet test
+check: build vet lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Repo-specific invariant analyzers (determinism, lock discipline,
+# wire-protocol sync, dropped errors). Exits non-zero on any finding.
+lint:
+	go run ./cmd/lotec-lint ./...
 
 test:
 	go test -race ./...

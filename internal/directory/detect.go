@@ -46,6 +46,7 @@ func (s *Sharded) unionWaits() (map[ids.FamilyID][]ids.FamilyID, map[ids.FamilyI
 			ages[f] = age
 		}
 	}
+	//lotec:unordered — per-key in-place sort; no cross-key state.
 	for f := range adj {
 		tos := adj[f]
 		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })

@@ -122,11 +122,11 @@ type Sharded struct {
 	place  Placement
 	shards []*gdo.Directory
 
-	// Commit-order bookkeeping (see package doc). Guarded by mu; the
-	// acquire path never takes it.
+	// Commit-order bookkeeping (see package doc); the acquire path never
+	// takes mu.
 	mu          sync.Mutex
-	commitSeq   uint64
-	commitOrder map[ids.FamilyID]uint64
+	commitSeq   uint64                  // guarded by mu
+	commitOrder map[ids.FamilyID]uint64 // guarded by mu
 }
 
 // NewSharded returns an empty sharded directory with the given number of

@@ -98,6 +98,9 @@ func (d *Directory) buildWaitsForLocked() (map[ids.FamilyID][]ids.FamilyID, map[
 	}
 	// Only entries someone waits on can contribute edges; waitObjs indexes
 	// exactly those, so idle directories pay nothing here.
+	// adj/ages are maps; every consumer sorts adjacency lists before any
+	// order-dependent traversal (findDeadlockVictim, directory.unionWaits).
+	//lotec:unordered — builds maps only; consumers sort before traversal
 	for _, e := range d.waitObjs {
 		for _, q := range e.queues {
 			ages[q.family] = q.age
@@ -121,6 +124,7 @@ func (d *Directory) buildWaitsForLocked() (map[ids.FamilyID][]ids.FamilyID, map[
 func (d *Directory) findDeadlockVictim(start ids.FamilyID) (ids.FamilyID, bool) {
 	adj, ages := d.buildWaitsForLocked()
 	// Deterministic traversal order.
+	//lotec:unordered — per-key in-place sort; no cross-key state.
 	for f := range adj {
 		s := adj[f]
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })

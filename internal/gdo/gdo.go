@@ -161,18 +161,18 @@ func (e *entry) removeHolder(f ids.FamilyID) bool {
 // use.
 type Directory struct {
 	mu      sync.Mutex
-	entries map[ids.ObjectID]*entry
-	nodes   int // cluster size, for HomeNode
+	entries map[ids.ObjectID]*entry // guarded by mu
+	nodes   int                     // cluster size, for HomeNode; immutable
 
 	// waitObjs indexes the entries that currently have queued requests or
 	// pending upgrades, so waits-for graph construction touches only
 	// objects someone is actually waiting on (the common case is none).
-	waitObjs map[ids.ObjectID]*entry
+	waitObjs map[ids.ObjectID]*entry // guarded by mu
 
 	// Commit-order bookkeeping: strict O2PL serializes committed families
 	// in the order their (first) committing release reaches the directory.
-	commitSeq   uint64
-	commitOrder map[ids.FamilyID]uint64
+	commitSeq   uint64                  // guarded by mu
+	commitOrder map[ids.FamilyID]uint64 // guarded by mu
 }
 
 // New returns an empty directory for a cluster of n nodes (n ≥ 1; used only

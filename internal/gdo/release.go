@@ -2,6 +2,7 @@ package gdo
 
 import (
 	"fmt"
+	"sort"
 
 	"lotec/internal/ids"
 	"lotec/internal/o2pl"
@@ -194,10 +195,25 @@ func (d *Directory) CancelRequest(obj ids.ObjectID, family ids.FamilyID) (bool, 
 	return removed, nil
 }
 
+// waitEntriesSortedLocked returns the entries with queued requests or
+// pending upgrades in ascending object order. Only waitObjs entries can
+// contain a waiting family (noteWaitersLocked keeps the index exact), and
+// sorting makes the purge/abort sweeps deterministic — iterating
+// d.entries directly would visit (and, for aborts, emit events) in map
+// order. Caller holds d.mu.
+func (d *Directory) waitEntriesSortedLocked() []*entry {
+	out := make([]*entry, 0, len(d.waitObjs))
+	for _, e := range d.waitObjs { //lotec:unordered — sorted on the next line
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].obj < out[j].obj })
+	return out
+}
+
 // purgeFamilyLocked silently removes family from every queue and upgrade
 // list. Caller holds d.mu.
 func (d *Directory) purgeFamilyLocked(family ids.FamilyID) {
-	for _, e := range d.entries {
+	for _, e := range d.waitEntriesSortedLocked() {
 		removed := false
 		for i := 0; i < len(e.queues); i++ {
 			if e.queues[i].family == family {
@@ -223,7 +239,7 @@ func (d *Directory) purgeFamilyLocked(family ids.FamilyID) {
 // events telling its site to fail the parked requests. Caller holds d.mu.
 func (d *Directory) abortVictimLocked(victim ids.FamilyID) []Event {
 	var events []Event
-	for _, e := range d.entries {
+	for _, e := range d.waitEntriesSortedLocked() {
 		for i := 0; i < len(e.queues); i++ {
 			q := e.queues[i]
 			if q.family != victim {

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdropPackages are the I/O-boundary package names where a silently
+// dropped error hides partition, short-write and decode failures.
+var errdropPackages = map[string]bool{
+	"transport": true,
+	"server":    true,
+	"wire":      true,
+}
+
+// ErrDrop flags calls whose error result is implicitly discarded in the
+// transport, server and wire packages — the layers where an ignored error
+// means a lost message or a torn frame rather than a cosmetic slip. An
+// explicit `_ = f()` assignment is the sanctioned way to document a
+// deliberate discard and is not flagged; neither are discards in other
+// packages, where go vet's printf-style checks and code review suffice.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error returns in transport/server/wire must be handled or explicitly discarded",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Package) []Finding {
+	if !errdropPackages[p.Name] {
+		return nil
+	}
+	var out []Finding
+	report := func(call *ast.CallExpr, how string) {
+		if returnsError(p, call) {
+			out = append(out, p.finding("errdrop", call.Pos(),
+				"%s returns an error that is discarded %s (handle it or assign to _ explicitly)",
+				callName(call), how))
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					report(call, "by an expression statement")
+				}
+			case *ast.GoStmt:
+				report(x.Call, "by a go statement")
+			case *ast.DeferStmt:
+				report(x.Call, "by a defer statement")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's result type is, or includes, an
+// error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}

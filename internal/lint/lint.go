@@ -1,0 +1,194 @@
+// Package lint is a from-scratch static-analysis framework for this
+// repository, built only on the standard library's go/parser, go/ast and
+// go/types (no golang.org/x/tools dependency). It exists because the
+// invariants LOTEC's reproduction depends on — bit-for-bit deterministic
+// simulation runs, mutex discipline in the lock service, and three-way
+// wire/codec/classify synchronization — are invisible to the compiler and
+// to go vet.
+//
+// Four repo-specific analyzers are provided:
+//
+//   - mapiter:  flags `for range` over maps in determinism-critical
+//     packages (sim, gdo, directory, node, stats) unless the loop's
+//     results are sorted before use or the site carries a
+//     `//lotec:unordered` justification comment.
+//   - lockheld: struct fields annotated `// guarded by mu` may only be
+//     accessed in methods that hold that mutex on a dominating path
+//     (conservative intra-package check; a `Locked` method-name suffix
+//     asserts the caller holds the lock).
+//   - wiresync: every concrete wire.Msg implementation must be
+//     constructible by the codec (newMsg switch), classified for the
+//     stats trace (Classify type switch), and — when it carries a Shard
+//     field — attribute that shard in its Classify case.
+//   - errdrop:  implicitly discarded error returns in the transport,
+//     server and wire packages (an explicit `_ =` is the sanctioned
+//     discard marker).
+//
+// Diagnostics are emitted as `file:line:col: [name] message` in a
+// deterministic order so output is diffable, and as JSON for machines.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, type-checked package handed to analyzers.
+type Package struct {
+	// Path is the import path (synthetic for fixture loads).
+	Path string
+	// Name is the package name from the package clauses.
+	Name string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions every node of Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's fact tables.
+	Info *types.Info
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// All returns every analyzer of the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, LockHeld, WireSync, ErrDrop}
+}
+
+// RunAll applies every analyzer to every package and returns the combined
+// findings in deterministic order.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders findings by file, line, column, analyzer, message.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// finding builds a Finding at pos.
+func (p *Package) finding(analyzer string, pos token.Pos, format string, args ...any) Finding {
+	position := p.Fset.Position(pos)
+	return Finding{
+		Analyzer: analyzer,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// suppressionLines collects, per file, the line numbers carrying the given
+// `//lotec:<directive>` marker. A marker suppresses a diagnostic on its own
+// line or the line directly below it (comment-above style).
+func (p *Package) suppressionLines(directive string) map[string]map[int]bool {
+	marker := "//lotec:" + directive
+	out := make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, marker) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a site at pos is covered by a directive line
+// (same line, or the line above).
+func suppressed(lines map[string]map[int]bool, pos token.Position) bool {
+	m := lines[pos.Filename]
+	if m == nil {
+		return false
+	}
+	return m[pos.Line] || m[pos.Line-1]
+}
+
+// rootIdent digs through selectors, indexes, stars and parens to the
+// left-most identifier of an expression (nil if there is none).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

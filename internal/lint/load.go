@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks packages of one module using only the
+// standard library. Module-internal imports are resolved from source under
+// the module root; standard-library imports are delegated to the compiler's
+// source importer. Test files and testdata directories are skipped — the
+// analyzers gate production code, and fixtures live under testdata.
+type Loader struct {
+	// ModuleDir is the absolute module root (directory containing go.mod).
+	ModuleDir string
+	// ModulePath is the module's import path from go.mod.
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package // keyed by import path
+	busy map[string]bool     // import-cycle guard
+}
+
+// NewLoader builds a loader rooted at moduleDir, reading the module path
+// from go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer honors build.Default; force cgo off so packages
+	// like net type-check from pure-Go sources regardless of the host
+	// toolchain's CGO_ENABLED.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		busy:       make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves the given patterns to packages and returns them loaded and
+// type-checked, sorted by import path. Supported patterns: "./..." (every
+// package under the module root), a module-relative directory like
+// "./internal/wire", or a full import path like "lotec/internal/wire".
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.packageDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		case strings.HasPrefix(pat, l.ModulePath):
+			rel := strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")
+			add(filepath.Join(l.ModuleDir, rel))
+		default:
+			abs, err := filepath.Abs(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(abs)
+		}
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		p, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// packageDirs walks the module tree collecting every directory that holds
+// at least one buildable .go file, skipping testdata and hidden dirs.
+func (l *Loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.ModuleDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if isSourceFile(d.Name()) {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// isSourceFile reports whether name is a non-test Go source file the suite
+// should analyze.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// importPathFor derives the import path of a directory under the module
+// root; directories outside the module get a synthetic fixture path.
+func (l *Loader) importPathFor(dir string) string {
+	if rel, err := filepath.Rel(l.ModuleDir, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.ModulePath
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return "fixture/" + filepath.Base(dir)
+}
+
+// loadDir parses and type-checks the package in dir (nil if dir has no
+// buildable sources). Results are cached by import path.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path := l.importPathFor(dir)
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	name := files[0].Name.Name
+	for _, f := range files {
+		if f.Name.Name != name {
+			return nil, fmt.Errorf("lint: %s: mixed package clauses %q and %q", dir, name, f.Name.Name)
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*moduleImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{
+		Path:  path,
+		Name:  name,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// moduleImporter resolves imports during type-checking: module-internal
+// packages load from source under the module root, everything else goes to
+// the standard-library source importer.
+type moduleImporter Loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(m)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		p, err := l.loadDir(filepath.Join(l.ModuleDir, rel))
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("lint: no Go source in %s", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

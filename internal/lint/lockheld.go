@@ -1,0 +1,459 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockHeld enforces `// guarded by <mu>` field annotations: a field so
+// annotated may only be read or written in methods of its struct while the
+// named mutex is held on every path reaching the access ("dominating
+// path"). The check is intra-package and intentionally conservative:
+//
+//   - `m.mu.Lock()` / `RLock()` sets the held state; `m.mu.Unlock()` /
+//     `RUnlock()` clears it; `defer m.mu.Unlock()` keeps it held to the
+//     end of the function.
+//   - Branches are joined with must-hold semantics: the lock counts as
+//     held after a branch only if every fallthrough path holds it.
+//     Branches that terminate (return/panic) drop out of the join.
+//   - A method whose name ends in "Locked" is assumed entered with the
+//     lock held — the repo's convention for caller-locks helpers.
+//   - Function literals start unlocked (they may run on another
+//     goroutine) and are analyzed independently.
+//
+// Accesses through variables other than the receiver are not tracked;
+// annotate fields of structs whose state is only touched via methods.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "fields annotated `guarded by mu` are only accessed under that mutex",
+	Run:  runLockHeld,
+}
+
+var guardedRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// guardSpec maps annotated field name -> guarding mutex field name, for
+// one struct type.
+type guardSpec map[string]string
+
+func runLockHeld(p *Package) []Finding {
+	specs := collectGuards(p)
+	if len(specs) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recvNames := fd.Recv.List[0].Names
+			if len(recvNames) != 1 || recvNames[0].Name == "_" {
+				continue
+			}
+			recvObj := p.Info.Defs[recvNames[0]]
+			if recvObj == nil {
+				continue
+			}
+			named := namedOf(recvObj.Type())
+			if named == nil {
+				continue
+			}
+			spec, ok := specs[named.Obj()]
+			if !ok {
+				continue
+			}
+			w := &lockWalk{
+				p:    p,
+				recv: recvObj,
+				spec: spec,
+			}
+			entry := lockState{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				entry = lockState{held: allGuards(spec)}
+			}
+			w.block(fd.Body.List, entry)
+			out = append(out, w.findings...)
+		}
+	}
+	return out
+}
+
+// collectGuards scans struct declarations for `guarded by` field comments
+// and validates the named guard is a sync.Mutex/RWMutex field of the same
+// struct. Malformed annotations are themselves findings.
+func collectGuards(p *Package) map[*types.TypeName]guardSpec {
+	out := make(map[*types.TypeName]guardSpec)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var spec guardSpec
+			for _, field := range st.Fields.List {
+				guard := guardName(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if spec == nil {
+						spec = make(guardSpec)
+					}
+					spec[name.Name] = guard
+				}
+			}
+			if spec == nil {
+				return true
+			}
+			tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			out[tn] = spec
+			return true
+		})
+	}
+	return out
+}
+
+// guardName extracts the mutex name from a field's doc or trailing comment.
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to the receiver's named type.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func allGuards(spec guardSpec) map[string]bool {
+	held := make(map[string]bool)
+	for _, g := range spec {
+		held[g] = true
+	}
+	return held
+}
+
+// lockState is the set of receiver mutexes held at a program point.
+type lockState struct {
+	held map[string]bool
+}
+
+func (s lockState) clone() lockState {
+	c := lockState{held: make(map[string]bool, len(s.held))}
+	for k, v := range s.held {
+		if v {
+			c.held[k] = true
+		}
+	}
+	return c
+}
+
+func (s lockState) has(g string) bool { return s.held[g] }
+
+func (s *lockState) set(g string, v bool) {
+	if s.held == nil {
+		s.held = make(map[string]bool)
+	}
+	s.held[g] = v
+}
+
+// meet intersects two fallthrough states (must-hold join).
+func meet(a, b lockState) lockState {
+	out := lockState{held: make(map[string]bool)}
+	for g, v := range a.held {
+		if v && b.has(g) {
+			out.held[g] = true
+		}
+	}
+	return out
+}
+
+// lockWalk performs the per-method walk.
+type lockWalk struct {
+	p        *Package
+	recv     types.Object
+	spec     guardSpec
+	findings []Finding
+}
+
+// block walks statements in order, threading the lock state; returns the
+// state at fallthrough exit, and whether the block terminates (all paths
+// return/panic, so there is no fallthrough).
+func (w *lockWalk) block(stmts []ast.Stmt, st lockState) (lockState, bool) {
+	st = st.clone()
+	for _, s := range stmts {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// stmt processes one statement: checks accesses in its expressions,
+// applies lock transitions, and recurses into nested blocks.
+func (w *lockWalk) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if guard, locks, ok := w.lockCall(x.X); ok {
+			// The receiver expression itself is not a guarded access.
+			st.set(guard, locks)
+			return st, false
+		}
+		if call, ok := x.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			w.checkExpr(x.X, st)
+			return st, true
+		}
+		w.checkExpr(x.X, st)
+		return st, false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() does not change the held state for the rest
+		// of the function body. Other deferred work runs at exit; check
+		// any function literal independently.
+		if _, _, ok := w.lockCall(x.Call); ok {
+			return st, false
+		}
+		w.checkExpr(x.Call, st)
+		return st, false
+	case *ast.GoStmt:
+		w.checkExpr(x.Call, st)
+		return st, false
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt, *ast.ReturnStmt:
+		w.checkNodeExprs(s, st)
+		_, isRet := s.(*ast.ReturnStmt)
+		return st, isRet
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st, _ = w.stmt(x.Init, st)
+		}
+		w.checkExpr(x.Cond, st)
+		thenSt, thenTerm := w.block(x.Body.List, st)
+		elseSt, elseTerm := st, false
+		if x.Else != nil {
+			switch e := x.Else.(type) {
+			case *ast.BlockStmt:
+				elseSt, elseTerm = w.block(e.List, st)
+			case *ast.IfStmt:
+				elseSt, elseTerm = w.stmt(e, st)
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return meet(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st, _ = w.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			w.checkExpr(x.Cond, st)
+		}
+		bodySt, _ := w.block(x.Body.List, st)
+		if x.Post != nil {
+			w.stmt(x.Post, bodySt)
+		}
+		// The body may run zero times.
+		return meet(st, bodySt), false
+	case *ast.RangeStmt:
+		w.checkExpr(x.X, st)
+		bodySt, _ := w.block(x.Body.List, st)
+		return meet(st, bodySt), false
+	case *ast.BlockStmt:
+		return w.block(x.List, st)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st, _ = w.stmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			w.checkExpr(x.Tag, st)
+		}
+		return w.caseClauses(x.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st, _ = w.stmt(x.Init, st)
+		}
+		w.checkNodeExprs(x.Assign, st)
+		return w.caseClauses(x.Body.List, st)
+	case *ast.SelectStmt:
+		for _, cc := range x.Body.List {
+			if comm, ok := cc.(*ast.CommClause); ok {
+				inner := st
+				if comm.Comm != nil {
+					inner, _ = w.stmt(comm.Comm, st.clone())
+				}
+				w.block(comm.Body, inner)
+			}
+		}
+		// Conservative: keep entry state.
+		return st, false
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, st)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return st, false
+	default:
+		w.checkNodeExprs(s, st)
+		return st, false
+	}
+}
+
+// caseClauses joins the fallthrough states of a switch's cases.
+func (w *lockWalk) caseClauses(list []ast.Stmt, entry lockState) (lockState, bool) {
+	var exits []lockState
+	hasDefault := false
+	for _, cc := range list {
+		cl, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cl.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cl.List {
+			w.checkExpr(e, entry)
+		}
+		ex, term := w.block(cl.Body, entry)
+		if !term {
+			exits = append(exits, ex)
+		}
+	}
+	if !hasDefault {
+		// Possible that no case ran.
+		exits = append(exits, entry)
+	}
+	if len(exits) == 0 {
+		return entry, true
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = meet(out, e)
+	}
+	return out, false
+}
+
+// lockCall recognizes recv.<guard>.Lock/RLock/Unlock/RUnlock() and returns
+// the guard name and whether the call acquires (true) or releases (false).
+func (w *lockWalk) lockCall(e ast.Expr) (guard string, locks, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var locking bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+		locking = false
+	default:
+		return "", false, false
+	}
+	inner, isSel2 := sel.X.(*ast.SelectorExpr)
+	if !isSel2 {
+		return "", false, false
+	}
+	base, isIdent := inner.X.(*ast.Ident)
+	if !isIdent || w.p.Info.Uses[base] != w.recv {
+		return "", false, false
+	}
+	return inner.Sel.Name, locking, true
+}
+
+// checkNodeExprs checks every expression hanging off a statement node.
+func (w *lockWalk) checkNodeExprs(s ast.Stmt, st lockState) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			w.checkExpr(e, st)
+			return false
+		}
+		return true
+	})
+}
+
+// checkExpr flags accesses to guarded fields of the receiver made while
+// the guard is not held. Function literals are analyzed independently,
+// starting unlocked.
+func (w *lockWalk) checkExpr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.block(x.Body.List, lockState{})
+			return false
+		case *ast.CallExpr:
+			if guard, locks, ok := w.lockCall(x); ok {
+				// mid-expression lock manipulation is too clever to
+				// model; treat as a state change applied immediately.
+				st.set(guard, locks)
+				return false
+			}
+		case *ast.SelectorExpr:
+			base, ok := x.X.(*ast.Ident)
+			if !ok || w.p.Info.Uses[base] != w.recv {
+				return true
+			}
+			guard, annotated := w.spec[x.Sel.Name]
+			if annotated && !st.has(guard) {
+				w.findings = append(w.findings, w.p.finding("lockheld", x.Pos(),
+					"%s.%s accessed without holding %s (annotated `guarded by %s`)",
+					base.Name, x.Sel.Name, guard, guard))
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// isPanicCall reports whether the call unconditionally terminates the
+// function (panic or a log.Fatal-style call).
+func isPanicCall(call *ast.CallExpr) bool {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name == "panic"
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(f.Sel.Name, "Fatal")
+	}
+	return false
+}
+
+// sortGuardNames is a test helper: deterministic listing of a spec.
+func sortGuardNames(spec guardSpec) []string {
+	out := make([]string, 0, len(spec))
+	for f := range spec {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,29 @@
+// Package transport is the errdrop negative fixture: every error below is
+// handled or explicitly discarded, so the analyzer must stay silent.
+package transport
+
+import "errors"
+
+func send() error { return errors.New("short write") }
+
+func ping() {}
+
+// Handled propagates the error.
+func Handled() error {
+	if err := send(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ExplicitDiscard uses the sanctioned `_ =` marker.
+func ExplicitDiscard() {
+	_ = send()
+}
+
+// NoError calls a function with no error result.
+func NoError() {
+	ping()
+	go ping()
+	defer ping()
+}

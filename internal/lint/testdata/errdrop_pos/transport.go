@@ -1,0 +1,29 @@
+// Package transport seeds errdrop violations: its name marks it an I/O
+// boundary, and every call below discards an error implicitly.
+package transport
+
+import "errors"
+
+func send() error { return errors.New("short write") }
+
+func sendValue() (int, error) { return 0, errors.New("short write") }
+
+// DropInStatement discards the error by an expression statement.
+func DropInStatement() {
+	send()
+}
+
+// DropTuple discards a (value, error) pair wholesale.
+func DropTuple() {
+	sendValue()
+}
+
+// DropInGo discards the error of a spawned call.
+func DropInGo() {
+	go send()
+}
+
+// DropInDefer discards the error of a deferred call.
+func DropInDefer() {
+	defer send()
+}

@@ -1,0 +1,65 @@
+// Package fixture is the lockheld negative fixture: every access pattern
+// below holds the guard on a dominating path, so the analyzer must stay
+// silent.
+package fixture
+
+import "sync"
+
+// Counter has one guarded field and disciplined accessors.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hint is unannotated: lock-free access is allowed.
+	hint int
+}
+
+// Get uses the canonical lock/defer-unlock shape.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Inc locks and unlocks explicitly.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// GetFast uses the early-return-under-lock shape: the terminating branch
+// unlocks on its way out, and the fallthrough path is still locked.
+func (c *Counter) GetFast() int {
+	c.mu.Lock()
+	if c.n == 0 {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// bumpLocked follows the repo convention: the Locked suffix asserts the
+// caller already holds mu.
+func (c *Counter) bumpLocked(by int) {
+	c.n += by
+}
+
+// Add composes a locked region with a Locked-suffix helper and an
+// unannotated field touched lock-free.
+func (c *Counter) Add(by int) {
+	c.hint = by
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked(by)
+}
+
+// AddAsync locks inside the spawned closure before touching n.
+func (c *Counter) AddAsync(by int) {
+	go func() {
+		c.mu.Lock()
+		c.n += by
+		c.mu.Unlock()
+	}()
+}

@@ -1,0 +1,39 @@
+// Package fixture seeds lockheld violations: annotated fields accessed
+// without their guarding mutex on a dominating path.
+package fixture
+
+import "sync"
+
+// Counter has one guarded field and several unsafe accessors.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// BadRead reads n with no lock at all.
+func (c *Counter) BadRead() int {
+	return c.n
+}
+
+// BadAfterUnlock releases the lock and then touches n.
+func (c *Counter) BadAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// BadBranch locks on only one path: the access is not dominated.
+func (c *Counter) BadBranch(lock bool) int {
+	if lock {
+		c.mu.Lock()
+	}
+	return c.n
+}
+
+// BadGoroutine spawns a closure that reads n unlocked.
+func (c *Counter) BadGoroutine(out chan<- int) {
+	go func() {
+		out <- c.n
+	}()
+}

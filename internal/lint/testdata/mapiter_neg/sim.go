@@ -1,0 +1,48 @@
+// Package sim is the mapiter negative fixture: every map range below is
+// order-safe, so the analyzer must stay silent.
+package sim
+
+import "sort"
+
+// SortedAfter accumulates in map order but sorts before anyone can see it.
+func SortedAfter(m map[int]string) []string {
+	out := make([]string, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MapToMap builds a set from a set: no order can leak.
+func MapToMap(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// Commutative accumulates with order-insensitive operators.
+func Commutative(m map[int]int) (sum int, n int) {
+	for _, v := range m {
+		sum += v
+		n++
+	}
+	return sum, n
+}
+
+// DeleteAll empties another set; deletion order is invisible.
+func DeleteAll(m, victims map[int]bool) {
+	for k := range victims {
+		delete(m, k)
+	}
+}
+
+// Suppressed is order-dependent but carries a justification directive.
+func Suppressed(m map[int]string, ch chan<- string) {
+	//lotec:unordered — test fixture justification
+	for _, v := range m {
+		ch <- v
+	}
+}

@@ -1,0 +1,14 @@
+package sim
+
+// localOnly writes only body-local variables and commutative accumulators.
+func localOnly(m map[int][]int) int {
+	sum := 0
+	for _, vs := range m {
+		total := 0
+		for _, v := range vs {
+			total += v
+		}
+		sum += total
+	}
+	return sum
+}

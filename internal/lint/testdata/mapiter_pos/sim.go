@@ -1,0 +1,45 @@
+// Package sim is a mapiter fixture: its name marks it determinism-critical,
+// and every function below leaks map iteration order.
+package sim
+
+import "fmt"
+
+// UnsortedAppend accumulates results in map order and never sorts them.
+func UnsortedAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// CallInBody runs a side-effecting call once per element, in map order.
+func CallInBody(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// EarlyReturn returns whichever key the runtime happens to visit first.
+func EarlyReturn(m map[int]bool) int {
+	for k := range m {
+		return k
+	}
+	return -1
+}
+
+// PlainOverwrite keeps the last-visited value — a map-order lottery.
+func PlainOverwrite(m map[int]string) string {
+	var last string
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// ChannelSend publishes elements in map order.
+func ChannelSend(m map[int]string, ch chan<- string) {
+	for _, v := range m {
+		ch <- v
+	}
+}

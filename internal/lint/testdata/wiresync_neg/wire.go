@@ -1,0 +1,82 @@
+// Package fixture is the wiresync negative fixture: every Msg
+// implementation is constructed by newMsg, classified, and attributes its
+// Shard, so the analyzer must stay silent.
+package fixture
+
+import "errors"
+
+// MsgType tags a message on the wire.
+type MsgType byte
+
+// Message types.
+const (
+	TPing MsgType = iota + 1
+	TLock
+)
+
+// Msg is the message interface the analyzer keys on.
+type Msg interface {
+	Type() MsgType
+	Size() int
+}
+
+// Record is the classification result.
+type Record struct {
+	Kind  int
+	Shard int
+}
+
+// Ping is a shard-less control message.
+type Ping struct{}
+
+// Type implements Msg.
+func (*Ping) Type() MsgType { return TPing }
+
+// Size implements Msg.
+func (*Ping) Size() int { return 1 }
+
+// Lock is a shard-addressed message.
+type Lock struct {
+	Shard int32
+}
+
+// Type implements Msg.
+func (*Lock) Type() MsgType { return TLock }
+
+// Size implements Msg.
+func (*Lock) Size() int { return 5 }
+
+// notAMsg does not implement Msg and must be ignored by the analyzer.
+type notAMsg struct {
+	Shard int32
+}
+
+// newMsg constructs the message for a wire type tag.
+func newMsg(t MsgType) (Msg, error) {
+	switch t {
+	case TPing:
+		return &Ping{}, nil
+	case TLock:
+		return &Lock{}, nil
+	default:
+		return nil, errors.New("unknown type")
+	}
+}
+
+// Classify maps a message to its stats record.
+func Classify(m Msg) Record {
+	var rec Record
+	switch t := m.(type) {
+	case *Ping:
+		rec.Kind = 1
+	case *Lock:
+		rec.Kind = 2
+		rec.Shard = int(t.Shard)
+	}
+	return rec
+}
+
+var (
+	_ = newMsg
+	_ = notAMsg{}
+)

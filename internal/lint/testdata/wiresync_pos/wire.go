@@ -1,0 +1,99 @@
+// Package fixture seeds wiresync violations: a self-contained miniature of
+// the wire package where message types have drifted out of sync with the
+// codec and the classifier.
+package fixture
+
+import "errors"
+
+// MsgType tags a message on the wire.
+type MsgType byte
+
+// Message types.
+const (
+	TPing MsgType = iota + 1
+	TLock
+	TGhost
+	TOrphan
+)
+
+// Msg is the message interface the analyzer keys on.
+type Msg interface {
+	Type() MsgType
+	Size() int
+}
+
+// Record is the classification result.
+type Record struct {
+	Kind  int
+	Shard int
+}
+
+// Ping is fully synced (the in-package negative case).
+type Ping struct{}
+
+// Type implements Msg.
+func (*Ping) Type() MsgType { return TPing }
+
+// Size implements Msg.
+func (*Ping) Size() int { return 1 }
+
+// Lock carries a Shard the classifier forgets to attribute.
+type Lock struct {
+	Shard int32
+}
+
+// Type implements Msg.
+func (*Lock) Type() MsgType { return TLock }
+
+// Size implements Msg.
+func (*Lock) Size() int { return 5 }
+
+// Ghost is classified but never constructed by newMsg: it can never be
+// decoded off the wire.
+type Ghost struct{}
+
+// Type implements Msg.
+func (*Ghost) Type() MsgType { return TGhost }
+
+// Size implements Msg.
+func (*Ghost) Size() int { return 1 }
+
+// Orphan is constructed but missing from Classify: it degrades to the
+// "other" kind in the trace.
+type Orphan struct{}
+
+// Type implements Msg.
+func (*Orphan) Type() MsgType { return TOrphan }
+
+// Size implements Msg.
+func (*Orphan) Size() int { return 1 }
+
+// newMsg constructs the message for a wire type tag.
+func newMsg(t MsgType) (Msg, error) {
+	switch t {
+	case TPing:
+		return &Ping{}, nil
+	case TLock:
+		return &Lock{}, nil
+	case TOrphan:
+		return &Orphan{}, nil
+	default:
+		return nil, errors.New("unknown type")
+	}
+}
+
+// Classify maps a message to its stats record.
+func Classify(m Msg) Record {
+	var rec Record
+	switch m.(type) {
+	case *Ping:
+		rec.Kind = 1
+	case *Lock:
+		rec.Kind = 2 // drifted: t.Shard is never attributed
+	case *Ghost:
+		rec.Kind = 3
+	}
+	return rec
+}
+
+var _ = newMsg

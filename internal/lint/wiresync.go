@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// WireSync is the three-way exhaustiveness check for the wire protocol.
+// It activates on any package that declares an interface named Msg, a
+// constructor function newMsg, and a classifier function Classify (i.e.
+// internal/wire, plus test fixtures shaped like it), then verifies that
+// every concrete type implementing Msg:
+//
+//  1. is constructed in newMsg — otherwise Decode cannot materialize it
+//     and the type silently never crosses the wire;
+//  2. appears as a `case *T` in Classify's type switch — otherwise it
+//     degrades to KindOther in the stats trace;
+//  3. if it carries a Shard field, its Classify case mentions .Shard —
+//     otherwise per-shard message attribution silently drops it.
+//
+// This is the drift class PR 1 was exposed to: a message added to
+// codec.go but forgotten in classify.go type-checks fine and corrupts
+// every per-shard figure downstream.
+var WireSync = &Analyzer{
+	Name: "wiresync",
+	Doc:  "wire.Msg implementations stay in sync across newMsg, Classify and shard attribution",
+	Run:  runWireSync,
+}
+
+func runWireSync(p *Package) []Finding {
+	msgIface := msgInterface(p)
+	newMsgFn := topFunc(p, "newMsg")
+	classifyFn := topFunc(p, "Classify")
+	if msgIface == nil || newMsgFn == nil || classifyFn == nil {
+		return nil
+	}
+
+	impls := msgImplementations(p, msgIface)
+	if len(impls) == 0 {
+		return nil
+	}
+	constructed := constructedTypes(p, newMsgFn)
+	classified := classifiedTypes(p, classifyFn)
+
+	var out []Finding
+	for _, tn := range impls {
+		name := tn.Name()
+		if !constructed[tn] {
+			out = append(out, p.finding("wiresync", tn.Pos(),
+				"%s implements Msg but is not constructed in newMsg — Decode cannot materialize it", name))
+		}
+		caseBody, inSwitch := classified[tn]
+		if !inSwitch {
+			out = append(out, p.finding("wiresync", tn.Pos(),
+				"%s implements Msg but has no case in Classify — it degrades to KindOther in the stats trace", name))
+			continue
+		}
+		if hasField(tn, "Shard") && !mentionsSelector(caseBody, "Shard") {
+			out = append(out, p.finding("wiresync", tn.Pos(),
+				"%s carries a Shard field but its Classify case never attributes .Shard — per-shard stats drop it", name))
+		}
+	}
+	return out
+}
+
+// msgInterface finds the package-level interface type named Msg.
+func msgInterface(p *Package) *types.Interface {
+	obj := p.Types.Scope().Lookup("Msg")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// topFunc finds a package-level function declaration by name.
+func topFunc(p *Package, name string) *ast.FuncDecl {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// msgImplementations lists package-level concrete named types implementing
+// the interface (by value or pointer receiver), sorted by name.
+func msgImplementations(p *Package, iface *types.Interface) []*types.TypeName {
+	var out []*types.TypeName
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			out = append(out, tn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// constructedTypes collects the named types whose composite literals
+// appear in fn's body (the `&AcquireReq{}` arms of the newMsg switch).
+func constructedTypes(p *Package, fn *ast.FuncDecl) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[cl]; ok {
+			if named, ok := tv.Type.(*types.Named); ok {
+				out[named.Obj()] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// classifiedTypes maps each named type appearing as a `case *T` (or
+// `case T`) in fn's type switch to that case's body.
+func classifiedTypes(p *Package, fn *ast.FuncDecl) map[*types.TypeName][]ast.Stmt {
+	out := make(map[*types.TypeName][]ast.Stmt)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sw.Body.List {
+			cl, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cl.List {
+				t := p.Info.Types[e].Type
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					out[named.Obj()] = cl.Body
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasField reports whether the named struct type has a field of the given
+// name.
+func hasField(tn *types.TypeName, field string) bool {
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsSelector reports whether any statement in body contains a
+// selector expression ending in the given name.
+func mentionsSelector(body []ast.Stmt, name string) bool {
+	for _, s := range body {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+				found = true
+				return false
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

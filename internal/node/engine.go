@@ -136,9 +136,9 @@ type Engine struct {
 	self ids.NodeID
 
 	mu       sync.Mutex
-	objClass map[ids.ObjectID]ids.ClassID
-	fams     map[ids.FamilyID]*famState
-	pending  map[pendKey]*pendingReq
+	objClass map[ids.ObjectID]ids.ClassID // guarded by mu
+	fams     map[ids.FamilyID]*famState   // guarded by mu
+	pending  map[pendKey]*pendingReq      // guarded by mu
 }
 
 // New creates an Engine and installs its message handler on the Env's
@@ -442,7 +442,9 @@ func (e *Engine) beginTx(parent *txState) (*txState, error) {
 func (e *Engine) preCommit(ts *txState) error {
 	e.mu.Lock()
 	var wake []*o2pl.Waiter
-	for obj := range ts.involved {
+	// Sorted: PreCommit's grant hand-offs schedule wake-ups whose order is
+	// part of the deterministic trace.
+	for _, obj := range sortedObjKeys(ts.involved) {
 		if entry := ts.fam.entries[obj]; entry != nil {
 			wake = append(wake, entry.PreCommit(ts.t)...)
 		}
@@ -477,7 +479,9 @@ func (e *Engine) abortTx(ts *txState) {
 	e.mu.Lock()
 	var wake []*o2pl.Waiter
 	var releaseGlobal []ids.ObjectID
-	for obj := range ts.involved {
+	// Sorted: Abort's grant hand-offs wake siblings in an order the trace
+	// observes.
+	for _, obj := range sortedObjKeys(ts.involved) {
 		entry := ts.fam.entries[obj]
 		if entry == nil {
 			continue
@@ -499,8 +503,8 @@ func (e *Engine) abortTx(ts *txState) {
 		for _, obj := range releaseGlobal {
 			released[obj] = true
 		}
-		for obj, entry := range fam.entries {
-			if !released[obj] && entry.Idle() {
+		for _, obj := range sortedObjKeys(fam.entries) {
+			if !released[obj] && fam.entries[obj].Idle() {
 				releaseGlobal = append(releaseGlobal, obj)
 				delete(fam.entries, obj)
 				delete(fam.meta, obj)
@@ -525,11 +529,7 @@ func (e *Engine) abortTx(ts *txState) {
 // are pushed to all caching sites first.
 func (e *Engine) commitRoot(ts *txState) error {
 	e.mu.Lock()
-	objs := make([]ids.ObjectID, 0, len(ts.fam.entries))
-	for obj := range ts.fam.entries {
-		objs = append(objs, obj)
-	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	objs := sortedObjKeys(ts.fam.entries)
 	dirty := make(map[ids.ObjectID][]ids.PageNum, len(objs))
 	for _, obj := range objs {
 		dirty[obj] = e.cfg.Store.DirtyPages(obj)
@@ -707,21 +707,51 @@ func completeAll(ws []*o2pl.Waiter, err error) {
 }
 
 // DebugDump renders this engine's family, entry and pending-request state
-// for diagnostics.
+// for diagnostics, in sorted order so dumps from identical states are
+// byte-identical (diffable across runs).
 func (e *Engine) DebugDump() string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var b []byte
 	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
-	for famID, fam := range e.fams {
+	famIDs := make([]ids.FamilyID, 0, len(e.fams))
+	for famID := range e.fams {
+		famIDs = append(famIDs, famID)
+	}
+	sort.Slice(famIDs, func(i, j int) bool { return famIDs[i] < famIDs[j] })
+	for _, famID := range famIDs {
+		fam := e.fams[famID]
 		add("node %v fam=%v age=%d doomed=%v:", e.self, famID, fam.age, fam.doomed)
-		for obj, entry := range fam.entries {
+		for _, obj := range sortedObjKeys(fam.entries) {
+			entry := fam.entries[obj]
 			add(" entry{%v mode=%v holders=%d waiters=%d}", obj, entry.GlobalMode(), entry.HolderCount(), entry.WaiterCount())
 		}
 		add("\n")
 	}
+	keys := make([]pendKey, 0, len(e.pending))
 	for key := range e.pending {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].obj != keys[j].obj {
+			return keys[i].obj < keys[j].obj
+		}
+		return keys[i].tx < keys[j].tx
+	})
+	for _, key := range keys {
 		add("node %v pending{obj=%v tx=%v}\n", e.self, key.obj, key.tx)
 	}
 	return string(b)
+}
+
+// sortedObjKeys returns m's object keys in ascending order; iterating a
+// map directly would leak Go's randomized iteration order into the
+// deterministic trace.
+func sortedObjKeys[V any](m map[ids.ObjectID]V) []ids.ObjectID {
+	out := make([]ids.ObjectID, 0, len(m))
+	for obj := range m {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

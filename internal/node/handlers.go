@@ -153,12 +153,13 @@ func (e *Engine) handleGDOAcquire(req *wire.AcquireReq) wire.Msg {
 	}
 	e.routeEvents(events)
 	return &wire.AcquireResp{
-		Obj:      req.Obj,
-		Status:   res.Status,
-		Mode:     res.Mode,
-		NumPages: int32(res.NumPages),
-		Shard:    req.Shard,
-		PageMap:  res.PageMap,
+		Obj:        req.Obj,
+		Status:     res.Status,
+		Mode:       res.Mode,
+		NumPages:   int32(res.NumPages),
+		Shard:      req.Shard,
+		PageMap:    res.PageMap,
+		LastWriter: res.LastWriter,
 	}
 }
 

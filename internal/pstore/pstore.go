@@ -76,8 +76,8 @@ type objectMem struct {
 // concurrent use.
 type Store struct {
 	mu       sync.Mutex
-	pageSize int
-	objects  map[ids.ObjectID]*objectMem
+	pageSize int                         // immutable after NewStore
+	objects  map[ids.ObjectID]*objectMem // guarded by mu
 }
 
 // NewStore returns an empty Store with the given page size (bytes).
@@ -159,7 +159,7 @@ func (s *Store) Size(obj ids.ObjectID) (int, error) {
 func (s *Store) HasPage(pid ids.PageID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.lookup(pid)
+	_, ok := s.lookupLocked(pid)
 	return ok
 }
 
@@ -168,15 +168,15 @@ func (s *Store) HasPage(pid ids.PageID) bool {
 func (s *Store) PageVersion(pid ids.PageID) (version uint64, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pg, ok := s.lookup(pid)
+	pg, ok := s.lookupLocked(pid)
 	if !ok {
 		return 0, false
 	}
 	return pg.version, true
 }
 
-// lookup returns the resident page, if any. Caller holds s.mu.
-func (s *Store) lookup(pid ids.PageID) (*page, bool) {
+// lookupLocked returns the resident page, if any. Caller holds s.mu.
+func (s *Store) lookupLocked(pid ids.PageID) (*page, bool) {
 	om, ok := s.objects[pid.Object]
 	if !ok || int(pid.Page) < 0 || int(pid.Page) >= om.numPages {
 		return nil, false
@@ -212,7 +212,7 @@ func (s *Store) InstallPage(pid ids.PageID, data []byte, version uint64) error {
 func (s *Store) PageCopy(pid ids.PageID) (data []byte, version uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pg, ok := s.lookup(pid)
+	pg, ok := s.lookupLocked(pid)
 	if !ok {
 		return nil, 0, &PageMissingError{PID: pid}
 	}
@@ -227,7 +227,7 @@ func (s *Store) PageCopy(pid ids.PageID) (data []byte, version uint64, err error
 func (s *Store) SetPageVersion(pid ids.PageID, version uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pg, ok := s.lookup(pid)
+	pg, ok := s.lookupLocked(pid)
 	if !ok {
 		return &PageMissingError{PID: pid}
 	}

@@ -73,7 +73,7 @@ func (l *UndoLog) Undo(st *Store) {
 	defer st.mu.Unlock()
 	for i := len(l.recs) - 1; i >= 0; i-- {
 		r := l.recs[i]
-		if pg, ok := st.lookup(r.pid); ok {
+		if pg, ok := st.lookupLocked(r.pid); ok {
 			pg.restore(r.before, r.dirty)
 		}
 	}

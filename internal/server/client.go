@@ -18,10 +18,10 @@ type Client struct {
 	node ids.NodeID
 
 	mu      sync.Mutex
-	conn    net.Conn
-	pending map[uint64]chan *wire.RunResp
-	closed  bool
-	readErr error
+	conn    net.Conn                      // set once by Dial; read loop reads it lock-free
+	pending map[uint64]chan *wire.RunResp // guarded by mu
+	closed  bool                          // guarded by mu
+	readErr error                         // guarded by mu
 
 	reqID atomic.Uint64
 }

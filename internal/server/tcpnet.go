@@ -44,10 +44,10 @@ type TCPNet struct {
 	async   map[wire.MsgType]AsyncHandler
 
 	mu       sync.Mutex
-	listener net.Listener
-	conns    map[ids.NodeID]*tcpConn
-	pending  map[uint64]chan wire.Msg
-	closed   bool
+	listener net.Listener             // guarded by mu
+	conns    map[ids.NodeID]*tcpConn  // guarded by mu
+	pending  map[uint64]chan wire.Msg // guarded by mu
+	closed   bool                     // guarded by mu
 
 	reqID atomic.Uint64
 }

@@ -185,8 +185,10 @@ func (c *Cluster) CreateObject(class ids.ClassID, owner ids.NodeID) (ids.ObjectI
 	if err := c.dir.Register(obj, layout.NumPages(), owner); err != nil {
 		return 0, err
 	}
-	for _, eng := range c.engines {
-		if err := eng.RegisterObject(obj, class, owner); err != nil {
+	// Registration order is node 1..N: iterating the engines map would run
+	// per-node side effects in randomized order.
+	for i := 1; i <= c.cfg.Nodes; i++ {
+		if err := c.engines[ids.NodeID(i)].RegisterObject(obj, class, owner); err != nil {
 			return 0, err
 		}
 	}

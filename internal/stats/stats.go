@@ -12,6 +12,7 @@ package stats
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lotec/internal/ids"
@@ -33,6 +34,11 @@ const (
 	KindPush      // RC eager update push
 	KindPushReply // RC push acknowledgement
 	KindAbort     // deadlock-abort notification
+	KindRegister  // object registration → GDO (server mode)
+	KindRegisterReply
+	KindRun      // remote transaction-body dispatch
+	KindRunReply // remote transaction-body completion
+	KindError    // protocol-level error reply
 	KindOther
 )
 
@@ -59,6 +65,16 @@ func (k MsgKind) String() string {
 		return "push-reply"
 	case KindAbort:
 		return "abort"
+	case KindRegister:
+		return "register"
+	case KindRegisterReply:
+		return "register-reply"
+	case KindRun:
+		return "run"
+	case KindRunReply:
+		return "run-reply"
+	case KindError:
+		return "error"
 	default:
 		return "other"
 	}
@@ -112,17 +128,18 @@ type ObjStats struct {
 func (s ObjStats) TotalBytes() int64 { return s.ControlBytes + s.DataBytes }
 
 // Recorder accumulates a run's trace and counters. It is safe for
-// concurrent use.
+// concurrent use. The scalar counters are atomics; only the trace itself
+// needs the mutex.
 type Recorder struct {
 	mu   sync.Mutex
-	msgs []MsgRecord
+	msgs []MsgRecord // guarded by mu
 
-	localLockOps  int64
-	globalLockOps int64
-	demandFetches int64
-	aborts        int64
-	retries       int64
-	commits       int64
+	localLockOps  atomic.Int64
+	globalLockOps atomic.Int64
+	demandFetches atomic.Int64
+	aborts        atomic.Int64
+	retries       atomic.Int64
+	commits       atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
@@ -141,29 +158,23 @@ func (r *Recorder) Record(rec MsgRecord) {
 
 // AddLocalLockOp counts a lock operation satisfied from the locally cached
 // GDO information (no directory involvement).
-func (r *Recorder) AddLocalLockOp() { r.add(&r.localLockOps) }
+func (r *Recorder) AddLocalLockOp() { r.localLockOps.Add(1) }
 
 // AddGlobalLockOp counts a lock operation that had to consult the GDO.
-func (r *Recorder) AddGlobalLockOp() { r.add(&r.globalLockOps) }
+func (r *Recorder) AddGlobalLockOp() { r.globalLockOps.Add(1) }
 
 // AddDemandFetch counts a page fetched on demand after a LOTEC
 // misprediction.
-func (r *Recorder) AddDemandFetch() { r.add(&r.demandFetches) }
+func (r *Recorder) AddDemandFetch() { r.demandFetches.Add(1) }
 
 // AddAbort counts a root-transaction abort (deadlock victim or user abort).
-func (r *Recorder) AddAbort() { r.add(&r.aborts) }
+func (r *Recorder) AddAbort() { r.aborts.Add(1) }
 
 // AddRetry counts a root-transaction retry after an abort.
-func (r *Recorder) AddRetry() { r.add(&r.retries) }
+func (r *Recorder) AddRetry() { r.retries.Add(1) }
 
 // AddCommit counts a root-transaction commit.
-func (r *Recorder) AddCommit() { r.add(&r.commits) }
-
-func (r *Recorder) add(p *int64) {
-	r.mu.Lock()
-	*p++
-	r.mu.Unlock()
-}
+func (r *Recorder) AddCommit() { r.commits.Add(1) }
 
 // Counters is a snapshot of the scalar counters.
 type Counters struct {
@@ -177,15 +188,13 @@ type Counters struct {
 
 // Counters returns a snapshot of the scalar counters.
 func (r *Recorder) Counters() Counters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return Counters{
-		LocalLockOps:  r.localLockOps,
-		GlobalLockOps: r.globalLockOps,
-		DemandFetches: r.demandFetches,
-		Aborts:        r.aborts,
-		Retries:       r.retries,
-		Commits:       r.commits,
+		LocalLockOps:  r.localLockOps.Load(),
+		GlobalLockOps: r.globalLockOps.Load(),
+		DemandFetches: r.demandFetches.Load(),
+		Aborts:        r.aborts.Load(),
+		Retries:       r.retries.Load(),
+		Commits:       r.commits.Load(),
 	}
 }
 
@@ -203,8 +212,9 @@ func (r *Recorder) Trace() []MsgRecord {
 	return append([]MsgRecord(nil), r.msgs...)
 }
 
-// forEachAttribution calls fn once per (object, record) attribution.
-func (r *Recorder) forEachAttribution(fn func(obj ids.ObjectID, rec *MsgRecord)) {
+// forEachAttributionLocked calls fn once per (object, record) attribution.
+// Caller holds r.mu.
+func (r *Recorder) forEachAttributionLocked(fn func(obj ids.ObjectID, rec *MsgRecord)) {
 	for i := range r.msgs {
 		rec := &r.msgs[i]
 		if rec.Obj != NoObject {
@@ -306,7 +316,7 @@ func (r *Recorder) TransferTime(obj ids.ObjectID, p netmodel.Params) time.Durati
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var total time.Duration
-	r.forEachAttribution(func(o ids.ObjectID, rec *MsgRecord) {
+	r.forEachAttributionLocked(func(o ids.ObjectID, rec *MsgRecord) {
 		if o != obj {
 			return
 		}

@@ -11,7 +11,8 @@ import (
 
 func TestMsgKindStrings(t *testing.T) {
 	kinds := []MsgKind{KindLockReq, KindLockReply, KindGrant, KindRelease,
-		KindReleaseReply, KindFetchReq, KindPageData, KindPush, KindPushReply, KindAbort, KindOther}
+		KindReleaseReply, KindFetchReq, KindPageData, KindPush, KindPushReply, KindAbort,
+		KindRegister, KindRegisterReply, KindRun, KindRunReply, KindError, KindOther}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

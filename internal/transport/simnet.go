@@ -23,13 +23,16 @@ type SimNet struct {
 	params netmodel.Params
 	rec    *stats.Recorder // may be nil
 
-	mu       sync.Mutex
-	now      time.Duration
-	seq      uint64
-	pq       eventQueue
+	mu     sync.Mutex
+	now    time.Duration // guarded by mu
+	seq    uint64        // guarded by mu
+	pq     eventQueue    // guarded by mu
+	active int           // guarded by mu; procs started and not yet finished
+
+	// handlers and envs are populated during setup, before Run, and are
+	// read-only afterwards; they need no lock by construction.
 	handlers map[ids.NodeID]Handler
 	envs     map[ids.NodeID]*simEnv
-	active   int // procs started and not yet finished
 
 	// yield carries the "current proc has blocked or finished" signal back
 	// to the scheduler. Procs send; only the scheduler receives.
@@ -268,9 +271,9 @@ type simFuture struct {
 	resume chan futResult
 
 	mu      sync.Mutex
-	done    bool
-	waiting bool
-	res     futResult
+	done    bool      // guarded by mu
+	waiting bool      // guarded by mu
+	res     futResult // guarded by mu
 }
 
 // Complete implements Future.
@@ -281,15 +284,18 @@ func (f *simFuture) Complete(v any, err error) {
 		return
 	}
 	f.done = true
-	f.res = futResult{v: v, err: err}
+	res := futResult{v: v, err: err}
+	f.res = res
 	waiting := f.waiting
 	f.mu.Unlock()
 	if !waiting {
 		return // Wait will pick the result up synchronously
 	}
+	// The wake-up event sends the captured result rather than re-reading
+	// f.res outside the lock.
 	s := f.net
 	s.schedule(s.Now(), func() {
-		f.resume <- f.res
+		f.resume <- res
 		s.waitYield()
 	})
 }

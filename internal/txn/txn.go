@@ -79,9 +79,9 @@ type Txn struct {
 	depth  int
 
 	mu             sync.Mutex
-	status         Status
-	activeChildren int
-	children       []*Txn
+	status         Status // guarded by mu
+	activeChildren int    // guarded by mu
+	children       []*Txn // guarded by mu
 }
 
 // ID returns the transaction's unique identifier.
@@ -142,7 +142,7 @@ type Manager struct {
 	gen ids.TxIDGenerator
 
 	mu   sync.Mutex
-	byID map[ids.TxID]*Txn
+	byID map[ids.TxID]*Txn // guarded by mu
 }
 
 // NewManager returns an empty Manager.

@@ -56,6 +56,16 @@ func Classify(m Msg) stats.MsgRecord {
 		rec.Kind, rec.Obj = stats.KindLockReq, t.Obj
 	case *CopySetResp:
 		rec.Kind = stats.KindLockReply
+	case *RegisterReq:
+		rec.Kind, rec.Obj = stats.KindRegister, t.Obj
+	case *RegisterResp:
+		rec.Kind = stats.KindRegisterReply
+	case *RunReq:
+		rec.Kind, rec.Obj = stats.KindRun, t.Obj
+	case *RunResp:
+		rec.Kind = stats.KindRunReply
+	case *ErrResp:
+		rec.Kind = stats.KindError
 	}
 	return rec
 }

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"lotec/internal/stats"
+)
+
+// registeredTypes probes newMsg over the whole tag space — the codec's own
+// registry is the single source of truth, so a type added to the enum but
+// forgotten in newMsg shows up as a count mismatch here (and as a wiresync
+// lint finding).
+func registeredTypes(t *testing.T) map[MsgType]Msg {
+	t.Helper()
+	out := make(map[MsgType]Msg)
+	for tag := 1; tag <= 255; tag++ {
+		m, err := newMsg(MsgType(tag))
+		if err != nil {
+			continue
+		}
+		if m.Type() != MsgType(tag) {
+			t.Errorf("newMsg(%d) returned a message reporting Type %d", tag, m.Type())
+		}
+		out[MsgType(tag)] = m
+	}
+	return out
+}
+
+// fill populates every exported field of a message with deterministic
+// non-zero data so round-trips exercise real payloads.
+func fill(v reflect.Value, ctr *int64) {
+	next := func() int64 { *ctr++; return *ctr }
+	switch v.Kind() {
+	case reflect.Ptr:
+		if v.IsNil() {
+			v.Set(reflect.New(v.Type().Elem()))
+		}
+		fill(v.Elem(), ctr)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).IsExported() {
+				fill(v.Field(i), ctr)
+			}
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n := next()
+		if v.Type().Name() == "Mode" {
+			n = n%2 + 1 // o2pl.Read / o2pl.Write
+		}
+		v.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(next()))
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.String:
+		v.SetString("s" + string(rune('a'+next()%26)))
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 2, 2)
+		for i := 0; i < s.Len(); i++ {
+			fill(s.Index(i), ctr)
+		}
+		v.Set(s)
+	default:
+		// No other kinds appear in wire messages; a new one should be
+		// added here deliberately.
+		panic("exhaustive_test: unhandled field kind " + v.Kind().String())
+	}
+}
+
+// TestEveryRegisteredTypeRoundTripsAndClassifies is the runtime twin of the
+// wiresync analyzer: every message the codec can construct must (1) encode
+// to exactly Size bytes, (2) round-trip through Decode into a deep-equal
+// value, (3) classify to a non-KindOther stats record, and (4) echo its
+// Shard field into the record's shard attribution.
+func TestEveryRegisteredTypeRoundTripsAndClassifies(t *testing.T) {
+	reg := registeredTypes(t)
+	if len(reg) != int(TErrResp) {
+		t.Fatalf("newMsg constructs %d types; the MsgType enum defines %d", len(reg), int(TErrResp))
+	}
+	for tag, proto := range reg {
+		ctr := int64(0)
+		m := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(Msg)
+		fill(reflect.ValueOf(m), &ctr)
+
+		buf := Encode(Envelope{ReqID: 42, From: 1, To: 2}, m)
+		if len(buf) != m.Size() {
+			t.Errorf("%T: Size()=%d but encoded length=%d", m, m.Size(), len(buf))
+		}
+		env, back, err := Decode(buf)
+		if err != nil {
+			t.Errorf("%T: Decode: %v", m, err)
+			continue
+		}
+		if env.Type != tag || env.ReqID != 42 || env.From != 1 || env.To != 2 {
+			t.Errorf("%T: envelope corrupted in round-trip: %+v", m, env)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Errorf("%T: round-trip mismatch:\n sent %+v\n got  %+v", m, m, back)
+		}
+
+		rec := Classify(m)
+		if rec.Kind == stats.KindOther {
+			t.Errorf("%T: Classify degrades to KindOther — add a case in classify.go (wiresync catches this statically)", m)
+		}
+		if rec.Bytes != m.Size() {
+			t.Errorf("%T: Classify records %d bytes, Size is %d", m, rec.Bytes, m.Size())
+		}
+		if shard := reflect.ValueOf(m).Elem().FieldByName("Shard"); shard.IsValid() {
+			if int64(rec.Shard) != shard.Int() {
+				t.Errorf("%T: Shard field %d not attributed (record has shard %d)", m, shard.Int(), rec.Shard)
+			}
+		}
+	}
+}
+
+// TestClassifyKindsAreDistinctPerType guards against copy-paste drift: no
+// two request/reply tags may collapse onto the same (Kind, direction)
+// accidentally. CopySetReq/Resp intentionally share the lock-req/reply
+// kinds with AcquireReq/Resp (they are priced as lock traffic), so they
+// are exempted.
+func TestClassifyKindsAreDistinctPerType(t *testing.T) {
+	reg := registeredTypes(t)
+	seen := make(map[stats.MsgKind]MsgType)
+	for tag, proto := range reg {
+		if tag == TCopySetReq || tag == TCopySetResp {
+			continue
+		}
+		m := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(Msg)
+		kind := Classify(m).Kind
+		if prev, dup := seen[kind]; dup {
+			t.Errorf("types %d and %d both classify to %v", prev, tag, kind)
+		}
+		seen[kind] = tag
+	}
+}

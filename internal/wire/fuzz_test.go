@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the codec. Decode must never panic,
+// and any buffer it accepts must re-encode canonically: Encode(env, m)
+// produces exactly Size bytes that decode back to a deep-equal message.
+func FuzzDecode(f *testing.F) {
+	// Seed with one valid encoding of every registered type (zero-valued
+	// and filled payloads), then structured malformations of each.
+	for tag := 1; tag <= 255; tag++ {
+		m, err := newMsg(MsgType(tag))
+		if err != nil {
+			continue
+		}
+		env := Envelope{ReqID: uint64(tag), From: 1, To: 2}
+		f.Add(Encode(env, m))
+
+		ctr := int64(0)
+		filled := reflect.New(reflect.TypeOf(m).Elem()).Interface().(Msg)
+		fill(reflect.ValueOf(filled), &ctr)
+		buf := Encode(env, filled)
+		f.Add(buf)
+		f.Add(buf[:HeaderSize])  // body stripped
+		f.Add(buf[:len(buf)-1])  // truncated mid-body
+		f.Add(append(buf, 0xAA)) // trailing garbage
+		short := append([]byte(nil), buf...)
+		short[17] = 0xFF // corrupt bodyLen low byte
+		f.Add(short)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize))
+	f.Add(bytes.Repeat([]byte{0x00}, HeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(env, m)
+		if len(re) != m.Size() {
+			t.Fatalf("re-encode of %T produced %d bytes, Size says %d", m, len(re), m.Size())
+		}
+		env2, m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded %T failed to decode: %v", m, err)
+		}
+		if env2 != env {
+			t.Fatalf("envelope drift: %+v -> %+v", env, env2)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("%T drifted across re-encode:\n first %+v\n second %+v", m, m, m2)
+		}
+	})
+}

@@ -1,8 +1,8 @@
 # Tier-1 gate: everything must build, vet clean, lint clean, and pass
 # under the race detector before a change lands.
-.PHONY: check build vet lint test bench
+.PHONY: check build vet lint test bench bench-smoke
 
-check: build vet lint test
+check: build vet lint test bench-smoke
 
 build:
 	go build ./...
@@ -18,7 +18,13 @@ lint:
 test:
 	go test -race ./...
 
-# Regenerate BENCH_results.json (figure workload timings + sharded
-# directory throughput).
+# Regenerate BENCH_results.json (figure workload timings, transfer-stage
+# breakdown, fetch-concurrency sweep, sharded directory throughput).
 bench:
 	go run ./cmd/lotec-bench -figure 3 -json BENCH_results.json
+
+# Fast data-plane invariant check: the byte/message trace must be identical
+# at FetchConcurrency 1 and 4, and the modeled gather wall-clock must
+# improve when transfers fan out.
+bench-smoke:
+	go run ./cmd/lotec-bench -figure 3 -smoke

@@ -34,6 +34,10 @@ type Options struct {
 	// placement and per-object cost attribution are identical at every
 	// shard count; sharding only relieves directory contention.
 	DirectoryShards int
+	// FetchConcurrency bounds the in-flight per-site calls of one page
+	// transfer fan-out (0 → default 4). Byte and message counters are
+	// identical at every setting; only transfer wall-clock changes.
+	FetchConcurrency int
 }
 
 // Cluster is an in-process LOTEC deployment: a set of simulated sites over
@@ -71,6 +75,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Lenient:           opts.Lenient,
 		MaxRetries:        opts.MaxRetries,
 		DirectoryShards:   opts.DirectoryShards,
+		FetchConcurrency:  opts.FetchConcurrency,
 	})
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"lotec/internal/netmodel"
 	"lotec/internal/o2pl"
 	"lotec/internal/sim"
+	"lotec/internal/stats"
 )
 
 // benchResult is one line of BENCH_results.json.
@@ -35,6 +37,8 @@ type benchResult struct {
 	Protocol string `json:"protocol,omitempty"`
 	// Shards is the directory partition count, for directory benchmarks.
 	Shards int `json:"shards,omitempty"`
+	// FetchConcurrency is the transfer fan-out bound, for sweep entries.
+	FetchConcurrency int `json:"fetch_concurrency,omitempty"`
 	// Ops is the number of operations timed.
 	Ops int `json:"ops"`
 	// NsPerOp is wall-clock nanoseconds per operation.
@@ -42,17 +46,33 @@ type benchResult struct {
 	// BytesMoved is the consistency data traffic of the run (simulated
 	// runs only; the directory benchmark is in-process).
 	BytesMoved int64 `json:"bytes_moved"`
+	// Transfer-pipeline breakdown (simulated runs only): total transfers
+	// and the summed per-stage wall clock on the cluster's virtual clock.
+	// Gather is the only stage whose time responds to FetchConcurrency.
+	Transfers    int   `json:"transfers,omitempty"`
+	XferPlanNs   int64 `json:"xfer_plan_ns,omitempty"`
+	XferGatherNs int64 `json:"xfer_gather_ns,omitempty"`
+	XferApplyNs  int64 `json:"xfer_apply_ns,omitempty"`
 }
 
 func main() {
 	figure := flag.String("figure", "3", "workload figure to sweep (2..5)")
 	jsonOut := flag.String("json", "", "also benchmark directory sharding and write results to this file (e.g. BENCH_results.json)")
+	smoke := flag.Bool("smoke", false, "fast CI check: assert the byte/message trace is FetchConcurrency-invariant and the gather wall-clock improves")
 	flag.Parse()
 
 	spec, err := sim.FigureByID(*figure)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-bench:", err)
 		os.Exit(1)
+	}
+
+	if *smoke {
+		if err := runSmoke(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "lotec-bench: smoke:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *jsonOut != "" {
@@ -95,16 +115,27 @@ func writeJSON(spec sim.FigureSpec, path string) error {
 		}
 		elapsed := time.Since(start)
 		n := len(c.Results())
+		stages := c.Recorder().TransferStages(0)
 		results = append(results, benchResult{
-			Op:         "workload/figure" + spec.ID,
-			Protocol:   p.Name(),
-			Ops:        n,
-			NsPerOp:    float64(elapsed.Nanoseconds()) / float64(n),
-			BytesMoved: c.Recorder().Totals().DataBytes,
+			Op:           "workload/figure" + spec.ID,
+			Protocol:     p.Name(),
+			Ops:          n,
+			NsPerOp:      float64(elapsed.Nanoseconds()) / float64(n),
+			BytesMoved:   c.Recorder().Totals().DataBytes,
+			Transfers:    stages.Transfers,
+			XferPlanNs:   stages.Plan.Nanoseconds(),
+			XferGatherNs: stages.Gather.Nanoseconds(),
+			XferApplyNs:  stages.Apply.Nanoseconds(),
 		})
-		fmt.Printf("workload/figure%s  %-6s %8d ops  %12.0f ns/op  %10d bytes\n",
-			spec.ID, p.Name(), n, results[len(results)-1].NsPerOp, results[len(results)-1].BytesMoved)
+		fmt.Printf("workload/figure%s  %-6s %8d ops  %12.0f ns/op  %10d bytes  gather %v\n",
+			spec.ID, p.Name(), n, results[len(results)-1].NsPerOp, results[len(results)-1].BytesMoved, stages.Gather)
 	}
+
+	sweep, err := sweepFetchConcurrency(spec)
+	if err != nil {
+		return err
+	}
+	results = append(results, sweep...)
 
 	for _, shards := range []int{1, 2, 4, 8} {
 		nsPerOp, ops, err := benchDirectory(shards)
@@ -131,6 +162,108 @@ func writeJSON(spec sim.FigureSpec, path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(results))
+	return nil
+}
+
+// sweepFetchConcurrency runs the figure's workload under LOTEC at transfer
+// fan-out bounds 1, 4 and 16. The byte/message trace must be identical at
+// every setting (that invariant is enforced here, not just measured); only
+// the modeled gather wall-clock may move, and it is what the sweep reports.
+func sweepFetchConcurrency(spec sim.FigureSpec) ([]benchResult, error) {
+	var results []benchResult
+	var baseBytes, baseMsgs int64
+	for _, k := range []int{1, 4, 16} {
+		w, err := sim.GenerateWorkload(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		c, _, err := w.Execute(sim.Config{Protocol: core.LOTEC, FetchConcurrency: k})
+		if err != nil {
+			return nil, fmt.Errorf("fetch-concurrency sweep (k=%d): %w", k, err)
+		}
+		tot := c.Recorder().Totals()
+		if k == 1 {
+			baseBytes, baseMsgs = tot.TotalBytes(), int64(tot.Msgs)
+		} else if tot.TotalBytes() != baseBytes || int64(tot.Msgs) != baseMsgs {
+			return nil, fmt.Errorf(
+				"fetch-concurrency sweep: trace not invariant at k=%d: %d bytes/%d msgs, serial %d/%d",
+				k, tot.TotalBytes(), tot.Msgs, baseBytes, baseMsgs)
+		}
+		stages := c.Recorder().TransferStages(0)
+		results = append(results, benchResult{
+			Op:               fmt.Sprintf("workload/figure%s/fetch-concurrency", spec.ID),
+			Protocol:         core.LOTEC.Name(),
+			FetchConcurrency: k,
+			Ops:              stages.Transfers,
+			NsPerOp:          float64(stages.Gather.Nanoseconds()) / float64(stages.Transfers),
+			BytesMoved:       tot.DataBytes,
+			Transfers:        stages.Transfers,
+			XferPlanNs:       stages.Plan.Nanoseconds(),
+			XferGatherNs:     stages.Gather.Nanoseconds(),
+			XferApplyNs:      stages.Apply.Nanoseconds(),
+		})
+		fmt.Printf("workload/figure%s/fetch-concurrency  k=%-2d %6d transfers  gather %v\n",
+			spec.ID, k, stages.Transfers, stages.Gather)
+	}
+	return results, nil
+}
+
+// runSmoke is the CI gate on the data plane's core invariant: identical
+// byte/message traces at FetchConcurrency 1 and 4, with the modeled gather
+// wall-clock no worse — and strictly better when any transfer fanned out.
+func runSmoke(spec sim.FigureSpec) error {
+	type snap struct {
+		trace  []stats.MsgRecord
+		totals stats.ObjStats
+		gather time.Duration
+		multi  int // transfers with more than one per-site batch
+	}
+	run := func(k int) (snap, error) {
+		w, err := sim.GenerateWorkload(spec.Workload)
+		if err != nil {
+			return snap{}, err
+		}
+		c, _, err := w.Execute(sim.Config{Protocol: core.LOTEC, FetchConcurrency: k})
+		if err != nil {
+			return snap{}, err
+		}
+		rec := c.Recorder()
+		s := snap{trace: rec.Trace(), totals: rec.Totals(), gather: rec.TransferStages(0).Gather}
+		for _, t := range rec.Transfers() {
+			if t.Batches > 1 {
+				s.multi++
+			}
+		}
+		return s, nil
+	}
+	serial, err := run(1)
+	if err != nil {
+		return err
+	}
+	overlapped, err := run(4)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(serial.totals, overlapped.totals) {
+		return fmt.Errorf("totals diverge: %+v vs %+v", serial.totals, overlapped.totals)
+	}
+	if len(serial.trace) != len(overlapped.trace) {
+		return fmt.Errorf("trace lengths diverge: %d vs %d", len(serial.trace), len(overlapped.trace))
+	}
+	for i := range serial.trace {
+		if !reflect.DeepEqual(serial.trace[i], overlapped.trace[i]) {
+			return fmt.Errorf("trace record %d diverges: %+v vs %+v", i, serial.trace[i], overlapped.trace[i])
+		}
+	}
+	if overlapped.gather > serial.gather {
+		return fmt.Errorf("gather wall-clock regressed: %v at k=4 vs %v serial", overlapped.gather, serial.gather)
+	}
+	if serial.multi > 0 && overlapped.gather >= serial.gather {
+		return fmt.Errorf("%d transfers fanned out but gather did not improve: %v vs %v",
+			serial.multi, overlapped.gather, serial.gather)
+	}
+	fmt.Printf("smoke ok: figure %s, %d msgs invariant, gather %v (k=1) → %v (k=4), %d fanned-out transfers\n",
+		spec.ID, len(serial.trace), serial.gather, overlapped.gather, serial.multi)
 	return nil
 }
 

@@ -101,6 +101,7 @@ func main() {
 	protocol := flag.String("protocol", "LOTEC", "consistency protocol: COTEC, OTEC, LOTEC or RC")
 	objects := flag.Int("objects", 4, "demo accounts to create (owned round-robin)")
 	shards := flag.Int("shards", 1, "directory partitions; must match the lotec-gdo process")
+	fetchConc := flag.Int("fetch-concurrency", 0, "in-flight per-site page-transfer calls (0 = default 4)")
 
 	call := flag.String("call", "", "client mode: node address to dial")
 	node := flag.Int("node", 1, "client mode: node ID at -call")
@@ -109,13 +110,13 @@ func main() {
 	amount := flag.Int64("amount", 0, "client mode: amount argument")
 	flag.Parse()
 
-	if err := run(*id, *gdoAddr, *nodes, *protocol, *objects, *shards, *call, *node, *obj, *method, *amount); err != nil {
+	if err := run(*id, *gdoAddr, *nodes, *protocol, *objects, *shards, *fetchConc, *call, *node, *obj, *method, *amount); err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, gdoAddr, nodes, protocol string, objects, shards int, call string, nodeID int, obj int64, method string, amount int64) error {
+func run(id int, gdoAddr, nodes, protocol string, objects, shards, fetchConc int, call string, nodeID int, obj int64, method string, amount int64) error {
 	if call != "" {
 		client, err := lotec.Dial(call, lotec.NodeID(nodeID))
 		if err != nil {
@@ -140,9 +141,10 @@ func run(id int, gdoAddr, nodes, protocol string, objects, shards int, call stri
 	nodeAddrs := strings.Split(nodes, ",")
 	topo := lotec.Topology{NodeAddrs: nodeAddrs, GDOAddr: gdoAddr, DirectoryShards: shards}
 	n, err := lotec.NewNode(lotec.NodeOptions{
-		Topology: topo,
-		Self:     lotec.NodeID(id),
-		Protocol: p,
+		Topology:         topo,
+		Self:             lotec.NodeID(id),
+		Protocol:         p,
+		FetchConcurrency: fetchConc,
 	})
 	if err != nil {
 		return err

@@ -22,19 +22,20 @@ func main() {
 	figure := flag.String("figure", "", "figure to regenerate: 2..8, rc, or all")
 	headline := flag.Bool("headline", false, "print the §5 headline byte ratios")
 	ablation := flag.String("ablation", "", "ablation to run: prediction, granularity, demand, disorder, or all")
+	fetchConc := flag.Int("fetch-concurrency", 0, "in-flight per-site page-transfer calls (0 = default 4); trace-invariant")
 	flag.Parse()
 
 	if *figure == "" && !*headline && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*figure, *headline, *ablation); err != nil {
+	if err := run(*figure, *headline, *ablation, *fetchConc); err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, headline bool, ablation string) error {
+func run(figure string, headline bool, ablation string, fetchConc int) error {
 	if figure != "" {
 		specs := sim.FigureSpecs()
 		if figure != "all" {
@@ -46,7 +47,7 @@ func run(figure string, headline bool, ablation string) error {
 		}
 		for _, spec := range specs {
 			t0 := time.Now()
-			res, err := sim.RunFigure(spec)
+			res, err := sim.RunFigureConfig(spec, sim.Config{FetchConcurrency: fetchConc})
 			if err != nil {
 				return err
 			}

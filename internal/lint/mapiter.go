@@ -16,6 +16,7 @@ var deterministicPackages = map[string]bool{
 	"directory": true,
 	"node":      true,
 	"stats":     true,
+	"xfer":      true,
 }
 
 // MapIter flags `for range` over a map in determinism-critical packages

@@ -3,7 +3,6 @@ package node
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"lotec/internal/core"
 	"lotec/internal/gdo"
@@ -12,6 +11,7 @@ import (
 	"lotec/internal/pstore"
 	"lotec/internal/schema"
 	"lotec/internal/wire"
+	"lotec/internal/xfer"
 )
 
 // acquire implements Algorithm 4.1 (LocalLockAcquisition) for transaction
@@ -227,13 +227,30 @@ func (e *Engine) transfer(ts *txState, obj ids.ObjectID, layout *schema.Layout, 
 		return err
 	}
 	in := e.fetchInputLocked(obj, layout, meta, predicted)
-	plan := e.protocolForLocked(obj).FetchPlan(in)
+	proto := e.protocolForLocked(obj)
+	plan := proto.FetchPlan(in)
 	meta.fetched = true
 	pageMap := meta.pageMap
-	lastWriter := meta.lastWriter
+	// Under a scattering protocol (LOTEC) each page comes from the site
+	// holding its newest copy — possibly several sites; under COTEC/OTEC
+	// the whole plan comes from the single last-updating site, which
+	// always holds a complete current copy.
+	single := meta.lastWriter
+	if proto.GatherScattered() {
+		single = ids.NoNode
+	}
 	e.mu.Unlock()
 
-	return e.gather(obj, plan, pageMap, lastWriter, false)
+	if len(plan) == 0 {
+		return nil
+	}
+	return e.xfer.Fetch([]xfer.Want{{
+		Obj:          obj,
+		Pages:        plan,
+		PageMap:      pageMap,
+		Single:       single,
+		VersionAware: proto.VersionAware(),
+	}}, false)
 }
 
 // fetchInputLocked assembles the protocol's view of the object at this
@@ -265,86 +282,6 @@ func (e *Engine) fetchInputLocked(obj ids.ObjectID, layout *schema.Layout, meta 
 	}
 }
 
-// gather pulls the planned pages from their up-to-date locations
-// ("FOREACH site from which page(s) must be obtained DO copy the set of
-// pages…", Alg 4.5). Under a scattering protocol (LOTEC) each page comes
-// from the site holding its newest copy — possibly several sites; under
-// COTEC/OTEC the whole plan comes from the single last-updating site, which
-// always holds a complete current copy. Pages whose newest copy is already
-// local, or which carry uncommitted local writes, are skipped; a
-// version-blind protocol (COTEC) re-transfers current-but-remote pages
-// anyway.
-func (e *Engine) gather(obj ids.ObjectID, plan schema.PageSet, pageMap []gdo.PageLoc, single ids.NodeID, demand bool) error {
-	if len(plan) == 0 {
-		return nil
-	}
-	dirtyLocal := make(map[ids.PageNum]bool)
-	for _, p := range e.cfg.Store.DirtyPages(obj) {
-		dirtyLocal[p] = true
-	}
-	proto := e.protocolFor(obj)
-	versionAware := proto.VersionAware()
-	scatter := proto.GatherScattered() || demand || single == ids.NoNode
-
-	bySource := make(map[ids.NodeID][]ids.PageNum)
-	for _, p := range plan {
-		if int(p) >= len(pageMap) {
-			return fmt.Errorf("node: fetch plan page %v/p%d outside page map", obj, p)
-		}
-		loc := pageMap[p]
-		if loc.Node == e.self || dirtyLocal[p] {
-			continue
-		}
-		// Skip pages already at (or beyond) the mapped version: another
-		// transaction of this family may have fetched them already. COTEC
-		// has no version tracking and re-transfers regardless.
-		if versionAware {
-			if v, ok := e.cfg.Store.PageVersion(ids.PageID{Object: obj, Page: p}); ok && v >= loc.Version {
-				continue
-			}
-		}
-		src := loc.Node
-		if !scatter && single != ids.NoNode {
-			if single == e.self {
-				// This site performed the last update: it already holds a
-				// complete current copy; nothing to pull.
-				continue
-			}
-			src = single
-		}
-		bySource[src] = append(bySource[src], p)
-	}
-	sources := make([]ids.NodeID, 0, len(bySource))
-	for s := range bySource {
-		sources = append(sources, s)
-	}
-	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
-
-	for _, src := range sources {
-		if demand && e.cfg.Rec != nil {
-			e.cfg.Rec.AddDemandFetch()
-		}
-		reply, err := e.env.Call(src, &wire.FetchReq{Obj: obj, Demand: demand, Pages: bySource[src]})
-		if err != nil {
-			return fmt.Errorf("fetch %v from %v: %w", obj, src, err)
-		}
-		resp, ok := reply.(*wire.FetchResp)
-		if !ok {
-			return fmt.Errorf("fetch %v from %v: unexpected reply %T", obj, src, reply)
-		}
-		for _, pg := range resp.Pages {
-			pid := ids.PageID{Object: obj, Page: pg.Page}
-			if v, ok := e.cfg.Store.PageVersion(pid); ok && v >= pg.Version {
-				continue
-			}
-			if err := e.cfg.Store.InstallPage(pid, pg.Data, pg.Version); err != nil {
-				return fmt.Errorf("install %v: %w", pid, err)
-			}
-		}
-	}
-	return nil
-}
-
 // ensureCurrent demand-fetches any of the given pages that are stale or
 // absent relative to the grant-time page map. It is the §4.3 fallback ("If
 // additional parts turn out to be needed, these can be fetched on demand")
@@ -369,8 +306,19 @@ func (e *Engine) ensureCurrent(ts *txState, obj ids.ObjectID, pages schema.PageS
 	}
 	pageMap := meta.pageMap
 	e.mu.Unlock()
-	// Demand fetches always target the exact newest location per page.
-	return e.gather(obj, plan, pageMap, ids.NoNode, true)
+	if len(plan) == 0 {
+		return nil
+	}
+	// Demand fetches always target the exact newest location per page,
+	// version-aware regardless of protocol (the staleness test above
+	// already consulted versions).
+	return e.xfer.Fetch([]xfer.Want{{
+		Obj:          obj,
+		Pages:        plan,
+		PageMap:      pageMap,
+		Single:       ids.NoNode,
+		VersionAware: true,
+	}}, true)
 }
 
 // pagesMissingError extracts a PageMissingError if err contains one.

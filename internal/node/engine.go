@@ -28,6 +28,7 @@ import (
 	"lotec/internal/transport"
 	"lotec/internal/txn"
 	"lotec/internal/wire"
+	"lotec/internal/xfer"
 )
 
 // Engine errors.
@@ -81,6 +82,10 @@ type Config struct {
 	Rec *stats.Recorder
 	// MaxRetries bounds deadlock-victim retries of a root (default 20).
 	MaxRetries int
+	// FetchConcurrency bounds the in-flight per-site calls of one xfer
+	// gather or push fan-out (default 4). The byte/message trace is
+	// identical at every setting; only wall-clock changes.
+	FetchConcurrency int
 	// Strict rejects accesses outside declared sets (the paper's
 	// conservative-compiler contract). When false, undeclared accesses are
 	// allowed and satisfied by demand fetches (the §4.3 fallback),
@@ -134,6 +139,7 @@ type Engine struct {
 	cfg  Config
 	env  transport.Env
 	self ids.NodeID
+	xfer *xfer.Engine // the Alg 4.5 data plane
 
 	mu       sync.Mutex
 	objClass map[ids.ObjectID]ids.ClassID // guarded by mu
@@ -152,10 +158,19 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 50
 	}
+	if cfg.FetchConcurrency <= 0 {
+		cfg.FetchConcurrency = 4
+	}
 	return &Engine{
-		cfg:      cfg,
-		env:      cfg.Env,
-		self:     cfg.Env.Self(),
+		cfg:  cfg,
+		env:  cfg.Env,
+		self: cfg.Env.Self(),
+		xfer: &xfer.Engine{
+			Env:         cfg.Env,
+			Store:       cfg.Store,
+			Rec:         cfg.Rec,
+			Concurrency: cfg.FetchConcurrency,
+		},
 		objClass: make(map[ids.ObjectID]ids.ClassID),
 		fams:     make(map[ids.FamilyID]*famState),
 		pending:  make(map[pendKey]*pendingReq),
@@ -458,11 +473,13 @@ func (e *Engine) preCommit(ts *txState) error {
 	ts.undo.MergeInto(ts.parent.undo)
 	e.mu.Unlock()
 
-	if err := e.cfg.Manager.PreCommit(ts.t); err != nil {
-		return err
-	}
+	err := e.cfg.Manager.PreCommit(ts.t)
+	// Wake the granted siblings even when the manager refuses the
+	// pre-commit: the locks were already handed off under e.mu above, and
+	// a parked waiter nobody completes is lost forever — the family's
+	// abort path only wakes waiters still registered on entries.
 	completeAll(wake, nil)
-	return nil
+	return err
 }
 
 // abortTx applies rule 4 of §4.1 plus Alg 4.3's abort cases: undo the
@@ -660,41 +677,10 @@ func (e *Engine) releaseGlobal(fam *famState, objs []ids.ObjectID, dirty map[ids
 
 // pushUpdates implements the RC extension: send every dirty page to every
 // other site caching the object, acknowledged, before the lock release.
+// The xfer pipeline batches the copy-set lookups per GDO home and the
+// pushes per destination site, across objects.
 func (e *Engine) pushUpdates(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum) error {
-	for _, obj := range objs {
-		pages := dirty[obj]
-		if len(pages) == 0 {
-			continue
-		}
-		home := e.cfg.HomeFn(obj)
-		reply, err := e.env.Call(home, &wire.CopySetReq{Obj: obj})
-		if err != nil {
-			return err
-		}
-		cs, ok := reply.(*wire.CopySetResp)
-		if !ok {
-			return fmt.Errorf("copyset of %v: unexpected reply %T", obj, reply)
-		}
-		var payloads []wire.PagePayload
-		for _, p := range pages {
-			data, ver, err := e.cfg.Store.PageCopy(ids.PageID{Object: obj, Page: p})
-			if err != nil {
-				return err
-			}
-			// restampDirty already advanced the version to what the GDO
-			// will assign at the release that follows.
-			payloads = append(payloads, wire.PagePayload{Page: p, Version: ver, Data: data})
-		}
-		for _, site := range cs.Sites {
-			if site == e.self {
-				continue
-			}
-			if _, err := e.env.Call(site, &wire.PushReq{Obj: obj, Pages: payloads}); err != nil {
-				return fmt.Errorf("push %v to %v: %w", obj, site, err)
-			}
-		}
-	}
-	return nil
+	return e.xfer.Push(objs, dirty, e.cfg.HomeFn)
 }
 
 // completeAll wakes a batch of granted local waiters.

@@ -6,6 +6,7 @@ import (
 	"lotec/internal/o2pl"
 	"lotec/internal/transport"
 	"lotec/internal/wire"
+	"lotec/internal/xfer"
 )
 
 // Handle is the node's inbound message dispatcher; wire it as the Env's
@@ -22,6 +23,10 @@ func (e *Engine) Handle(from ids.NodeID, m wire.Msg) wire.Msg {
 		return e.handleFetch(t)
 	case *wire.PushReq:
 		return e.handlePush(t)
+	case *wire.MultiFetchReq:
+		return xfer.ServeFetch(e.cfg.Store, t)
+	case *wire.MultiPushReq:
+		return xfer.ApplyPush(e.cfg.Store, t)
 	case *wire.AcquireReq:
 		return e.handleGDOAcquire(t)
 	case *wire.ReleaseReq:
@@ -104,41 +109,30 @@ func (e *Engine) handleAbort(a *wire.Abort) {
 	}
 }
 
-// handleFetch serves Alg 4.5 gather requests from this site's store.
+// handleFetch serves legacy single-object Alg 4.5 gather requests (older
+// peers over TCP) through the same xfer serving path as the batched form.
 func (e *Engine) handleFetch(req *wire.FetchReq) wire.Msg {
-	resp := &wire.FetchResp{Obj: req.Obj}
-	for _, p := range req.Pages {
-		pid := ids.PageID{Object: req.Obj, Page: p}
-		data, ver, err := e.cfg.Store.PageCopy(pid)
-		if err != nil {
-			return &wire.ErrResp{Msg: err.Error()}
-		}
-		resp.Pages = append(resp.Pages, wire.PagePayload{Page: p, Version: ver, Data: data})
+	reply := xfer.ServeFetch(e.cfg.Store, &wire.MultiFetchReq{
+		Demand: req.Demand,
+		Objs:   []wire.ObjPages{{Obj: req.Obj, Pages: req.Pages}},
+	})
+	resp, ok := reply.(*wire.MultiFetchResp)
+	if !ok {
+		return reply // ErrResp
 	}
-	return resp
+	out := &wire.FetchResp{Obj: req.Obj}
+	if len(resp.Objs) == 1 {
+		out.Pages = resp.Objs[0].Pages
+	}
+	return out
 }
 
-// handlePush installs RC-pushed pages if they are newer than the local
-// copies. Locally dirty pages are impossible at a pushee (it does not hold
-// the lock) but are skipped defensively.
+// handlePush installs legacy single-object RC pushes through the batched
+// apply path.
 func (e *Engine) handlePush(req *wire.PushReq) wire.Msg {
-	dirty := make(map[ids.PageNum]bool)
-	for _, p := range e.cfg.Store.DirtyPages(req.Obj) {
-		dirty[p] = true
-	}
-	for _, pg := range req.Pages {
-		if dirty[pg.Page] {
-			continue
-		}
-		pid := ids.PageID{Object: req.Obj, Page: pg.Page}
-		if v, ok := e.cfg.Store.PageVersion(pid); ok && v >= pg.Version {
-			continue
-		}
-		if err := e.cfg.Store.InstallPage(pid, pg.Data, pg.Version); err != nil {
-			return &wire.ErrResp{Msg: err.Error()}
-		}
-	}
-	return &wire.PushResp{}
+	return xfer.ApplyPush(e.cfg.Store, &wire.MultiPushReq{
+		Objs: []wire.ObjPayload{{Obj: req.Obj, Pages: req.Pages}},
+	})
 }
 
 // GDO-serving handlers (active when cfg.Dir is set).
@@ -179,11 +173,15 @@ func (e *Engine) handleGDOCopySet(req *wire.CopySetReq) wire.Msg {
 	if e.cfg.Dir == nil {
 		return &wire.ErrResp{Msg: "node: not a GDO host"}
 	}
-	sites, err := e.cfg.Dir.CopySet(req.Obj)
-	if err != nil {
-		return &wire.ErrResp{Msg: err.Error()}
+	sets := make([]wire.CopySet, 0, len(req.Objs))
+	for _, obj := range req.Objs {
+		sites, err := e.cfg.Dir.CopySet(obj)
+		if err != nil {
+			return &wire.ErrResp{Msg: err.Error()}
+		}
+		sets = append(sets, wire.CopySet{Obj: obj, Sites: sites})
 	}
-	return &wire.CopySetResp{Sites: sites}
+	return &wire.CopySetResp{Sets: sets}
 }
 
 func (e *Engine) handleGDORegister(req *wire.RegisterReq) wire.Msg {

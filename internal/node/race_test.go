@@ -1,0 +1,235 @@
+package node_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lotec/internal/core"
+	"lotec/internal/gdo"
+	"lotec/internal/ids"
+	"lotec/internal/node"
+	"lotec/internal/pstore"
+	"lotec/internal/schema"
+	"lotec/internal/transport"
+	"lotec/internal/txn"
+	"lotec/internal/wire"
+)
+
+// threadNet is a genuinely concurrent transport for stress tests: unlike the
+// one-proc-at-a-time SimNet, Call dispatches the remote handler inline on
+// the calling goroutine and Send delivers on a fresh goroutine, so lock
+// grants race against local acquisitions exactly as they do over TCP. Run
+// it under -race.
+type threadNet struct {
+	mu       sync.Mutex
+	handlers map[ids.NodeID]transport.Handler
+	start    time.Time
+	wg       sync.WaitGroup
+}
+
+func newThreadNet() *threadNet {
+	return &threadNet{handlers: make(map[ids.NodeID]transport.Handler), start: time.Now()}
+}
+
+func (n *threadNet) handler(id ids.NodeID) transport.Handler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.handlers[id]
+}
+
+func (n *threadNet) setHandler(id ids.NodeID, h transport.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// wait blocks until every Send delivery and Go proc has finished.
+func (n *threadNet) wait() { n.wg.Wait() }
+
+type threadEnv struct {
+	net  *threadNet
+	self ids.NodeID
+}
+
+func (e *threadEnv) Self() ids.NodeID { return e.self }
+
+func (e *threadEnv) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
+	h := e.net.handler(to)
+	if h == nil {
+		return nil, transport.ErrNoHandler
+	}
+	return h(e.self, m), nil
+}
+
+func (e *threadEnv) Send(to ids.NodeID, m wire.Msg) error {
+	h := e.net.handler(to)
+	if h == nil {
+		return transport.ErrNoHandler
+	}
+	e.net.wg.Add(1)
+	go func() {
+		defer e.net.wg.Done()
+		h(e.self, m)
+	}()
+	return nil
+}
+
+func (e *threadEnv) NewFuture() transport.Future { return &chanFuture{ch: make(chan struct{})} }
+
+func (e *threadEnv) Go(fn func()) {
+	e.net.wg.Add(1)
+	go func() {
+		defer e.net.wg.Done()
+		fn()
+	}()
+}
+
+func (e *threadEnv) Sleep(d time.Duration) { time.Sleep(d) }
+func (e *threadEnv) Now() time.Duration    { return time.Since(e.net.start) }
+
+type chanFuture struct {
+	once sync.Once
+	ch   chan struct{}
+	v    any
+	err  error
+}
+
+func (f *chanFuture) Complete(v any, err error) {
+	f.once.Do(func() {
+		f.v, f.err = v, err
+		close(f.ch)
+	})
+}
+
+func (f *chanFuture) Wait() (any, error) {
+	<-f.ch
+	return f.v, f.err
+}
+
+// TestConcurrentGrantAndAcquireStress hammers one object from several
+// goroutines on two sites while GDO grants arrive on their own delivery
+// goroutines — the satellite-2 audit target: every wake site
+// (handleGrant's GrantEligible batch, preCommit's sibling hand-off, root
+// release) must complete futures outside e.mu, and a refused pre-commit
+// must still wake the granted siblings. Deadlocks here manifest as a hang
+// (the txn never completes); races as -race reports.
+func TestConcurrentGrantAndAcquireStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	const (
+		nodes   = 3
+		workers = 4
+		iters   = 25
+		obj     = ids.ObjectID(1)
+	)
+	net := newThreadNet()
+	dir := gdo.New(nodes)
+	schemas := schema.NewRegistry(64)
+	methods := node.NewMethodTable()
+	cls, err := schema.NewClassBuilder(1, "C").
+		Attr("a", 8).
+		Method(schema.MethodSpec{Name: "set", Writes: []string{"a"}}).
+		Method(schema.MethodSpec{Name: "get", Reads: []string{"a"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schemas.Add(cls); err != nil {
+		t.Fatal(err)
+	}
+	if err := methods.Register(cls, "set", func(ctx *node.Ctx) error {
+		b, err := ctx.ReadAt("a", 0, 1)
+		if err != nil {
+			return err
+		}
+		return ctx.Write("a", []byte{b[0] + 1, 0, 0, 0, 0, 0, 0, 0})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := methods.Register(cls, "get", func(ctx *node.Ctx) error {
+		b, err := ctx.ReadAt("a", 0, 1)
+		if err != nil {
+			return err
+		}
+		ctx.SetResult(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	engines := make(map[ids.NodeID]*node.Engine)
+	for i := 1; i <= nodes; i++ {
+		id := ids.NodeID(i)
+		eng, err := node.New(node.Config{
+			Env:      &threadEnv{net: net, self: id},
+			Store:    pstore.NewStore(64),
+			Schemas:  schemas,
+			Methods:  methods,
+			Manager:  txn.NewManagerAt(uint64(id) << 40),
+			Protocol: core.LOTEC,
+			HomeFn:   dir.HomeNode,
+			Dir:      dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[id] = eng
+		net.setHandler(id, eng.Handle)
+	}
+	if err := dir.Register(obj, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range engines {
+		if err := eng.RegisterObject(obj, cls.ID, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errs := make(chan error, 2*workers*iters)
+	var wg sync.WaitGroup
+	for _, site := range []ids.NodeID{1, 2} {
+		eng := engines[site]
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(site ids.NodeID, w int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					if _, _, err := eng.Run(obj, "set", nil); err != nil {
+						errs <- fmt.Errorf("site %v worker %d iter %d: %w", site, w, i, err)
+						return
+					}
+				}
+			}(site, w)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress run hung: a waiter was likely never woken")
+	}
+	net.wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	// Every increment serialized through the lock: the counter equals the
+	// total number of committed runs.
+	out, _, err := engines[1].Run(obj, "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.wait()
+	if want := byte(2 * workers * iters); len(out) != 1 || out[0] != want {
+		t.Errorf("counter = %v, want %d (lost update ⇒ a wake-up raced a hand-off)", out, want)
+	}
+}

@@ -221,6 +221,23 @@ func (s *Store) PageCopy(pid ids.PageID) (data []byte, version uint64, err error
 	return out, pg.version, nil
 }
 
+// PageCopyInto copies the resident page's bytes into buf (which must be at
+// least PageSize long) and returns its version. It is the allocation-free
+// variant of PageCopy used by the xfer pipeline's pooled staging buffers.
+func (s *Store) PageCopyInto(pid ids.PageID, buf []byte) (version uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, ok := s.lookupLocked(pid)
+	if !ok {
+		return 0, &PageMissingError{PID: pid}
+	}
+	if len(buf) < len(pg.data) {
+		return 0, fmt.Errorf("pstore: copy %v: buffer %d bytes, page is %d", pid, len(buf), len(pg.data))
+	}
+	copy(buf, pg.data)
+	return pg.version, nil
+}
+
 // SetPageVersion updates the version stamp of a resident page. The GDO
 // assigns new versions at root commit; the committing site restamps its own
 // dirty pages with them.

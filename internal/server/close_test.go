@@ -28,7 +28,7 @@ func TestTCPNetCloseFailsPendingCalls(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := a.Call(2, &wire.CopySetReq{Obj: 1})
+		_, err := a.Call(2, &wire.CopySetReq{Objs: []ids.ObjectID{1}})
 		done <- err
 	}()
 	time.Sleep(50 * time.Millisecond)

@@ -117,11 +117,15 @@ func (s *GDOServer) handle(from ids.NodeID, m wire.Msg) wire.Msg {
 		s.route(events)
 		return &wire.ReleaseResp{Shard: req.Shard, Stamps: stamps}
 	case *wire.CopySetReq:
-		sites, err := s.dir.CopySet(req.Obj)
-		if err != nil {
-			return &wire.ErrResp{Msg: err.Error()}
+		sets := make([]wire.CopySet, 0, len(req.Objs))
+		for _, obj := range req.Objs {
+			sites, err := s.dir.CopySet(obj)
+			if err != nil {
+				return &wire.ErrResp{Msg: err.Error()}
+			}
+			sets = append(sets, wire.CopySet{Obj: obj, Sites: sites})
 		}
-		return &wire.CopySetResp{Sites: sites}
+		return &wire.CopySetResp{Sets: sets}
 	case *wire.RegisterReq:
 		err := s.dir.Register(req.Obj, int(req.NumPages), req.Owner)
 		if err != nil {
@@ -175,6 +179,9 @@ type NodeConfig struct {
 	PageSize int
 	// Lenient disables strict access checking.
 	Lenient bool
+	// FetchConcurrency bounds in-flight per-site calls of one page
+	// transfer fan-out (0 → default 4).
+	FetchConcurrency int
 	// Rec records traffic; may be nil.
 	Rec *stats.Recorder
 }
@@ -219,6 +226,7 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		HomeFn:            func(ids.ObjectID) ids.NodeID { return gdoNode },
 		ShardFn:           place.ShardOf,
 		Rec:               cfg.Rec,
+		FetchConcurrency:  cfg.FetchConcurrency,
 		Strict:            !cfg.Lenient,
 	})
 	if err != nil {

@@ -246,7 +246,7 @@ func TestTCPNetCallAndSend(t *testing.T) {
 	b.SetHandler(func(from ids.NodeID, msg wire.Msg) wire.Msg {
 		switch msg.(type) {
 		case *wire.CopySetReq:
-			return &wire.CopySetResp{Sites: []ids.NodeID{from, 2}}
+			return &wire.CopySetResp{Sets: []wire.CopySet{{Obj: 4, Sites: []ids.NodeID{from, 2}}}}
 		default:
 			oneWay <- msg
 			return nil
@@ -258,12 +258,12 @@ func TestTCPNetCallAndSend(t *testing.T) {
 	if err := b.Listen(); err != nil {
 		t.Fatal(err)
 	}
-	reply, err := a.Call(2, &wire.CopySetReq{Obj: 4})
+	reply, err := a.Call(2, &wire.CopySetReq{Objs: []ids.ObjectID{4}})
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
 	cs, ok := reply.(*wire.CopySetResp)
-	if !ok || len(cs.Sites) != 2 || cs.Sites[0] != 1 {
+	if !ok || len(cs.Sets) != 1 || len(cs.Sets[0].Sites) != 2 || cs.Sets[0].Sites[0] != 1 {
 		t.Fatalf("reply = %+v", reply)
 	}
 	if err := a.Send(2, &wire.PushResp{}); err != nil {

@@ -48,6 +48,10 @@ type Config struct {
 	// (default 1 — the paper's single logical directory). Placement and
 	// per-object cost attribution are unchanged at any shard count.
 	DirectoryShards int
+	// FetchConcurrency bounds in-flight per-site calls of one xfer
+	// gather/push fan-out (default 4). The simulated trace is identical at
+	// every setting; only modeled gather wall-clock changes.
+	FetchConcurrency int
 }
 
 // withDefaults fills unset fields.
@@ -70,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DirectoryShards <= 0 {
 		c.DirectoryShards = 1
+	}
+	if c.FetchConcurrency <= 0 {
+		c.FetchConcurrency = 4
 	}
 	return c
 }
@@ -139,6 +146,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Dir:               c.dir,
 			Rec:               c.rec,
 			MaxRetries:        cfg.MaxRetries,
+			FetchConcurrency:  cfg.FetchConcurrency,
 			Strict:            cfg.Strict,
 		})
 		if err != nil {

@@ -126,6 +126,13 @@ type FigureResult struct {
 // RunFigure executes the figure's workload once per protocol and verifies
 // that every root committed and the page map is coherent.
 func RunFigure(spec FigureSpec) (*FigureResult, error) {
+	return RunFigureConfig(spec, Config{})
+}
+
+// RunFigureConfig is RunFigure with a base cluster config (e.g. a
+// FetchConcurrency override); the figure's workload still sets nodes,
+// page size, protocol and leniency.
+func RunFigureConfig(spec FigureSpec, base Config) (*FigureResult, error) {
 	protocols := spec.Protocols
 	if len(protocols) == 0 {
 		protocols = core.All()
@@ -136,7 +143,9 @@ func RunFigure(spec FigureSpec) (*FigureResult, error) {
 	}
 	res := &FigureResult{Spec: spec}
 	for _, p := range protocols {
-		c, objs, err := w.Execute(Config{Protocol: p})
+		cfg := base
+		cfg.Protocol = p
+		c, objs, err := w.Execute(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("figure %s (%s): %w", spec.ID, p.Name(), err)
 		}

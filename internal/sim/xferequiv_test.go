@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"lotec/internal/core"
+	"lotec/internal/stats"
+)
+
+// traceFingerprint captures everything about a run that must be invariant
+// under FetchConcurrency: the full message trace, the aggregate and
+// per-object byte/message accounting, the protocol counters, and the
+// transfer pipeline's volume/stage totals with Gather zeroed out — the
+// gather wall-clock is the one quantity that is allowed (indeed, expected)
+// to change with concurrency.
+type traceFingerprint struct {
+	Trace     []stats.MsgRecord
+	Totals    stats.ObjStats
+	PerObject map[int64]stats.ObjStats
+	Counters  stats.Counters
+	Fetch     stats.TransferTotals
+	Push      stats.TransferTotals
+	Commits   int
+	Failures  int
+}
+
+func fingerprintCluster(c *Cluster) (traceFingerprint, stats.TransferTotals) {
+	rec := c.Recorder()
+	fp := traceFingerprint{
+		Trace:     rec.Trace(),
+		Totals:    rec.Totals(),
+		PerObject: make(map[int64]stats.ObjStats),
+		Counters:  rec.Counters(),
+		Fetch:     rec.TransferStages(stats.TransferFetch),
+		Push:      rec.TransferStages(stats.TransferPush),
+		Commits:   len(c.Results()) - len(c.FailedResults()),
+		Failures:  len(c.FailedResults()),
+	}
+	for obj, s := range rec.PerObject() {
+		fp.PerObject[int64(obj)] = s
+	}
+	gather := stats.TransferTotals{Gather: fp.Fetch.Gather + fp.Push.Gather}
+	fp.Fetch.Gather = 0
+	fp.Push.Gather = 0
+	return fp, gather
+}
+
+// TestFetchConcurrencyTraceEquivalence is the tentpole invariant: on the
+// Figure-3 workload (large objects, high contention) every protocol must
+// produce byte-for-byte identical message traces and counters at
+// FetchConcurrency 1, 4 and 16. Only the modeled gather wall-clock may
+// differ, and at concurrency > 1 it must never be worse than serial.
+func TestFetchConcurrencyTraceEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-protocol figure workload; skipped in -short")
+	}
+	for _, proto := range core.AllWithRC() {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			var base traceFingerprint
+			var baseGather stats.TransferTotals
+			for i, conc := range []int{1, 4, 16} {
+				// A fresh workload per run guards against any shared
+				// mutable state leaking between executions.
+				w, err := GenerateWorkload(largeHigh())
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+				c, _, execErr := w.Execute(Config{Protocol: proto, FetchConcurrency: conc})
+				if execErr != nil {
+					t.Fatalf("execute conc=%d: %v", conc, execErr)
+				}
+				fp, gather := fingerprintCluster(c)
+				if fp.Totals.DataBytes == 0 {
+					t.Fatalf("conc=%d: workload moved no page data", conc)
+				}
+				if i == 0 {
+					base, baseGather = fp, gather
+					continue
+				}
+				if !reflect.DeepEqual(fp.Counters, base.Counters) {
+					t.Errorf("conc=%d: counters diverge: %+v != %+v", conc, fp.Counters, base.Counters)
+				}
+				if !reflect.DeepEqual(fp.Totals, base.Totals) {
+					t.Errorf("conc=%d: totals diverge: %+v != %+v", conc, fp.Totals, base.Totals)
+				}
+				if !reflect.DeepEqual(fp.PerObject, base.PerObject) {
+					t.Errorf("conc=%d: per-object stats diverge", conc)
+				}
+				if !reflect.DeepEqual(fp.Fetch, base.Fetch) || !reflect.DeepEqual(fp.Push, base.Push) {
+					t.Errorf("conc=%d: transfer volume/stage totals diverge (Gather excluded): fetch %+v != %+v, push %+v != %+v",
+						conc, fp.Fetch, base.Fetch, fp.Push, base.Push)
+				}
+				if fp.Commits != base.Commits || fp.Failures != base.Failures {
+					t.Errorf("conc=%d: outcomes diverge: %d/%d commits/failures != %d/%d",
+						conc, fp.Commits, fp.Failures, base.Commits, base.Failures)
+				}
+				if len(fp.Trace) != len(base.Trace) {
+					t.Fatalf("conc=%d: trace length %d != %d", conc, len(fp.Trace), len(base.Trace))
+				}
+				for j := range fp.Trace {
+					if !reflect.DeepEqual(fp.Trace[j], base.Trace[j]) {
+						t.Fatalf("conc=%d: trace record %d diverges:\n got %+v\nwant %+v",
+							conc, j, fp.Trace[j], base.Trace[j])
+					}
+				}
+				if gather.Gather > baseGather.Gather {
+					t.Errorf("conc=%d: gather wall-clock %v worse than serial %v",
+						conc, gather.Gather, baseGather.Gather)
+				}
+			}
+			if base.Fetch.Transfers == 0 {
+				t.Fatalf("workload ran no fetch transfers; invariant vacuous")
+			}
+		})
+	}
+}

@@ -40,6 +40,9 @@ const (
 	KindRunReply // remote transaction-body completion
 	KindError    // protocol-level error reply
 	KindOther
+	KindMultiFetchReq // batched cross-object page fetch request (xfer gather)
+	KindMultiPageData // batched cross-object page payload reply
+	KindMultiPush     // batched cross-object RC eager update push
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +78,12 @@ func (k MsgKind) String() string {
 		return "run-reply"
 	case KindError:
 		return "error"
+	case KindMultiFetchReq:
+		return "multi-fetch-req"
+	case KindMultiPageData:
+		return "multi-page-data"
+	case KindMultiPush:
+		return "multi-push"
 	default:
 		return "other"
 	}
@@ -83,7 +92,7 @@ func (k MsgKind) String() string {
 // IsData reports whether the kind carries page payloads (consistency data)
 // as opposed to control information.
 func (k MsgKind) IsData() bool {
-	return k == KindPageData || k == KindPush
+	return k == KindPageData || k == KindPush || k == KindMultiPageData || k == KindMultiPush
 }
 
 // MsgRecord is one message of the trace. Obj attributes the message to the
@@ -95,7 +104,11 @@ type MsgRecord struct {
 	To   ids.NodeID
 	Obj  ids.ObjectID
 	Objs []ids.ObjectID // set when one message serves several objects
-	Kind MsgKind
+	// Payloads holds the per-object page-payload bytes parallel to Objs for
+	// batched data messages, so per-object byte counts stay exact when one
+	// message carries pages of several objects. Nil for control messages.
+	Payloads []int
+	Kind     MsgKind
 	// Bytes is the full on-wire message size (headers included).
 	Bytes int
 	// Payload is the page-data portion of Bytes (0 for control messages).
@@ -131,8 +144,9 @@ func (s ObjStats) TotalBytes() int64 { return s.ControlBytes + s.DataBytes }
 // concurrent use. The scalar counters are atomics; only the trace itself
 // needs the mutex.
 type Recorder struct {
-	mu   sync.Mutex
-	msgs []MsgRecord // guarded by mu
+	mu        sync.Mutex
+	msgs      []MsgRecord      // guarded by mu
+	transfers []TransferSample // guarded by mu
 
 	localLockOps  atomic.Int64
 	globalLockOps atomic.Int64
@@ -213,23 +227,25 @@ func (r *Recorder) Trace() []MsgRecord {
 }
 
 // forEachAttributionLocked calls fn once per (object, record) attribution.
-// Caller holds r.mu.
-func (r *Recorder) forEachAttributionLocked(fn func(obj ids.ObjectID, rec *MsgRecord)) {
+// idx is the object's position in rec.Objs, or -1 for a single-object
+// record. Caller holds r.mu.
+func (r *Recorder) forEachAttributionLocked(fn func(obj ids.ObjectID, rec *MsgRecord, idx int)) {
 	for i := range r.msgs {
 		rec := &r.msgs[i]
 		if rec.Obj != NoObject {
-			fn(rec.Obj, rec)
+			fn(rec.Obj, rec, -1)
 			continue
 		}
-		for _, o := range rec.Objs {
-			fn(o, rec)
+		for j, o := range rec.Objs {
+			fn(o, rec, j)
 		}
 	}
 }
 
-// PerObject aggregates the trace per object. Multi-object messages
-// contribute their full size to each named object's message count and
-// control bytes divided evenly (they carry only control data).
+// PerObject aggregates the trace per object. Multi-object control messages
+// contribute their size to each named object's message count and control
+// bytes divided evenly; batched data messages attribute each object's exact
+// payload (rec.Payloads) plus an even share of the non-payload overhead.
 func (r *Recorder) PerObject() map[ids.ObjectID]ObjStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -247,11 +263,14 @@ func (r *Recorder) PerObject() map[ids.ObjectID]ObjStats {
 		if len(rec.Objs) == 0 {
 			continue
 		}
-		share := int64(rec.Bytes) / int64(len(rec.Objs))
-		for _, o := range rec.Objs {
+		ctrlShare := int64(rec.Bytes-rec.Payload) / int64(len(rec.Objs))
+		for j, o := range rec.Objs {
 			s := out[o]
 			s.Msgs++
-			s.ControlBytes += share
+			s.ControlBytes += ctrlShare
+			if j < len(rec.Payloads) {
+				s.DataBytes += int64(rec.Payloads[j])
+			}
 			out[o] = s
 		}
 	}
@@ -316,13 +335,16 @@ func (r *Recorder) TransferTime(obj ids.ObjectID, p netmodel.Params) time.Durati
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var total time.Duration
-	r.forEachAttributionLocked(func(o ids.ObjectID, rec *MsgRecord) {
+	r.forEachAttributionLocked(func(o ids.ObjectID, rec *MsgRecord, idx int) {
 		if o != obj {
 			return
 		}
 		b := rec.Bytes
 		if rec.Obj == NoObject && len(rec.Objs) > 0 {
-			b = rec.Bytes / len(rec.Objs)
+			b = (rec.Bytes - rec.Payload) / len(rec.Objs)
+			if idx >= 0 && idx < len(rec.Payloads) {
+				b += rec.Payloads[idx]
+			}
 		}
 		total += p.MsgTime(b)
 	})
@@ -338,4 +360,89 @@ func (r *Recorder) TotalTime(p netmodel.Params) time.Duration {
 		total += p.MsgTime(r.msgs[i].Bytes)
 	}
 	return total
+}
+
+// TransferKind names which xfer pipeline ran: a protocol/demand fetch
+// (gather direction) or an RC update push (scatter direction).
+type TransferKind int
+
+// Transfer kinds.
+const (
+	TransferFetch TransferKind = iota + 1
+	TransferPush
+)
+
+// String implements fmt.Stringer.
+func (k TransferKind) String() string {
+	switch k {
+	case TransferFetch:
+		return "fetch"
+	case TransferPush:
+		return "push"
+	default:
+		return "unknown"
+	}
+}
+
+// TransferSample is one completed run of the xfer pipeline (Alg 4.5): a
+// plan → batch → gather → apply pass moving pages for one transfer.
+type TransferSample struct {
+	Kind    TransferKind
+	Batches int // per-site batched messages issued
+	Pages   int // pages moved
+	Bytes   int // page payload bytes moved
+	// Per-stage wall-clock. Plan and Apply are sequential work; Gather is
+	// the in-flight round-trip span and is the only stage whose duration
+	// depends on FetchConcurrency — it must never appear in trace-equality
+	// comparisons (the byte/message trace is concurrency-invariant, the
+	// gather wall-clock is not).
+	Plan   time.Duration
+	Gather time.Duration
+	Apply  time.Duration
+}
+
+// TransferTotals aggregates transfer samples per pipeline stage.
+type TransferTotals struct {
+	Transfers int
+	Batches   int
+	Pages     int
+	Bytes     int64
+	Plan      time.Duration
+	Gather    time.Duration
+	Apply     time.Duration
+}
+
+// AddTransfer records one completed xfer pipeline run.
+func (r *Recorder) AddTransfer(s TransferSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.transfers = append(r.transfers, s)
+}
+
+// Transfers returns a copy of the recorded transfer samples.
+func (r *Recorder) Transfers() []TransferSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TransferSample(nil), r.transfers...)
+}
+
+// TransferStages sums the transfer samples of the given kind; pass 0 to sum
+// every kind.
+func (r *Recorder) TransferStages(kind TransferKind) TransferTotals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t TransferTotals
+	for _, s := range r.transfers {
+		if kind != 0 && s.Kind != kind {
+			continue
+		}
+		t.Transfers++
+		t.Batches += s.Batches
+		t.Pages += s.Pages
+		t.Bytes += int64(s.Bytes)
+		t.Plan += s.Plan
+		t.Gather += s.Gather
+		t.Apply += s.Apply
+	}
+	return t
 }

@@ -24,15 +24,15 @@ func TestCallRoundTrip(t *testing.T) {
 			t.Errorf("handler got %T", m)
 			return &wire.ErrResp{Msg: "bad type"}
 		}
-		if from != 1 || req.Obj != 7 {
-			t.Errorf("from=%v obj=%v", from, req.Obj)
+		if from != 1 || len(req.Objs) != 1 || req.Objs[0] != 7 {
+			t.Errorf("from=%v objs=%v", from, req.Objs)
 		}
-		return &wire.CopySetResp{Sites: []ids.NodeID{1, 2}}
+		return &wire.CopySetResp{Sets: []wire.CopySet{{Obj: 7, Sites: []ids.NodeID{1, 2}}}}
 	})
 	var got *wire.CopySetResp
 	env1 := net.Env(1)
 	env1.Go(func() {
-		reply, err := env1.Call(2, &wire.CopySetReq{Obj: 7})
+		reply, err := env1.Call(2, &wire.CopySetReq{Objs: []ids.ObjectID{7}})
 		if err != nil {
 			t.Errorf("Call: %v", err)
 			return
@@ -42,7 +42,7 @@ func TestCallRoundTrip(t *testing.T) {
 	if err := net.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if got == nil || len(got.Sites) != 2 {
+	if got == nil || len(got.Sets) != 1 || len(got.Sets[0].Sites) != 2 {
 		t.Fatalf("reply = %+v", got)
 	}
 	// Two messages traced: request + reply.
@@ -61,7 +61,7 @@ func TestCallToSelfInlineNoTrace(t *testing.T) {
 	var start, end time.Duration
 	env.Go(func() {
 		start = env.Now()
-		if _, err := env.Call(1, &wire.CopySetReq{Obj: 1}); err != nil {
+		if _, err := env.Call(1, &wire.CopySetReq{Objs: []ids.ObjectID{1}}); err != nil {
 			t.Errorf("self call: %v", err)
 		}
 		end = env.Now()
@@ -84,7 +84,7 @@ func TestCallAdvancesVirtualClock(t *testing.T) {
 	env := net.Env(1)
 	var elapsed time.Duration
 	env.Go(func() {
-		req := &wire.CopySetReq{Obj: 1}
+		req := &wire.CopySetReq{Objs: []ids.ObjectID{1}}
 		t0 := env.Now()
 		if _, err := env.Call(2, req); err != nil {
 			t.Errorf("Call: %v", err)
@@ -127,13 +127,13 @@ func TestSendOneWay(t *testing.T) {
 	net := NewSimNet(2, testParams(), nil)
 	var got []ids.ObjectID
 	net.SetHandler(2, func(from ids.NodeID, m wire.Msg) wire.Msg {
-		got = append(got, m.(*wire.CopySetReq).Obj)
+		got = append(got, m.(*wire.CopySetReq).Objs[0])
 		return nil
 	})
 	env := net.Env(1)
 	env.Go(func() {
 		for i := 0; i < 3; i++ {
-			if err := env.Send(2, &wire.CopySetReq{Obj: ids.ObjectID(i)}); err != nil {
+			if err := env.Send(2, &wire.CopySetReq{Objs: []ids.ObjectID{ids.ObjectID(i)}}); err != nil {
 				t.Errorf("Send: %v", err)
 			}
 		}
@@ -246,7 +246,7 @@ func TestDeterministicTrace(t *testing.T) {
 			env.Go(func() {
 				for i := 0; i < 5; i++ {
 					dst := ids.NodeID(int(self)%3 + 1)
-					if _, err := env.Call(dst, &wire.CopySetReq{Obj: ids.ObjectID(i)}); err != nil {
+					if _, err := env.Call(dst, &wire.CopySetReq{Objs: []ids.ObjectID{ids.ObjectID(i)}}); err != nil {
 						t.Errorf("call: %v", err)
 					}
 					env.Sleep(time.Duration(self) * time.Microsecond)
@@ -288,7 +288,7 @@ func TestHandlerSendsDuringDelivery(t *testing.T) {
 	})
 	env := net.Env(1)
 	env.Go(func() {
-		if _, err := env.Call(2, &wire.CopySetReq{Obj: 1}); err != nil {
+		if _, err := env.Call(2, &wire.CopySetReq{Objs: []ids.ObjectID{1}}); err != nil {
 			t.Errorf("call: %v", err)
 		}
 	})

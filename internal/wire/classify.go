@@ -53,9 +53,34 @@ func Classify(m Msg) stats.MsgRecord {
 	case *PushResp:
 		rec.Kind = stats.KindPushReply
 	case *CopySetReq:
-		rec.Kind, rec.Obj = stats.KindLockReq, t.Obj
+		rec.Kind = stats.KindLockReq
+		rec.Objs = append([]ids.ObjectID(nil), t.Objs...)
 	case *CopySetResp:
 		rec.Kind = stats.KindLockReply
+		objs := make([]ids.ObjectID, 0, len(t.Sets))
+		for _, c := range t.Sets {
+			objs = append(objs, c.Obj)
+		}
+		rec.Objs = objs
+	case *MultiFetchReq:
+		rec.Kind = stats.KindMultiFetchReq
+		objs := make([]ids.ObjectID, 0, len(t.Objs))
+		for _, o := range t.Objs {
+			objs = append(objs, o.Obj)
+		}
+		rec.Objs = objs
+	case *MultiFetchResp:
+		rec.Kind = stats.KindMultiPageData
+		rec.Objs, rec.Payloads = classifyObjPayloads(t.Objs)
+		for _, pb := range rec.Payloads {
+			rec.Payload += pb
+		}
+	case *MultiPushReq:
+		rec.Kind = stats.KindMultiPush
+		rec.Objs, rec.Payloads = classifyObjPayloads(t.Objs)
+		for _, pb := range rec.Payloads {
+			rec.Payload += pb
+		}
 	case *RegisterReq:
 		rec.Kind, rec.Obj = stats.KindRegister, t.Obj
 	case *RegisterResp:
@@ -68,4 +93,21 @@ func Classify(m Msg) stats.MsgRecord {
 		rec.Kind = stats.KindError
 	}
 	return rec
+}
+
+// classifyObjPayloads flattens a batched payload message into the parallel
+// per-object attribution lists of a stats.MsgRecord, so the paper's
+// per-object byte counts (Figures 2–5) stay exact under batching.
+func classifyObjPayloads(objs []ObjPayload) ([]ids.ObjectID, []int) {
+	os := make([]ids.ObjectID, 0, len(objs))
+	payloads := make([]int, 0, len(objs))
+	for _, o := range objs {
+		n := 0
+		for _, pg := range o.Pages {
+			n += len(pg.Data)
+		}
+		os = append(os, o.Obj)
+		payloads = append(payloads, n)
+	}
+	return os, payloads
 }

@@ -399,20 +399,40 @@ func (m *PushReq) decodeBody(r *reader) {
 func (*PushResp) encodeBody(*writer) {}
 func (*PushResp) decodeBody(*reader) {}
 
-func (m *CopySetReq) encodeBody(w *writer) { w.i64(int64(m.Obj)) }
-func (m *CopySetReq) decodeBody(r *reader) { m.Obj = ids.ObjectID(r.i64()) }
+func (m *CopySetReq) encodeBody(w *writer) {
+	w.u32(uint32(len(m.Objs)))
+	for _, o := range m.Objs {
+		w.i64(int64(o))
+	}
+}
+
+func (m *CopySetReq) decodeBody(r *reader) {
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Objs = append(m.Objs, ids.ObjectID(r.i64()))
+	}
+}
 
 func (m *CopySetResp) encodeBody(w *writer) {
-	w.u32(uint32(len(m.Sites)))
-	for _, s := range m.Sites {
-		w.i32(int32(s))
+	w.u32(uint32(len(m.Sets)))
+	for _, c := range m.Sets {
+		w.i64(int64(c.Obj))
+		w.u32(uint32(len(c.Sites)))
+		for _, s := range c.Sites {
+			w.i32(int32(s))
+		}
 	}
 }
 
 func (m *CopySetResp) decodeBody(r *reader) {
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
-		m.Sites = append(m.Sites, ids.NodeID(r.i32()))
+		c := CopySet{Obj: ids.ObjectID(r.i64())}
+		k := r.count()
+		for j := 0; j < k && r.err == nil; j++ {
+			c.Sites = append(c.Sites, ids.NodeID(r.i32()))
+		}
+		m.Sets = append(m.Sets, c)
 	}
 }
 
@@ -457,3 +477,54 @@ func (m *RunResp) decodeBody(r *reader) {
 
 func (m *ErrResp) encodeBody(w *writer) { w.str(m.Msg) }
 func (m *ErrResp) decodeBody(r *reader) { m.Msg = r.str() }
+
+func (m *MultiFetchReq) encodeBody(w *writer) {
+	w.boolean(m.Demand)
+	w.u32(uint32(len(m.Objs)))
+	for _, o := range m.Objs {
+		w.i64(int64(o.Obj))
+		w.u32(uint32(len(o.Pages)))
+		for _, p := range o.Pages {
+			w.i32(int32(p))
+		}
+	}
+}
+
+func (m *MultiFetchReq) decodeBody(r *reader) {
+	m.Demand = r.boolean()
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		o := ObjPages{Obj: ids.ObjectID(r.i64())}
+		k := r.count()
+		for j := 0; j < k && r.err == nil; j++ {
+			o.Pages = append(o.Pages, ids.PageNum(r.i32()))
+		}
+		m.Objs = append(m.Objs, o)
+	}
+}
+
+func encodeObjPayloads(w *writer, objs []ObjPayload) {
+	w.u32(uint32(len(objs)))
+	for _, o := range objs {
+		w.i64(int64(o.Obj))
+		encodePages(w, o.Pages)
+	}
+}
+
+func decodeObjPayloads(r *reader) []ObjPayload {
+	n := r.count()
+	var out []ObjPayload
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, ObjPayload{
+			Obj:   ids.ObjectID(r.i64()),
+			Pages: decodePages(r),
+		})
+	}
+	return out
+}
+
+func (m *MultiFetchResp) encodeBody(w *writer) { encodeObjPayloads(w, m.Objs) }
+func (m *MultiFetchResp) decodeBody(r *reader) { m.Objs = decodeObjPayloads(r) }
+
+func (m *MultiPushReq) encodeBody(w *writer) { encodeObjPayloads(w, m.Objs) }
+func (m *MultiPushReq) decodeBody(r *reader) { m.Objs = decodeObjPayloads(r) }

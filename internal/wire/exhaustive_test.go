@@ -75,8 +75,8 @@ func fill(v reflect.Value, ctr *int64) {
 // Shard field into the record's shard attribution.
 func TestEveryRegisteredTypeRoundTripsAndClassifies(t *testing.T) {
 	reg := registeredTypes(t)
-	if len(reg) != int(TErrResp) {
-		t.Fatalf("newMsg constructs %d types; the MsgType enum defines %d", len(reg), int(TErrResp))
+	if len(reg) != int(TMultiPushReq) {
+		t.Fatalf("newMsg constructs %d types; the MsgType enum defines %d", len(reg), int(TMultiPushReq))
 	}
 	for tag, proto := range reg {
 		ctr := int64(0)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"lotec/internal/ids"
 )
 
 // FuzzDecode throws arbitrary bytes at the codec. Decode must never panic,
@@ -36,6 +38,29 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0x00})
 	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize))
 	f.Add(bytes.Repeat([]byte{0x00}, HeaderSize))
+
+	// Hand-built seeds for the batched xfer messages: ragged nested shapes
+	// (empty inner page lists, mixed payload sizes) that the uniform fill()
+	// seeds above never produce.
+	batched := []Msg{
+		&MultiFetchReq{Demand: true, Objs: []ObjPages{
+			{Obj: 3, Pages: []ids.PageNum{0, 7, 2}},
+			{Obj: 9, Pages: nil},
+			{Obj: 1, Pages: []ids.PageNum{5}}}},
+		&MultiFetchResp{Objs: []ObjPayload{
+			{Obj: 3, Pages: []PagePayload{
+				{Page: 0, Version: 12, Data: bytes.Repeat([]byte{0xAB}, 64)},
+				{Page: 7, Version: 1, Data: []byte{}}}},
+			{Obj: 9, Pages: nil}}},
+		&MultiPushReq{Objs: []ObjPayload{
+			{Obj: 2, Pages: []PagePayload{{Page: 1, Version: 5, Data: []byte{1}}}},
+			{Obj: 4, Pages: []PagePayload{
+				{Page: 0, Version: 9, Data: bytes.Repeat([]byte{0x5A}, 17)},
+				{Page: 3, Version: 9, Data: []byte{0, 0, 0}}}}}},
+	}
+	for _, m := range batched {
+		f.Add(Encode(Envelope{ReqID: 7, From: 3, To: 4}, m))
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, m, err := Decode(data)

@@ -39,6 +39,9 @@ const (
 	TRunReq
 	TRunResp
 	TErrResp
+	TMultiFetchReq
+	TMultiFetchResp
+	TMultiPushReq
 )
 
 // HeaderSize is the envelope size: type(1) + reqID(8) + from(4) + to(4) +
@@ -259,27 +262,43 @@ func (*PushResp) Type() MsgType { return TPushResp }
 // Size implements Msg.
 func (*PushResp) Size() int { return HeaderSize }
 
-// CopySetReq asks the GDO which sites cache obj.
+// CopySetReq asks the GDO which sites cache each of the listed objects.
+// Root commit batches the lookups for all dirty objects of a family into
+// one request per home site.
 type CopySetReq struct {
-	Obj ids.ObjectID
+	Objs []ids.ObjectID
 }
 
 // Type implements Msg.
 func (*CopySetReq) Type() MsgType { return TCopySetReq }
 
 // Size implements Msg.
-func (*CopySetReq) Size() int { return HeaderSize + 8 }
+func (m *CopySetReq) Size() int { return HeaderSize + 4 + 8*len(m.Objs) }
 
-// CopySetResp lists the caching sites.
-type CopySetResp struct {
+// CopySet is one object's caching sites within a CopySetResp.
+type CopySet struct {
+	Obj   ids.ObjectID
 	Sites []ids.NodeID
+}
+
+func (c CopySet) size() int { return 8 + 4 + 4*len(c.Sites) }
+
+// CopySetResp lists the caching sites per requested object.
+type CopySetResp struct {
+	Sets []CopySet
 }
 
 // Type implements Msg.
 func (*CopySetResp) Type() MsgType { return TCopySetResp }
 
 // Size implements Msg.
-func (m *CopySetResp) Size() int { return HeaderSize + 4 + 4*len(m.Sites) }
+func (m *CopySetResp) Size() int {
+	n := HeaderSize + 4
+	for _, c := range m.Sets {
+		n += c.size()
+	}
+	return n
+}
 
 // RegisterReq registers an object in the GDO (deployment setup).
 type RegisterReq struct {
@@ -340,6 +359,87 @@ func (*ErrResp) Type() MsgType { return TErrResp }
 // Size implements Msg.
 func (m *ErrResp) Size() int { return HeaderSize + 4 + len(m.Msg) }
 
+// ObjPages names one object's pages within a batched fetch request.
+type ObjPages struct {
+	Obj   ids.ObjectID
+	Pages []ids.PageNum
+}
+
+func (o ObjPages) size() int { return 8 + 4 + 4*len(o.Pages) }
+
+// ObjPayload carries one object's page payloads within a batched reply or
+// push.
+type ObjPayload struct {
+	Obj   ids.ObjectID
+	Pages []PagePayload
+}
+
+func (o ObjPayload) size() int {
+	n := 8 + 4
+	for _, p := range o.Pages {
+		n += p.size()
+	}
+	return n
+}
+
+// MultiFetchReq asks one site for pages of several objects in a single
+// round-trip: the xfer pipeline's batch stage groups the gather plan across
+// objects by source site (Alg 4.5's per-site copy, batched). Demand marks a
+// post-misprediction demand fetch (§4.3).
+type MultiFetchReq struct {
+	Demand bool
+	Objs   []ObjPages
+}
+
+// Type implements Msg.
+func (*MultiFetchReq) Type() MsgType { return TMultiFetchReq }
+
+// Size implements Msg.
+func (m *MultiFetchReq) Size() int {
+	n := HeaderSize + 1 + 4
+	for _, o := range m.Objs {
+		n += o.size()
+	}
+	return n
+}
+
+// MultiFetchResp returns the payloads of a MultiFetchReq, grouped per
+// object.
+type MultiFetchResp struct {
+	Objs []ObjPayload
+}
+
+// Type implements Msg.
+func (*MultiFetchResp) Type() MsgType { return TMultiFetchResp }
+
+// Size implements Msg.
+func (m *MultiFetchResp) Size() int {
+	n := HeaderSize + 4
+	for _, o := range m.Objs {
+		n += o.size()
+	}
+	return n
+}
+
+// MultiPushReq eagerly pushes the updated pages of several objects to one
+// caching site in a single round-trip (the §6 Release Consistency push
+// fan-out, batched per destination). Acknowledged with PushResp.
+type MultiPushReq struct {
+	Objs []ObjPayload
+}
+
+// Type implements Msg.
+func (*MultiPushReq) Type() MsgType { return TMultiPushReq }
+
+// Size implements Msg.
+func (m *MultiPushReq) Size() int {
+	n := HeaderSize + 4
+	for _, o := range m.Objs {
+		n += o.size()
+	}
+	return n
+}
+
 // ErrUnknownType reports an undecodable message type.
 var ErrUnknownType = errors.New("wire: unknown message type")
 
@@ -380,6 +480,12 @@ func newMsg(t MsgType) (Msg, error) {
 		return &RunResp{}, nil
 	case TErrResp:
 		return &ErrResp{}, nil
+	case TMultiFetchReq:
+		return &MultiFetchReq{}, nil
+	case TMultiFetchResp:
+		return &MultiFetchResp{}, nil
+	case TMultiPushReq:
+		return &MultiPushReq{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

@@ -40,9 +40,23 @@ func samples() []Msg {
 		&PushReq{Obj: 2, Pages: []PagePayload{{Page: 0, Version: 1, Data: []byte{5, 5}}}},
 		&PushReq{},
 		&PushResp{},
-		&CopySetReq{Obj: 12},
-		&CopySetResp{Sites: []ids.NodeID{1, 4, 7}},
+		&CopySetReq{Objs: []ids.ObjectID{12, 15}},
+		&CopySetReq{},
+		&CopySetResp{Sets: []CopySet{
+			{Obj: 12, Sites: []ids.NodeID{1, 4, 7}},
+			{Obj: 15, Sites: nil}}},
 		&CopySetResp{},
+		&MultiFetchReq{Demand: true, Objs: []ObjPages{
+			{Obj: 2, Pages: []ids.PageNum{1, 3}},
+			{Obj: 5, Pages: []ids.PageNum{0}}}},
+		&MultiFetchReq{},
+		&MultiFetchResp{Objs: []ObjPayload{
+			{Obj: 2, Pages: []PagePayload{{Page: 1, Version: 7, Data: []byte{1, 2, 3}}}},
+			{Obj: 5, Pages: []PagePayload{{Page: 0, Version: 2, Data: []byte{9}}}}}},
+		&MultiFetchResp{},
+		&MultiPushReq{Objs: []ObjPayload{
+			{Obj: 3, Pages: []PagePayload{{Page: 0, Version: 1, Data: []byte{5, 5}}}}}},
+		&MultiPushReq{},
 		&RegisterReq{Obj: 3, Class: 2, NumPages: 9, Owner: 1},
 		&RegisterResp{},
 		&RunReq{Obj: 3, Method: "deposit", Arg: []byte("100")},
@@ -107,7 +121,7 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestDecodeTrailingBytes(t *testing.T) {
-	buf := Encode(Envelope{}, &CopySetReq{Obj: 1})
+	buf := Encode(Envelope{}, &CopySetReq{Objs: []ids.ObjectID{1}})
 	// Inflate claimed body length and append junk.
 	buf = append(buf, 0xEE)
 	buf[17] = byte(int(buf[17]) + 1)

@@ -1,0 +1,101 @@
+package xfer
+
+import (
+	"sync"
+
+	"lotec/internal/ids"
+	"lotec/internal/pstore"
+	"lotec/internal/wire"
+)
+
+// pagePool recycles page-sized staging buffers across transfers. Safety
+// rests on pstore.InstallPage copying its input: once a page is installed
+// (or a message encoded, on the TCP path) the buffer carries no live data
+// and may be reused. Buffers that escape to a peer that never releases
+// them (legacy FetchResp consumers, the TCP decode path) are simply lost
+// to the GC — a missed reuse, never a correctness issue.
+var pagePool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, pstore.DefaultPageSize)
+		return &buf
+	},
+}
+
+// GetPage returns a staging buffer of exactly size bytes.
+func GetPage(size int) []byte {
+	bp := pagePool.Get().(*[]byte)
+	if cap(*bp) < size {
+		return make([]byte, size)
+	}
+	return (*bp)[:size]
+}
+
+// ReleasePage returns a staging buffer to the pool. Safe to call with
+// buffers that did not come from GetPage.
+func ReleasePage(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	b := buf[:cap(buf)]
+	pagePool.Put(&b)
+}
+
+// ServeFetch is the serving side of the gather stage: copy the requested
+// pages of every object out of the local store into pooled staging
+// buffers. The requester's apply stage releases them after installing.
+func ServeFetch(store *pstore.Store, req *wire.MultiFetchReq) wire.Msg {
+	resp := &wire.MultiFetchResp{Objs: make([]wire.ObjPayload, 0, len(req.Objs))}
+	for _, op := range req.Objs {
+		out := wire.ObjPayload{Obj: op.Obj, Pages: make([]wire.PagePayload, 0, len(op.Pages))}
+		for _, p := range op.Pages {
+			pid := ids.PageID{Object: op.Obj, Page: p}
+			buf := GetPage(store.PageSize())
+			ver, err := store.PageCopyInto(pid, buf)
+			if err != nil {
+				ReleasePage(buf)
+				for _, served := range resp.Objs {
+					releasePayloads(served.Pages)
+				}
+				releasePayloads(out.Pages)
+				return &wire.ErrResp{Msg: err.Error()}
+			}
+			out.Pages = append(out.Pages, wire.PagePayload{Page: p, Version: ver, Data: buf})
+		}
+		resp.Objs = append(resp.Objs, out)
+	}
+	return resp
+}
+
+// releasePayloads hands staged buffers back on an aborted serve.
+func releasePayloads(pages []wire.PagePayload) {
+	for _, pg := range pages {
+		ReleasePage(pg.Data)
+	}
+}
+
+// ApplyPush is the serving side of the push direction: install pushed
+// pages that are newer than the local copies. Locally dirty pages are
+// impossible at a pushee (it does not hold the lock) but are skipped
+// defensively. The pushed buffers belong to the pusher and are not
+// released here.
+func ApplyPush(store *pstore.Store, req *wire.MultiPushReq) wire.Msg {
+	for _, op := range req.Objs {
+		dirty := make(map[ids.PageNum]bool)
+		for _, p := range store.DirtyPages(op.Obj) {
+			dirty[p] = true
+		}
+		for _, pg := range op.Pages {
+			if dirty[pg.Page] {
+				continue
+			}
+			pid := ids.PageID{Object: op.Obj, Page: pg.Page}
+			if v, ok := store.PageVersion(pid); ok && v >= pg.Version {
+				continue
+			}
+			if err := store.InstallPage(pid, pg.Data, pg.Version); err != nil {
+				return &wire.ErrResp{Msg: err.Error()}
+			}
+		}
+	}
+	return &wire.PushResp{}
+}

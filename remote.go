@@ -44,6 +44,10 @@ type NodeOptions struct {
 	PageSize int
 	// Lenient disables strict declared-access checking.
 	Lenient bool
+	// FetchConcurrency bounds the in-flight per-site calls of one page
+	// transfer fan-out (0 → default 4). On TCP the calls genuinely
+	// overlap; counters are unchanged at any setting.
+	FetchConcurrency int
 }
 
 // Node is a running LOTEC site.
@@ -56,11 +60,12 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		p = opts.Protocol
 	}
 	inner, err := server.NewNodeServer(server.NodeConfig{
-		Topology: opts.Topology,
-		Self:     opts.Self,
-		Protocol: p,
-		PageSize: opts.PageSize,
-		Lenient:  opts.Lenient,
+		Topology:         opts.Topology,
+		Self:             opts.Self,
+		Protocol:         p,
+		PageSize:         opts.PageSize,
+		Lenient:          opts.Lenient,
+		FetchConcurrency: opts.FetchConcurrency,
 	})
 	if err != nil {
 		return nil, err

@@ -1,8 +1,8 @@
 # Tier-1 gate: everything must build, vet clean, lint clean, and pass
 # under the race detector before a change lands.
-.PHONY: check build vet lint test bench bench-smoke
+.PHONY: check build vet lint test bench bench-smoke chaos
 
-check: build vet lint test bench-smoke
+check: build vet lint test bench-smoke chaos
 
 build:
 	go build ./...
@@ -28,3 +28,10 @@ bench:
 # improve when transfers fan out.
 bench-smoke:
 	go run ./cmd/lotec-bench -figure 3 -smoke
+
+# Chaos harness, full matrix: 40 seeds × 7 fault plans × 3 protocols under
+# the race detector, plus the zero-fault trace-equivalence gate. A failing
+# cell reproduces with: go test ./internal/sim -run TestChaos -chaos-seed=<n>
+# (package path first: custom test-binary flags must follow it).
+chaos:
+	go test -race -run 'TestChaos|TestZeroFaultPlanTraceEquivalence' ./internal/sim/ -chaos-full

@@ -19,6 +19,8 @@ func main() {
 	addr := flag.String("addr", ":7100", "listen address of the directory")
 	nodes := flag.String("nodes", "", "comma-separated data node addresses, in node-ID order")
 	shards := flag.Int("shards", 1, "directory partitions; every node must be started with the same value")
+	faultPlan := flag.String("fault-plan", "", `inject deterministic network faults: a preset (drop, delay, dup, reorder, chaos) or clause list like "drop(p=0.1);delay(p=0.2,d=1ms)"`)
+	faultSeed := flag.Uint64("fault-seed", 1, "seed driving the fault plan's random draws")
 	flag.Parse()
 
 	nodeAddrs := strings.Split(*nodes, ",")
@@ -31,7 +33,7 @@ func main() {
 		os.Exit(2)
 	}
 	topo := lotec.Topology{NodeAddrs: nodeAddrs, GDOAddr: *addr, DirectoryShards: *shards}
-	g, err := lotec.StartGDO(topo)
+	g, err := lotec.StartGDOWith(lotec.GDOOptions{Topology: topo, FaultPlan: *faultPlan, FaultSeed: *faultSeed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-gdo:", err)
 		os.Exit(1)

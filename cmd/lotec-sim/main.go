@@ -15,27 +15,38 @@ import (
 	"os"
 	"time"
 
+	"lotec/internal/fault"
 	"lotec/internal/sim"
 )
 
 func main() {
 	figure := flag.String("figure", "", "figure to regenerate: 2..8, rc, or all")
 	headline := flag.Bool("headline", false, "print the §5 headline byte ratios")
-	ablation := flag.String("ablation", "", "ablation to run: prediction, granularity, demand, disorder, or all")
+	ablation := flag.String("ablation", "", "ablation to run: prediction, granularity, demand, disorder, faults, or all")
 	fetchConc := flag.Int("fetch-concurrency", 0, "in-flight per-site page-transfer calls (0 = default 4); trace-invariant")
+	faultPlan := flag.String("fault-plan", "", `network fault plan for -figure runs: a preset (drop, delay, dup, reorder, partition, crash, chaos) or clause list like "drop(p=0.1);delay(p=0.2,d=1ms)"`)
+	faultSeed := flag.Uint64("fault-seed", 1, "seed driving the fault plan's random draws")
 	flag.Parse()
 
 	if *figure == "" && !*headline && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*figure, *headline, *ablation, *fetchConc); err != nil {
+	if err := run(*figure, *headline, *ablation, *fetchConc, *faultPlan, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, headline bool, ablation string, fetchConc int) error {
+func run(figure string, headline bool, ablation string, fetchConc int, faultPlan string, faultSeed uint64) error {
+	var faults *fault.Plan
+	if faultPlan != "" {
+		plan, err := fault.Parse(faultPlan, faultSeed)
+		if err != nil {
+			return fmt.Errorf("fault plan: %w", err)
+		}
+		faults = plan
+	}
 	if figure != "" {
 		specs := sim.FigureSpecs()
 		if figure != "all" {
@@ -47,7 +58,7 @@ func run(figure string, headline bool, ablation string, fetchConc int) error {
 		}
 		for _, spec := range specs {
 			t0 := time.Now()
-			res, err := sim.RunFigureConfig(spec, sim.Config{FetchConcurrency: fetchConc})
+			res, err := sim.RunFigureConfig(spec, sim.Config{FetchConcurrency: fetchConc, Faults: faults})
 			if err != nil {
 				return err
 			}
@@ -67,8 +78,9 @@ func run(figure string, headline bool, ablation string, fetchConc int) error {
 			"granularity": sim.GranularityAblation,
 			"demand":      sim.DemandFetchAblation,
 			"disorder":    sim.DisorderAblation,
+			"faults":      sim.FaultSweepAblation,
 		}
-		names := []string{"prediction", "granularity", "demand", "disorder"}
+		names := []string{"prediction", "granularity", "demand", "disorder", "faults"}
 		if ablation != "all" {
 			fn, ok := all[ablation]
 			if !ok {

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"sync"
+
+	"lotec/internal/ids"
+	"lotec/internal/wire"
+)
+
+// dedupCap bounds the idempotency cache. At ~16K entries the cache spans
+// far more in-flight RPCs than any run holds at once; old entries are
+// evicted FIFO.
+const dedupCap = 1 << 14
+
+// Dedup is a server-side idempotency filter: requests carrying a
+// wire.Idempotent request ID are executed once and their reply cached,
+// so a retried or duplicated request replays the original reply instead
+// of re-executing the handler. This is what makes GDO acquire/release
+// and xfer fetch/push tolerate the at-least-once delivery the retry
+// layer produces.
+type Dedup struct {
+	mu    sync.Mutex
+	seen  map[dedupKey]*dedupEntry
+	order []dedupKey // FIFO eviction ring
+	next  int
+}
+
+type dedupKey struct {
+	from ids.NodeID
+	req  uint64
+}
+
+// dedupEntry parks concurrent duplicates while the first execution is in
+// flight: done closes when reply is valid.
+type dedupEntry struct {
+	done  chan struct{}
+	reply wire.Msg
+}
+
+// NewDedup returns an empty filter.
+func NewDedup() *Dedup {
+	return &Dedup{seen: make(map[dedupKey]*dedupEntry)}
+}
+
+// Wrap decorates a transport handler with idempotent-replay semantics.
+// Messages that are not Idempotent (or carry request ID 0 — never
+// stamped, e.g. on the zero-fault path) pass through untouched. A
+// duplicate arriving while the original is still executing blocks until
+// the original's reply is available, then replays it.
+func (d *Dedup) Wrap(h func(ids.NodeID, wire.Msg) wire.Msg) func(ids.NodeID, wire.Msg) wire.Msg {
+	return func(from ids.NodeID, m wire.Msg) wire.Msg {
+		im, ok := m.(wire.Idempotent)
+		if !ok || im.RequestID() == 0 {
+			return h(from, m)
+		}
+		key := dedupKey{from: from, req: im.RequestID()}
+		d.mu.Lock()
+		if e, hit := d.seen[key]; hit {
+			d.mu.Unlock()
+			<-e.done
+			return e.reply
+		}
+		e := &dedupEntry{done: make(chan struct{})}
+		if len(d.order) < dedupCap {
+			d.order = append(d.order, key)
+		} else {
+			delete(d.seen, d.order[d.next])
+			d.order[d.next] = key
+			d.next = (d.next + 1) % dedupCap
+		}
+		d.seen[key] = e
+		d.mu.Unlock()
+
+		e.reply = h(from, m)
+		close(e.done)
+		return e.reply
+	}
+}

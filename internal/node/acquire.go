@@ -111,7 +111,7 @@ func (e *Engine) acquireGlobal(ts *txState, obj ids.ObjectID, mode o2pl.Mode) er
 	})
 	if err != nil {
 		clearPending()
-		return fmt.Errorf("global acquire of %v: %w", obj, err)
+		return fmt.Errorf("global acquire of %v: %w", obj, siteErr(err))
 	}
 	resp, ok := reply.(*wire.AcquireResp)
 	if !ok {
@@ -244,13 +244,13 @@ func (e *Engine) transfer(ts *txState, obj ids.ObjectID, layout *schema.Layout, 
 	if len(plan) == 0 {
 		return nil
 	}
-	return e.xfer.Fetch([]xfer.Want{{
+	return siteErr(e.xfer.Fetch([]xfer.Want{{
 		Obj:          obj,
 		Pages:        plan,
 		PageMap:      pageMap,
 		Single:       single,
 		VersionAware: proto.VersionAware(),
-	}}, false)
+	}}, false))
 }
 
 // fetchInputLocked assembles the protocol's view of the object at this
@@ -312,13 +312,13 @@ func (e *Engine) ensureCurrent(ts *txState, obj ids.ObjectID, pages schema.PageS
 	// Demand fetches always target the exact newest location per page,
 	// version-aware regardless of protocol (the staleness test above
 	// already consulted versions).
-	return e.xfer.Fetch([]xfer.Want{{
+	return siteErr(e.xfer.Fetch([]xfer.Want{{
 		Obj:          obj,
 		Pages:        plan,
 		PageMap:      pageMap,
 		Single:       ids.NoNode,
 		VersionAware: true,
-	}}, true)
+	}}, true))
 }
 
 // pagesMissingError extracts a PageMissingError if err contains one.

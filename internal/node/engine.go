@@ -47,7 +47,25 @@ var (
 	// ErrRetriesExhausted is returned by Run when a root keeps losing
 	// deadlock resolution.
 	ErrRetriesExhausted = errors.New("node: deadlock retries exhausted")
+	// ErrSiteUnreachable marks a root aborted because a home site or page
+	// source stopped answering (every transport-level retry timed out).
+	// The root is rolled back through the normal abort path — shadow-page
+	// undo plus lock hand-back — instead of hanging on the dead peer.
+	ErrSiteUnreachable = errors.New("node: site unreachable")
 )
+
+// siteErr maps transport-level delivery failures (timeout, retries
+// exhausted) to ErrSiteUnreachable so callers can distinguish "the
+// network gave up" from protocol errors; other errors pass through.
+func siteErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, transport.ErrUnreachable) || errors.Is(err, transport.ErrTimeout) {
+		return errors.Join(ErrSiteUnreachable, err)
+	}
+	return err
+}
 
 // Config assembles an Engine.
 type Config struct {
@@ -656,7 +674,7 @@ func (e *Engine) releaseGlobal(fam *famState, objs []ids.ObjectID, dirty map[ids
 			Rels:   byDest[d],
 		})
 		if err != nil {
-			return fmt.Errorf("global release to %v: %w", d.home, err)
+			return fmt.Errorf("global release to %v: %w", d.home, siteErr(err))
 		}
 		resp, ok := reply.(*wire.ReleaseResp)
 		if !ok {
@@ -680,7 +698,7 @@ func (e *Engine) releaseGlobal(fam *famState, objs []ids.ObjectID, dirty map[ids
 // The xfer pipeline batches the copy-set lookups per GDO home and the
 // pushes per destination site, across objects.
 func (e *Engine) pushUpdates(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum) error {
-	return e.xfer.Push(objs, dirty, e.cfg.HomeFn)
+	return siteErr(e.xfer.Push(objs, dirty, e.cfg.HomeFn))
 }
 
 // completeAll wakes a batch of granted local waiters.

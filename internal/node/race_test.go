@@ -27,10 +27,21 @@ type threadNet struct {
 	handlers map[ids.NodeID]transport.Handler
 	start    time.Time
 	wg       sync.WaitGroup
+	crashed  map[ids.NodeID]bool
+	buffered []bufferedSend
+}
+
+type bufferedSend struct {
+	from, to ids.NodeID
+	m        wire.Msg
 }
 
 func newThreadNet() *threadNet {
-	return &threadNet{handlers: make(map[ids.NodeID]transport.Handler), start: time.Now()}
+	return &threadNet{
+		handlers: make(map[ids.NodeID]transport.Handler),
+		start:    time.Now(),
+		crashed:  make(map[ids.NodeID]bool),
+	}
 }
 
 func (n *threadNet) handler(id ids.NodeID) transport.Handler {
@@ -43,6 +54,53 @@ func (n *threadNet) setHandler(id ids.NodeID, h transport.Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.handlers[id] = h
+}
+
+// crash freezes a node: Send deliveries to it are buffered (the process is
+// paused, its socket buffers fill) until restart flushes them.
+func (n *threadNet) crash(id ids.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// restart unfreezes a node and delivers every buffered message on its own
+// goroutine — notifications (lock grants, aborts) completing futures whose
+// waiters parked before the crash.
+func (n *threadNet) restart(id ids.NodeID) {
+	n.mu.Lock()
+	delete(n.crashed, id)
+	var flush []bufferedSend
+	rest := n.buffered[:0]
+	for _, b := range n.buffered {
+		if b.to == id {
+			flush = append(flush, b)
+		} else {
+			rest = append(rest, b)
+		}
+	}
+	n.buffered = rest
+	n.mu.Unlock()
+	for _, b := range flush {
+		h := n.handler(b.to)
+		n.wg.Add(1)
+		go func(b bufferedSend) {
+			defer n.wg.Done()
+			h(b.from, b.m)
+		}(b)
+	}
+}
+
+// bufferIfCrashed queues m when the destination is crashed; reports whether
+// it did.
+func (n *threadNet) bufferIfCrashed(from, to ids.NodeID, m wire.Msg) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.crashed[to] {
+		return false
+	}
+	n.buffered = append(n.buffered, bufferedSend{from: from, to: to, m: m})
+	return true
 }
 
 // wait blocks until every Send delivery and Go proc has finished.
@@ -67,6 +125,9 @@ func (e *threadEnv) Send(to ids.NodeID, m wire.Msg) error {
 	h := e.net.handler(to)
 	if h == nil {
 		return transport.ErrNoHandler
+	}
+	if e.net.bufferIfCrashed(e.self, to, m) {
+		return nil
 	}
 	e.net.wg.Add(1)
 	go func() {
@@ -108,24 +169,12 @@ func (f *chanFuture) Wait() (any, error) {
 	return f.v, f.err
 }
 
-// TestConcurrentGrantAndAcquireStress hammers one object from several
-// goroutines on two sites while GDO grants arrive on their own delivery
-// goroutines — the satellite-2 audit target: every wake site
-// (handleGrant's GrantEligible batch, preCommit's sibling hand-off, root
-// release) must complete futures outside e.mu, and a refused pre-commit
-// must still wake the granted siblings. Deadlocks here manifest as a hang
-// (the txn never completes); races as -race reports.
-func TestConcurrentGrantAndAcquireStress(t *testing.T) {
-	if testing.Short() {
-		t.Skip("stress test; skipped in -short")
-	}
-	const (
-		nodes   = 3
-		workers = 4
-		iters   = 25
-		obj     = ids.ObjectID(1)
-	)
-	net := newThreadNet()
+// newThreadCluster builds `nodes` engines over net sharing one in-process
+// GDO, with a single counter object (ID 1, class "C", methods set/get)
+// homed at node 1.
+func newThreadCluster(t *testing.T, net *threadNet, nodes int) map[ids.NodeID]*node.Engine {
+	t.Helper()
+	const obj = ids.ObjectID(1)
 	dir := gdo.New(nodes)
 	schemas := schema.NewRegistry(64)
 	methods := node.NewMethodTable()
@@ -186,6 +235,28 @@ func TestConcurrentGrantAndAcquireStress(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	return engines
+}
+
+// TestConcurrentGrantAndAcquireStress hammers one object from several
+// goroutines on two sites while GDO grants arrive on their own delivery
+// goroutines — the satellite-2 audit target: every wake site
+// (handleGrant's GrantEligible batch, preCommit's sibling hand-off, root
+// release) must complete futures outside e.mu, and a refused pre-commit
+// must still wake the granted siblings. Deadlocks here manifest as a hang
+// (the txn never completes); races as -race reports.
+func TestConcurrentGrantAndAcquireStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	const (
+		nodes   = 3
+		workers = 4
+		iters   = 25
+		obj     = ids.ObjectID(1)
+	)
+	net := newThreadNet()
+	engines := newThreadCluster(t, net, nodes)
 
 	errs := make(chan error, 2*workers*iters)
 	var wg sync.WaitGroup
@@ -231,5 +302,136 @@ func TestConcurrentGrantAndAcquireStress(t *testing.T) {
 	net.wait()
 	if want := byte(2 * workers * iters); len(out) != 1 || out[0] != want {
 		t.Errorf("counter = %v, want %d (lost update ⇒ a wake-up raced a hand-off)", out, want)
+	}
+}
+
+// TestFutureDoubleCompleteRace: the engine's wake-up paths can race a lock
+// grant against a deadlock abort for the same parked future. The Future
+// contract says later Completes are ignored; under -race, concurrent
+// Completes and Waits must be clean, every Wait must observe the same
+// single outcome, and repeated Waits must agree.
+func TestFutureDoubleCompleteRace(t *testing.T) {
+	for iter := 0; iter < 500; iter++ {
+		f := &chanFuture{ch: make(chan struct{})}
+		const waiters, completers = 3, 4
+		vals := make([]any, waiters)
+		errs := make([]error, waiters)
+		var wg sync.WaitGroup
+		for i := 0; i < waiters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				vals[i], errs[i] = f.Wait()
+			}(i)
+		}
+		abort := fmt.Errorf("deadlock victim")
+		for i := 0; i < completers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if i%2 == 0 {
+					f.Complete(i, nil) // the grant
+				} else {
+					f.Complete(nil, abort) // the racing abort
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < waiters; i++ {
+			if vals[i] != vals[0] || errs[i] != errs[0] {
+				t.Fatalf("iter %d: waiters observed different outcomes: (%v,%v) vs (%v,%v)",
+					iter, vals[i], errs[i], vals[0], errs[0])
+			}
+		}
+		// A second Wait after completion returns the settled outcome.
+		v2, e2 := f.Wait()
+		if v2 != vals[0] || e2 != errs[0] {
+			t.Fatalf("iter %d: re-Wait changed the outcome", iter)
+		}
+		if vals[0] == nil && errs[0] == nil {
+			t.Fatalf("iter %d: future settled with neither value nor error", iter)
+		}
+	}
+}
+
+// TestCrashDuringGrantSchedule: node 2 repeatedly freezes while lock grants
+// are in flight to it; the grants are delivered when it restarts, completing
+// futures whose waiters parked before (or during) the crash window. Exercises
+// complete-after-crash under -race: late grant deliveries race against new
+// acquisitions from the restarted node, and no wake-up may be lost.
+func TestCrashDuringGrantSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	const (
+		nodes   = 3
+		workers = 3
+		iters   = 15
+		obj     = ids.ObjectID(1)
+	)
+	net := newThreadNet()
+	engines := newThreadCluster(t, net, nodes)
+
+	errs := make(chan error, 2*workers*iters)
+	var wg sync.WaitGroup
+	for _, site := range []ids.NodeID{1, 2} {
+		eng := engines[site]
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(site ids.NodeID, w int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					if _, _, err := eng.Run(obj, "set", nil); err != nil {
+						errs <- fmt.Errorf("site %v worker %d iter %d: %w", site, w, i, err)
+						return
+					}
+				}
+			}(site, w)
+		}
+	}
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+
+	// The crasher: freeze node 2 in short bursts until the workers finish,
+	// always ending with a restart so every buffered grant is delivered.
+	crasherDone := make(chan struct{})
+	go func() {
+		defer close(crasherDone)
+		for {
+			net.crash(2)
+			time.Sleep(2 * time.Millisecond)
+			net.restart(2)
+			select {
+			case <-workersDone:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	select {
+	case <-workersDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("crash schedule hung: a buffered grant was likely lost")
+	}
+	<-crasherDone
+	net.wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	out, _, err := engines[3].Run(obj, "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.wait()
+	if want := byte(2 * workers * iters); len(out) != 1 || out[0] != want {
+		t.Errorf("counter = %v, want %d (a grant delivered after restart was lost)", out, want)
 	}
 }

@@ -6,10 +6,19 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lotec/internal/ids"
+	"lotec/internal/transport"
 	"lotec/internal/wire"
 )
+
+// runTimeout bounds how long a client waits for a transaction's result. A
+// node that dies mid-transaction no longer hangs the caller forever; the
+// error wraps transport.ErrTimeout so callers can classify it as
+// retryable. Generous because a RunReq executes an entire (possibly
+// deadlock-retried) root transaction.
+const runTimeout = 2 * time.Minute
 
 // Client submits root transactions to a LOTEC node over TCP. It is safe
 // for concurrent use; concurrent Run calls are multiplexed on one
@@ -32,9 +41,9 @@ const ClientNodeBase = 1 << 20
 
 // Dial connects to the node serving at addr.
 func Dial(addr string, node ids.NodeID) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, callTimeout)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w (%v)", addr, transport.ErrUnreachable, err)
 	}
 	c := &Client{
 		node:    node,
@@ -115,22 +124,36 @@ func (c *Client) Run(obj ids.ObjectID, method string, arg []byte) ([]byte, error
 		To:    c.node,
 	}, &wire.RunReq{Obj: obj, Method: method, Arg: arg})
 	c.mu.Lock()
+	// Deadline the write: a node with full socket buffers fails the call
+	// instead of wedging every client goroutine on c.mu.
+	_ = c.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	_, err := c.conn.Write(frameWithLen(frame))
 	c.mu.Unlock()
-	if err != nil {
+	clear := func() {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("client: send: %w", err)
 	}
-	resp, ok := <-ch
-	if !ok {
-		return nil, ErrNoReply
+	if err != nil {
+		clear()
+		return nil, fmt.Errorf("client: send: %w (%v)", transport.ErrUnreachable, err)
 	}
-	if resp.ErrMsg != "" {
-		return nil, fmt.Errorf("client: transaction failed: %s", resp.ErrMsg)
+	// RunReq is NOT idempotent (re-running a committed transaction would
+	// apply its effects twice), so a timeout surfaces as an error for the
+	// caller to handle rather than triggering a transparent retry.
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrNoReply
+		}
+		if resp.ErrMsg != "" {
+			return nil, fmt.Errorf("client: transaction failed: %s", resp.ErrMsg)
+		}
+		return resp.Result, nil
+	case <-time.After(runTimeout):
+		clear()
+		return nil, fmt.Errorf("client: run on %v: %w", c.node, transport.ErrTimeout)
 	}
-	return resp.Result, nil
 }
 
 // frameWithLen prepends the 4-byte length header.

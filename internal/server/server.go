@@ -5,12 +5,14 @@ import (
 
 	"lotec/internal/core"
 	"lotec/internal/directory"
+	"lotec/internal/fault"
 	"lotec/internal/gdo"
 	"lotec/internal/ids"
 	"lotec/internal/node"
 	"lotec/internal/pstore"
 	"lotec/internal/schema"
 	"lotec/internal/stats"
+	"lotec/internal/transport"
 	"lotec/internal/txn"
 	"lotec/internal/wire"
 )
@@ -54,7 +56,11 @@ type GDOServer struct {
 	dir  *directory.Sharded
 }
 
-// NewGDOServer creates (without starting) a directory server.
+// NewGDOServer creates (without starting) a directory server. The handler
+// always runs behind an idempotency cache: any node of the deployment may
+// have the retry layer enabled, and a retransmitted acquire/release must
+// observe the first execution's reply, not run twice. With no retries in
+// play the cache is a pure pass-through (request IDs stay zero).
 func NewGDOServer(topo Topology) *GDOServer {
 	p := topo.Placement()
 	s := &GDOServer{
@@ -62,8 +68,14 @@ func NewGDOServer(topo Topology) *GDOServer {
 		dir:  directory.NewSharded(p.Shards, p.Nodes),
 	}
 	s.net = NewTCPNet(topo.GDONode(), topo.addrMap())
-	s.net.SetHandler(s.handle)
+	s.net.SetHandler(fault.NewDedup().Wrap(s.handle))
 	return s
+}
+
+// InstallFaults injects a deterministic fault plan into the directory's
+// outbound traffic and enables its retry layer. Call before Start.
+func (s *GDOServer) InstallFaults(plan fault.Plan, policy transport.RetryPolicy) {
+	s.net.InstallFaults(fault.NewInjector(plan), policy)
 }
 
 // Start begins serving.
@@ -184,6 +196,13 @@ type NodeConfig struct {
 	FetchConcurrency int
 	// Rec records traffic; may be nil.
 	Rec *stats.Recorder
+	// Faults, when non-nil, injects the deterministic fault plan into this
+	// node's outbound traffic and enables the RPC retry layer. Nil keeps
+	// the historical fault-free paths.
+	Faults *fault.Plan
+	// Retry overrides the retry policy (zero fields fall back to the TCP
+	// defaults). Only consulted when Faults is non-nil.
+	Retry transport.RetryPolicy
 }
 
 // NodeServer is one LOTEC site over TCP: it executes transactions submitted
@@ -233,8 +252,16 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		return nil, err
 	}
 	s.eng = eng
-	s.net.SetHandler(eng.Handle)
+	// Like the GDO, a node always answers through the idempotency cache:
+	// peers retransmitting fetch/push calls must get the cached reply.
+	s.net.SetHandler(fault.NewDedup().Wrap(eng.Handle))
 	s.net.SetAsyncHandler(wire.TRunReq, s.handleRun)
+	if cfg.Rec != nil {
+		s.net.SetRecorder(cfg.Rec)
+	}
+	if cfg.Faults != nil {
+		s.net.InstallFaults(fault.NewInjector(*cfg.Faults), cfg.Retry)
+	}
 	return s, nil
 }
 

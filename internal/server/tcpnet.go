@@ -15,7 +15,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lotec/internal/fault"
 	"lotec/internal/ids"
+	"lotec/internal/stats"
 	"lotec/internal/transport"
 	"lotec/internal/wire"
 )
@@ -24,8 +26,28 @@ import (
 // the same ID, so both directions of a connection share one ID space.
 const replyBit = uint64(1) << 63
 
-// callTimeout bounds how long an RPC waits for its reply.
+// callTimeout bounds how long an RPC waits for its reply when no retry
+// policy is installed.
 const callTimeout = 30 * time.Second
+
+// dialTimeout bounds connection establishment; a dead peer fails fast
+// instead of consuming the whole call budget.
+const dialTimeout = 5 * time.Second
+
+// writeTimeout bounds each frame write, so a stalled peer (full socket
+// buffers, half-open connection) cannot hang a transaction forever — the
+// write fails, the connection is torn down and the call surfaces a
+// retryable error.
+const writeTimeout = 10 * time.Second
+
+// tcpRetryDefaults is the wall-clock retry policy installed by
+// InstallFaults when fields are left zero.
+var tcpRetryDefaults = transport.RetryPolicy{
+	Attempts:    4,
+	Timeout:     3 * time.Second,
+	BaseBackoff: 50 * time.Millisecond,
+	MaxBackoff:  time.Second,
+}
 
 // AsyncHandler processes messages whose replies are produced later (e.g.
 // RunReq, which executes a whole transaction). The reply closure writes the
@@ -50,6 +72,13 @@ type TCPNet struct {
 	closed   bool                     // guarded by mu
 
 	reqID atomic.Uint64
+
+	// Fault layer (optional, setup-time): inj judges outbound frames at
+	// the conn boundary, retry governs Call retransmission, rec counts
+	// faults and retries. All nil/zero by default — the historical paths.
+	inj   *fault.Injector
+	retry transport.RetryPolicy
+	rec   *stats.Recorder
 }
 
 var _ transport.Env = (*TCPNet)(nil)
@@ -82,6 +111,27 @@ func (n *TCPNet) SetHandler(h transport.Handler) { n.handler = h }
 
 // SetAsyncHandler routes one message type to an asynchronous handler.
 func (n *TCPNet) SetAsyncHandler(t wire.MsgType, h AsyncHandler) { n.async[t] = h }
+
+// SetRecorder attaches a stats recorder for fault/retry counters. Call
+// during setup.
+func (n *TCPNet) SetRecorder(rec *stats.Recorder) { n.rec = rec }
+
+// InstallFaults attaches a fault injector and enables the retry layer:
+// outbound frames pass through the injector, and idempotent calls are
+// retransmitted with capped jittered exponential backoff on timeout.
+// Zero policy fields fall back to tcpRetryDefaults. Call during setup.
+func (n *TCPNet) InstallFaults(inj *fault.Injector, policy transport.RetryPolicy) {
+	if policy.Seed == 0 {
+		policy.Seed = inj.Seed()
+	}
+	n.retry = policy.WithDefaults(tcpRetryDefaults)
+	// An inert injector (nil or an empty plan) is not installed: timeouts
+	// and retries remain (they guard against real network loss) but the
+	// per-frame fault judging is strictly pay-for-what-you-use.
+	if inj.Active() {
+		n.inj = inj
+	}
+}
 
 // Listen starts accepting connections on the node's own address.
 func (n *TCPNet) Listen() error {
@@ -157,9 +207,9 @@ func (n *TCPNet) conn(to ids.NodeID) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", transport.ErrUnknownNode, to)
 	}
-	raw, err := net.DialTimeout("tcp", addr, callTimeout)
+	raw, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("server: dial %v at %s: %w", to, addr, err)
+		return nil, fmt.Errorf("server: dial %v at %s: %w (%v)", to, addr, transport.ErrUnreachable, err)
 	}
 	c := &tcpConn{c: raw}
 	n.mu.Lock()
@@ -174,10 +224,16 @@ func (n *TCPNet) conn(to ids.NodeID) (*tcpConn, error) {
 	return c, nil
 }
 
-// writeFrame sends one length-delimited encoded message.
+// writeFrame sends one length-delimited encoded message. Each write
+// carries a deadline: a peer that has stopped draining its socket makes
+// the write fail instead of blocking the caller (and everyone queued on
+// the write lock) indefinitely.
 func (c *tcpConn) writeFrame(buf []byte) error {
 	c.wm.Lock()
 	defer c.wm.Unlock()
+	if err := c.c.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+		return err
+	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(buf)))
 	if _, err := c.c.Write(hdr[:]); err != nil {
@@ -263,11 +319,11 @@ func (n *TCPNet) dispatch(c *tcpConn, env wire.Envelope, m wire.Msg) {
 			if reqID == 0 {
 				return
 			}
-			_ = c.writeFrame(wire.Encode(wire.Envelope{
+			_ = n.transmit(c, from, wire.Envelope{
 				ReqID: reqID | replyBit,
 				From:  n.self,
 				To:    from,
-			}, reply))
+			}, reply)
 		})
 		return
 	}
@@ -278,12 +334,11 @@ func (n *TCPNet) dispatch(c *tcpConn, env wire.Envelope, m wire.Msg) {
 	if reply == nil || env.ReqID == 0 {
 		return
 	}
-	out := wire.Encode(wire.Envelope{
+	_ = n.transmit(c, env.From, wire.Envelope{
 		ReqID: env.ReqID | replyBit,
 		From:  n.self,
 		To:    env.From,
 	}, reply)
-	_ = c.writeFrame(out)
 }
 
 // clientIDBase marks synthetic client identities (see package client).
@@ -306,7 +361,46 @@ func (n *TCPNet) NewFuture() transport.Future {
 	return &chanFuture{ch: make(chan futVal, 1)}
 }
 
-// Send implements transport.Env (one-way, ReqID 0).
+// transmit writes one frame through the fault injector (when installed):
+// the frame may be dropped, delayed, or duplicated per the plan. With no
+// injector this is exactly writeFrame.
+func (n *TCPNet) transmit(c *tcpConn, to ids.NodeID, env wire.Envelope, m wire.Msg) error {
+	buf := wire.Encode(env, m)
+	if n.inj == nil {
+		return c.writeFrame(buf)
+	}
+	d := n.inj.Judge(n.Now(), n.self, to, m)
+	if d.Drop {
+		if n.rec != nil {
+			n.rec.AddMsgDrop()
+		}
+		return nil
+	}
+	if d.Delay > 0 {
+		if n.rec != nil {
+			n.rec.AddMsgDelay()
+		}
+		delay := d.Delay
+		go func() {
+			time.Sleep(delay)
+			_ = c.writeFrame(buf)
+		}()
+	} else if err := c.writeFrame(buf); err != nil {
+		return err
+	}
+	for i := 0; i < d.Duplicates; i++ {
+		if n.rec != nil {
+			n.rec.AddMsgDup()
+		}
+		go func() { _ = c.writeFrame(buf) }()
+	}
+	return nil
+}
+
+// Send implements transport.Env (one-way, ReqID 0). Under an active fault
+// injector, idempotent one-way messages are upgraded to acknowledged
+// retried calls: a silently dropped Send (e.g. the ghost hand-back
+// release) would otherwise orphan a directory lock forever.
 func (n *TCPNet) Send(to ids.NodeID, m wire.Msg) error {
 	if to == n.self {
 		if n.handler != nil {
@@ -314,14 +408,22 @@ func (n *TCPNet) Send(to ids.NodeID, m wire.Msg) error {
 		}
 		return nil
 	}
+	if n.inj != nil {
+		if _, ok := m.(wire.Idempotent); ok {
+			go func() { _, _ = n.Call(to, m) }()
+			return nil
+		}
+	}
 	c, err := n.conn(to)
 	if err != nil {
 		return err
 	}
-	return c.writeFrame(wire.Encode(wire.Envelope{From: n.self, To: to}, m))
+	return n.transmit(c, to, wire.Envelope{From: n.self, To: to}, m)
 }
 
-// Call implements transport.Env.
+// Call implements transport.Env. With a retry policy installed (see
+// InstallFaults), idempotent requests are retransmitted on timeout with
+// capped jittered exponential backoff; everything else gets one attempt.
 func (n *TCPNet) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 	if to == n.self {
 		if n.handler == nil {
@@ -333,6 +435,52 @@ func (n *TCPNet) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 		}
 		return reply, nil
 	}
+	timeout := callTimeout
+	attempts := 1
+	var bodyID uint64
+	if n.inj != nil {
+		timeout = n.retry.Timeout
+		if idem, ok := m.(wire.Idempotent); ok {
+			// Stamp the body-level request ID once: unlike the envelope's
+			// per-transmission ReqID it stays stable across retries, so the
+			// receiver's dedup cache can absorb duplicates.
+			if idem.RequestID() == 0 {
+				idem.SetRequestID(n.reqID.Add(1))
+			}
+			bodyID = idem.RequestID()
+			if attempts = n.retry.Attempts; attempts < 1 {
+				attempts = 1
+			}
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if n.rec != nil {
+				n.rec.AddCallRetry()
+			}
+			time.Sleep(n.retry.Backoff(bodyID, attempt-1))
+		}
+		reply, err := n.callOnce(to, m, timeout)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		if !errors.Is(err, transport.ErrTimeout) && !errors.Is(err, transport.ErrUnreachable) {
+			return nil, err
+		}
+	}
+	if attempts == 1 {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("%w: call to %v: %d attempt(s) failed: %w",
+		transport.ErrUnreachable, to, attempts, lastErr)
+}
+
+// callOnce is one RPC transmission: register the pending slot, write the
+// frame (through the fault injector when installed), and wait up to
+// timeout for the reply.
+func (n *TCPNet) callOnce(to ids.NodeID, m wire.Msg, timeout time.Duration) (wire.Msg, error) {
 	c, err := n.conn(to)
 	if err != nil {
 		return nil, err
@@ -351,9 +499,12 @@ func (n *TCPNet) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 		delete(n.pending, id)
 		n.mu.Unlock()
 	}
-	if err := c.writeFrame(wire.Encode(wire.Envelope{ReqID: id, From: n.self, To: to}, m)); err != nil {
+	if err := n.transmit(c, to, wire.Envelope{ReqID: id, From: n.self, To: to}, m); err != nil {
 		clear()
-		return nil, err
+		// Tear the connection down so a retry re-dials rather than reusing
+		// the broken socket.
+		n.dropConn(to, c)
+		return nil, fmt.Errorf("server: write to %v: %w (%v)", to, transport.ErrUnreachable, err)
 	}
 	select {
 	case reply, ok := <-ch:
@@ -364,10 +515,23 @@ func (n *TCPNet) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 			return nil, fmt.Errorf("server: remote error from %v: %s", to, er.Msg)
 		}
 		return reply, nil
-	case <-time.After(callTimeout):
+	case <-time.After(timeout):
 		clear()
-		return nil, fmt.Errorf("server: call to %v timed out", to)
+		if n.rec != nil {
+			n.rec.AddCallTimeout()
+		}
+		return nil, fmt.Errorf("server: call to %v: %w", to, transport.ErrTimeout)
 	}
+}
+
+// dropConn removes a connection from the pool after a write failure.
+func (n *TCPNet) dropConn(to ids.NodeID, c *tcpConn) {
+	n.mu.Lock()
+	if n.conns[to] == c {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	_ = c.c.Close()
 }
 
 // futVal carries a completion.

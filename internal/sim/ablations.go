@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lotec/internal/core"
+	"lotec/internal/fault"
 )
 
 // Ablations for the design choices DESIGN.md calls out. Each runs scaled
@@ -135,6 +136,47 @@ func DisorderAblation() (string, error) {
 		cnt := c.Recorder().Counters()
 		fmt.Fprintf(&b, "%-10.2f%10d%10d%10d%10d\n",
 			prob, cnt.Aborts, cnt.Retries, cnt.Commits, len(c.FailedResults()))
+	}
+	return b.String(), nil
+}
+
+// FaultSweepAblation measures what a lossy network costs each protocol:
+// the retry layer masks dropped messages (every workload still commits
+// exactly as many roots — the chaos harness asserts that invariant), so
+// loss shows up as retransmission work, not lost updates. Rows sweep the
+// drop probability applied to retriable RPC traffic.
+func FaultSweepAblation() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: retry cost vs message drop probability (retriable RPC legs)\n")
+	fmt.Fprintf(&b, "%-10s%-8s%10s%10s%10s%10s%10s\n",
+		"Protocol", "Drop", "Commits", "Failures", "Drops", "Retries", "Timeouts")
+	for _, p := range core.All() {
+		for _, prob := range []float64{0, 0.02, 0.08, 0.15} {
+			cfg := WorkloadConfig{
+				Seed: 31, Objects: 24, MinPages: 1, MaxPages: 4,
+				Transactions: 60, Nodes: 6,
+				HotFraction: 0.3, HotWeight: 0.7,
+				ArrivalSpacing: 300 * time.Microsecond,
+			}
+			w, err := GenerateWorkload(cfg)
+			if err != nil {
+				return "", err
+			}
+			var faults *fault.Plan
+			if prob > 0 {
+				faults = &fault.Plan{Seed: 7, Rules: []fault.Rule{
+					{Op: fault.OpDrop, Prob: prob, Kinds: fault.RetriableKinds},
+				}}
+			}
+			c, _, err := w.Execute(Config{Protocol: p, Faults: faults})
+			if err != nil {
+				return "", fmt.Errorf("%s drop %.2f: %w", p.Name(), prob, err)
+			}
+			cnt := c.Recorder().Counters()
+			fmt.Fprintf(&b, "%-10s%-8.2f%10d%10d%10d%10d%10d\n",
+				p.Name(), prob, cnt.Commits, len(c.FailedResults()),
+				cnt.MsgDrops, cnt.CallRetries, cnt.CallTimeouts)
+		}
 	}
 	return b.String(), nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"lotec/internal/core"
 	"lotec/internal/directory"
+	"lotec/internal/fault"
 	"lotec/internal/ids"
 	"lotec/internal/netmodel"
 	"lotec/internal/node"
@@ -52,6 +53,15 @@ type Config struct {
 	// gather/push fan-out (default 4). The simulated trace is identical at
 	// every setting; only modeled gather wall-clock changes.
 	FetchConcurrency int
+	// Faults, when non-nil, installs a deterministic network fault plan:
+	// the virtual wire drops/delays/duplicates/reorders messages per the
+	// plan, RPCs grow per-attempt timeouts with retransmission, and node
+	// handlers are wrapped in an idempotency cache. Nil keeps the
+	// historical fault-free paths byte-for-byte.
+	Faults *fault.Plan
+	// Retry overrides the transport retry policy (zero fields fall back
+	// to the simulator defaults). Only consulted when Faults is non-nil.
+	Retry transport.RetryPolicy
 }
 
 // withDefaults fills unset fields.
@@ -130,6 +140,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		stores:  make(map[ids.NodeID]*pstore.Store, cfg.Nodes),
 	}
 	c.net = transport.NewSimNet(cfg.Nodes, cfg.Net, c.rec)
+	faultsActive := false
+	if cfg.Faults != nil {
+		inj := fault.NewInjector(*cfg.Faults)
+		faultsActive = inj.Active()
+		c.net.InstallFaults(inj, cfg.Retry)
+	}
 	for i := 1; i <= cfg.Nodes; i++ {
 		id := ids.NodeID(i)
 		store := pstore.NewStore(cfg.PageSize)
@@ -154,7 +170,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.engines[id] = eng
 		c.stores[id] = store
-		c.net.SetHandler(id, eng.Handle)
+		if faultsActive {
+			// At-least-once delivery needs exactly-once execution: replay
+			// cached replies for duplicated idempotent requests. Inert
+			// plans skip the wrap: with the injector uninstalled no
+			// request is ever stamped, so the filter would be pure
+			// pass-through overhead.
+			c.net.SetHandler(id, fault.NewDedup().Wrap(eng.Handle))
+		} else {
+			c.net.SetHandler(id, eng.Handle)
+		}
 	}
 	return c, nil
 }

@@ -9,17 +9,6 @@ import (
 	"lotec/internal/core"
 )
 
-// failsOut predicts whether a generated call tree aborts its root: its own
-// injected failure, or an untolerated child failure, propagates.
-func failsOut(c Call) bool {
-	for _, ch := range c.Children {
-		if failsOut(ch) && !ch.Tolerate {
-			return true
-		}
-	}
-	return c.Fail
-}
-
 func TestFaultInjectionOutcomesMatchPrediction(t *testing.T) {
 	cfg := smallWorkload(31)
 	cfg.AbortProb = 0.2
@@ -35,7 +24,7 @@ func TestFaultInjectionOutcomesMatchPrediction(t *testing.T) {
 	var fails, commits int
 	for _, r := range c.Results() {
 		idx := r.Tag.(int)
-		want := failsOut(w.Roots[idx].Call)
+		want := w.Roots[idx].Call.FailsOut()
 		if want && r.Err == nil {
 			t.Errorf("root %d should have failed", idx)
 		}
@@ -119,6 +108,65 @@ func TestFaultInjectionSerialEquivalence(t *testing.T) {
 	}
 }
 
+// TestTolerateAbsorbsGrandchildFailure: a Tolerate'd child whose own child
+// fails untolerated aborts out of the child frame, yet the root survives —
+// the Tolerate flag absorbs the whole failing subtree, not just failures
+// originating in the child's own body. The absorbed subtree must leave no
+// trace: final object state equals a run where the subtree never existed.
+func TestTolerateAbsorbsGrandchildFailure(t *testing.T) {
+	cfg := smallWorkload(53)
+	cfg.Transactions = 1
+	build := func(withChild bool) *Workload {
+		w, err := GenerateWorkload(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := Call{ObjIndex: 0, Method: "w0", Seed: 1001}
+		if withChild {
+			grand := Call{ObjIndex: 2, Method: "w1", Seed: 1003, Fail: true}
+			child := Call{ObjIndex: 1, Method: "w0", Seed: 1002, Tolerate: true, Children: []Call{grand}}
+			root.Children = []Call{child}
+		}
+		w.Roots = []RootSpec{{At: time.Millisecond, Node: 1, Call: root}}
+		return w
+	}
+
+	faulty := build(true)
+	if !faulty.Roots[0].Call.Children[0].FailsOut() {
+		t.Fatal("oracle: a child with an untolerated failing grandchild must fail out")
+	}
+	if faulty.Roots[0].Call.FailsOut() {
+		t.Fatal("oracle: a root whose only failing child is Tolerate'd must survive")
+	}
+
+	for _, p := range core.AllWithRC() {
+		c, objs, err := faulty.Execute(Config{Protocol: p})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if r := c.Results()[0]; r.Err != nil {
+			t.Fatalf("%s: root should tolerate the subtree failure, got %v", p.Name(), r.Err)
+		}
+		control, ctlObjs, err := build(false).Execute(Config{Protocol: p})
+		if err != nil {
+			t.Fatalf("%s control: %v", p.Name(), err)
+		}
+		for i := range objs {
+			got, err := c.ObjectBytes(objs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := control.ObjectBytes(ctlObjs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: object %d differs from childless control run — absorbed subtree left a trace", p.Name(), i)
+			}
+		}
+	}
+}
+
 // TestFaultInjectionAllProtocols: rollback correctness is protocol-
 // independent.
 func TestFaultInjectionAllProtocols(t *testing.T) {
@@ -136,7 +184,7 @@ func TestFaultInjectionAllProtocols(t *testing.T) {
 		}
 		for _, r := range c.Results() {
 			idx := r.Tag.(int)
-			if want := failsOut(w.Roots[idx].Call); want != (r.Err != nil) {
+			if want := w.Roots[idx].Call.FailsOut(); want != (r.Err != nil) {
 				t.Errorf("%s: root %d outcome mismatch (want fail=%v, err=%v)",
 					p.Name(), idx, want, r.Err)
 			}

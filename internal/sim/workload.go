@@ -125,6 +125,20 @@ type Call struct {
 	Children []Call
 }
 
+// FailsOut predicts whether this call aborts out of its own frame: its own
+// injected failure, or an untolerated child failure, propagates upward. A
+// Tolerate'd child absorbs its whole failing subtree — even when the
+// child's own failure came from a grandchild — so the parent survives.
+// Tests compare executed outcomes against this oracle.
+func (c Call) FailsOut() bool {
+	for _, ch := range c.Children {
+		if ch.FailsOut() && !ch.Tolerate {
+			return true
+		}
+	}
+	return c.Fail
+}
+
 // RootSpec is one generated root transaction.
 type RootSpec struct {
 	At   time.Duration

@@ -154,6 +154,12 @@ type Recorder struct {
 	aborts        atomic.Int64
 	retries       atomic.Int64
 	commits       atomic.Int64
+
+	msgDrops     atomic.Int64
+	msgDups      atomic.Int64
+	msgDelays    atomic.Int64
+	callTimeouts atomic.Int64
+	callRetries  atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
@@ -190,6 +196,24 @@ func (r *Recorder) AddRetry() { r.retries.Add(1) }
 // AddCommit counts a root-transaction commit.
 func (r *Recorder) AddCommit() { r.commits.Add(1) }
 
+// Fault-layer counters (internal/fault + the transports' retry loops).
+
+// AddMsgDrop counts a message the fault injector discarded in flight.
+func (r *Recorder) AddMsgDrop() { r.msgDrops.Add(1) }
+
+// AddMsgDup counts an extra in-flight copy the fault injector emitted.
+func (r *Recorder) AddMsgDup() { r.msgDups.Add(1) }
+
+// AddMsgDelay counts a message the fault injector held back (delay or
+// reorder).
+func (r *Recorder) AddMsgDelay() { r.msgDelays.Add(1) }
+
+// AddCallTimeout counts an RPC attempt that expired without a reply.
+func (r *Recorder) AddCallTimeout() { r.callTimeouts.Add(1) }
+
+// AddCallRetry counts an RPC retransmission after a timeout.
+func (r *Recorder) AddCallRetry() { r.callRetries.Add(1) }
+
 // Counters is a snapshot of the scalar counters.
 type Counters struct {
 	LocalLockOps  int64
@@ -198,6 +222,14 @@ type Counters struct {
 	Aborts        int64
 	Retries       int64
 	Commits       int64
+
+	// Fault-layer metrics: injected message faults and the retry loop's
+	// reaction to them. All zero on a fault-free run.
+	MsgDrops     int64
+	MsgDups      int64
+	MsgDelays    int64
+	CallTimeouts int64
+	CallRetries  int64
 }
 
 // Counters returns a snapshot of the scalar counters.
@@ -209,6 +241,11 @@ func (r *Recorder) Counters() Counters {
 		Aborts:        r.aborts.Load(),
 		Retries:       r.retries.Load(),
 		Commits:       r.commits.Load(),
+		MsgDrops:      r.msgDrops.Load(),
+		MsgDups:       r.msgDups.Load(),
+		MsgDelays:     r.msgDelays.Load(),
+		CallTimeouts:  r.callTimeouts.Load(),
+		CallRetries:   r.callRetries.Load(),
 	}
 }
 

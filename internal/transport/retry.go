@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"errors"
+	"time"
+
+	"lotec/internal/fault"
+)
+
+// Fault-layer errors. Both are retryable at the RPC level; when retries
+// are exhausted the engine maps them to node.ErrSiteUnreachable and
+// aborts the root instead of hanging.
+var (
+	// ErrTimeout: one RPC attempt expired without a reply.
+	ErrTimeout = errors.New("transport: call timed out")
+	// ErrUnreachable: every allowed attempt failed; the peer is treated
+	// as unreachable.
+	ErrUnreachable = errors.New("transport: peer unreachable")
+)
+
+// RetryPolicy bounds an Env.Call's retransmission behavior when a fault
+// injector (or a real lossy network) is in play. The zero value means
+// "transport defaults".
+type RetryPolicy struct {
+	// Attempts is the maximum number of transmissions per call
+	// (0 = transport default; negative = exactly one attempt, no retry).
+	Attempts int
+	// Timeout is the per-attempt reply deadline.
+	Timeout time.Duration
+	// BaseBackoff is the pre-jitter wait after the first timeout; it
+	// doubles per attempt up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Seed drives the deterministic backoff jitter (defaults to the
+	// installed fault plan's seed).
+	Seed uint64
+}
+
+// WithDefaults fills zero fields from d.
+func (p RetryPolicy) WithDefaults(d RetryPolicy) RetryPolicy {
+	if p.Attempts == 0 {
+		p.Attempts = d.Attempts
+	}
+	if p.Timeout == 0 {
+		p.Timeout = d.Timeout
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	return p
+}
+
+// Backoff returns the capped, jittered exponential wait before
+// retransmission number attempt (1-based retry count: attempt 0 is the
+// wait after the first timeout). Jitter is deterministic in
+// (Seed, reqID, attempt), so simulated runs replay exactly.
+func (p RetryPolicy) Backoff(reqID uint64, attempt int) time.Duration {
+	d := p.BaseBackoff
+	if d <= 0 {
+		d = 100 * time.Microsecond
+	}
+	for i := 0; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// Half-to-full jitter: wait in [d/2, d).
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	j := time.Duration(fault.Mix64(p.Seed, reqID, uint64(attempt)) % uint64(half))
+	return half + j
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"lotec/internal/fault"
 	"lotec/internal/ids"
 	"lotec/internal/netmodel"
 	"lotec/internal/stats"
@@ -37,6 +38,26 @@ type SimNet struct {
 	// yield carries the "current proc has blocked or finished" signal back
 	// to the scheduler. Procs send; only the scheduler receives.
 	yield chan struct{}
+
+	// Fault layer, installed (before Run) with InstallFaults. inj nil
+	// means no fault plan: Send and Call take exactly the historical
+	// code paths, byte-for-byte.
+	inj    *fault.Injector
+	retry  RetryPolicy
+	reqCtr uint64 // guarded by mu; stamps wire.Idempotent request IDs
+}
+
+// simRetryDefaults is the virtual-clock retry policy: timeouts price how
+// long a lost message stalls its caller (the simulator detects the loss
+// itself, so the deadline never fires spuriously on slow big replies),
+// and the attempt budget is generous enough that any recoverable fault
+// plan terminates while a permanently dead peer still surfaces
+// ErrUnreachable instead of hanging the run.
+var simRetryDefaults = RetryPolicy{
+	Attempts:    25,
+	Timeout:     2 * time.Millisecond,
+	BaseBackoff: 100 * time.Microsecond,
+	MaxBackoff:  2 * time.Millisecond,
 }
 
 // event is one scheduled occurrence.
@@ -86,6 +107,34 @@ func NewSimNet(n int, params netmodel.Params, rec *stats.Recorder) *SimNet {
 
 // Env returns the Env of a node (1-based).
 func (s *SimNet) Env(id ids.NodeID) Env { return s.envs[id] }
+
+// InstallFaults attaches a fault injector and retry policy. Call during
+// setup, before Run. Zero policy fields fall back to the simulator
+// defaults; the backoff jitter seed defaults to the plan seed.
+//
+// An inert injector (nil, or a plan with no rules, crashes, or
+// partitions) is not installed at all: the fault layer is strictly
+// pay-for-what-you-use, and with nothing to inject Send and Call must
+// take exactly the historical code paths so the message trace stays
+// byte-for-byte identical to a run with no plan.
+func (s *SimNet) InstallFaults(inj *fault.Injector, policy RetryPolicy) {
+	if !inj.Active() {
+		return
+	}
+	s.inj = inj
+	if policy.Seed == 0 {
+		policy.Seed = inj.Seed()
+	}
+	s.retry = policy.WithDefaults(simRetryDefaults)
+}
+
+// nextReqID hands out idempotency keys for retried calls.
+func (s *SimNet) nextReqID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reqCtr++
+	return s.reqCtr
+}
 
 // SetHandler installs the inbound-message handler for a node.
 func (s *SimNet) SetHandler(id ids.NodeID, h Handler) { s.handlers[id] = h }
@@ -214,9 +263,46 @@ func (e *simEnv) Send(to ids.NodeID, m wire.Msg) error {
 		s.schedule(s.Now(), func() { h(e.self, m) })
 		return nil
 	}
+	if s.inj != nil {
+		return e.sendFaulted(to, m, h)
+	}
 	s.record(e.self, to, m)
 	from := e.self
 	s.schedule(s.Now()+s.latency(m), func() { h(from, m) })
+	return nil
+}
+
+// sendFaulted is the one-way path under an active fault plan. Idempotent
+// messages (the ghost-grant ReleaseReq hand-back) are upgraded to an
+// acknowledged at-least-once Call on a fresh proc, so a drop cannot
+// orphan a directory lock; other one-way traffic (Grant, Abort) is
+// transmitted through the injector as-is — the recoverable plans never
+// drop those kinds (see fault.Partition and the presets).
+func (e *simEnv) sendFaulted(to ids.NodeID, m wire.Msg, h Handler) error {
+	s := e.net
+	if _, ok := m.(wire.Idempotent); ok {
+		e.Go(func() { _, _ = e.Call(to, m) })
+		return nil
+	}
+	from := e.self
+	d := s.inj.Judge(s.Now(), from, to, m)
+	if d.Drop {
+		s.record(from, to, m)
+		if s.rec != nil {
+			s.rec.AddMsgDrop()
+		}
+		return nil
+	}
+	for i := 0; i <= d.Duplicates; i++ {
+		if i > 0 && s.rec != nil {
+			s.rec.AddMsgDup()
+		}
+		if d.Delay > 0 && s.rec != nil {
+			s.rec.AddMsgDelay()
+		}
+		s.record(from, to, m)
+		s.schedule(s.Now()+s.latency(m)+d.Delay, func() { h(from, m) })
+	}
 	return nil
 }
 
@@ -230,6 +316,9 @@ func (e *simEnv) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 	}
 	if to == e.self {
 		return h(e.self, m), nil
+	}
+	if s.inj != nil {
+		return e.callFaulted(to, m, h)
 	}
 	f := e.NewFuture()
 	from := e.self
@@ -253,6 +342,111 @@ func (e *simEnv) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 		return nil, fmt.Errorf("transport: remote error from %v: %s", to, er.Msg)
 	}
 	return reply, nil
+}
+
+// callFaulted is the RPC path under an active fault plan: each attempt's
+// request and reply legs pass through the injector, a lost leg arms a
+// per-attempt timeout at the caller, and idempotent requests are
+// retransmitted (same body request ID, so the receiver's dedup cache
+// replays instead of re-executing) under the capped jittered exponential
+// backoff of the retry policy. Non-idempotent messages get exactly one
+// attempt — retrying them could double-execute.
+func (e *simEnv) callFaulted(to ids.NodeID, m wire.Msg, h Handler) (wire.Msg, error) {
+	s := e.net
+	var reqID uint64
+	im, idem := m.(wire.Idempotent)
+	if idem {
+		if im.RequestID() == 0 {
+			im.SetRequestID(s.nextReqID())
+		}
+		reqID = im.RequestID()
+	}
+	attempts := s.retry.Attempts
+	if !idem {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		f := e.NewFuture()
+		e.transmitCall(to, m, h, f, s.Now())
+		v, err := f.Wait()
+		if err == nil {
+			reply := v.(wire.Msg)
+			if er, ok := reply.(*wire.ErrResp); ok {
+				return nil, fmt.Errorf("transport: remote error from %v: %s", to, er.Msg)
+			}
+			return reply, nil
+		}
+		// The attempt's loss timer fired.
+		if s.rec != nil {
+			s.rec.AddCallTimeout()
+		}
+		if attempts > 0 && attempt+1 >= attempts {
+			return nil, fmt.Errorf("%w: call to %v: %d attempt(s) timed out: %w",
+				ErrUnreachable, to, attempt+1, err)
+		}
+		if s.rec != nil {
+			s.rec.AddCallRetry()
+		}
+		e.Sleep(s.retry.Backoff(reqID, attempt))
+	}
+}
+
+// transmitCall puts one call attempt on the simulated wire. The simulator
+// knows when it discards a leg, so instead of racing a fixed deadline
+// against arbitrarily large (but intact) replies, the loss itself arms
+// the caller's timeout: f completes with ErrTimeout at start+Timeout
+// unless a surviving copy's reply wins first.
+func (e *simEnv) transmitCall(to ids.NodeID, m wire.Msg, h Handler, f Future, start time.Duration) {
+	s := e.net
+	from := e.self
+	lose := func() {
+		s.schedule(start+s.retry.Timeout, func() { f.Complete(nil, ErrTimeout) })
+	}
+	d := s.inj.Judge(s.Now(), from, to, m)
+	if d.Drop {
+		s.record(from, to, m)
+		if s.rec != nil {
+			s.rec.AddMsgDrop()
+		}
+		lose()
+		return
+	}
+	for i := 0; i <= d.Duplicates; i++ {
+		if i > 0 && s.rec != nil {
+			s.rec.AddMsgDup()
+		}
+		if d.Delay > 0 && s.rec != nil {
+			s.rec.AddMsgDelay()
+		}
+		s.record(from, to, m)
+		s.schedule(s.Now()+s.latency(m)+d.Delay, func() {
+			reply := h(from, m)
+			if reply == nil {
+				reply = &wire.ErrResp{Msg: "no reply"}
+			}
+			rd := s.inj.Judge(s.Now(), to, from, reply)
+			if rd.Drop {
+				s.record(to, from, reply)
+				if s.rec != nil {
+					s.rec.AddMsgDrop()
+				}
+				lose()
+				return
+			}
+			for j := 0; j <= rd.Duplicates; j++ {
+				if j > 0 && s.rec != nil {
+					s.rec.AddMsgDup()
+				}
+				if rd.Delay > 0 && s.rec != nil {
+					s.rec.AddMsgDelay()
+				}
+				s.record(to, from, reply)
+				s.schedule(s.Now()+s.latency(reply)+rd.Delay, func() {
+					f.Complete(reply, nil)
+				})
+			}
+		})
+	}
 }
 
 // CallGroup implements GroupCaller. The calls are issued sequentially on

@@ -182,6 +182,7 @@ func Decode(buf []byte) (Envelope, Msg, error) {
 // suite round-trips every type and cross-checks Size.
 
 func (m *AcquireReq) encodeBody(w *writer) {
+	w.u64(m.ReqID)
 	w.i64(int64(m.Obj))
 	w.ref(m.Ref)
 	w.u64(uint64(m.Family))
@@ -192,6 +193,7 @@ func (m *AcquireReq) encodeBody(w *writer) {
 }
 
 func (m *AcquireReq) decodeBody(r *reader) {
+	m.ReqID = r.u64()
 	m.Obj = ids.ObjectID(r.i64())
 	m.Ref = r.ref()
 	m.Family = ids.FamilyID(r.u64())
@@ -228,6 +230,7 @@ func (m *AcquireResp) decodeBody(r *reader) {
 }
 
 func (m *ReleaseReq) encodeBody(w *writer) {
+	w.u64(m.ReqID)
 	w.u64(uint64(m.Family))
 	w.i32(int32(m.Site))
 	w.boolean(m.Commit)
@@ -243,6 +246,7 @@ func (m *ReleaseReq) encodeBody(w *writer) {
 }
 
 func (m *ReleaseReq) decodeBody(r *reader) {
+	m.ReqID = r.u64()
 	m.Family = ids.FamilyID(r.u64())
 	m.Site = ids.NodeID(r.i32())
 	m.Commit = r.boolean()
@@ -400,6 +404,7 @@ func (*PushResp) encodeBody(*writer) {}
 func (*PushResp) decodeBody(*reader) {}
 
 func (m *CopySetReq) encodeBody(w *writer) {
+	w.u64(m.ReqID)
 	w.u32(uint32(len(m.Objs)))
 	for _, o := range m.Objs {
 		w.i64(int64(o))
@@ -407,6 +412,7 @@ func (m *CopySetReq) encodeBody(w *writer) {
 }
 
 func (m *CopySetReq) decodeBody(r *reader) {
+	m.ReqID = r.u64()
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Objs = append(m.Objs, ids.ObjectID(r.i64()))
@@ -479,6 +485,7 @@ func (m *ErrResp) encodeBody(w *writer) { w.str(m.Msg) }
 func (m *ErrResp) decodeBody(r *reader) { m.Msg = r.str() }
 
 func (m *MultiFetchReq) encodeBody(w *writer) {
+	w.u64(m.ReqID)
 	w.boolean(m.Demand)
 	w.u32(uint32(len(m.Objs)))
 	for _, o := range m.Objs {
@@ -491,6 +498,7 @@ func (m *MultiFetchReq) encodeBody(w *writer) {
 }
 
 func (m *MultiFetchReq) decodeBody(r *reader) {
+	m.ReqID = r.u64()
 	m.Demand = r.boolean()
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
@@ -526,5 +534,12 @@ func decodeObjPayloads(r *reader) []ObjPayload {
 func (m *MultiFetchResp) encodeBody(w *writer) { encodeObjPayloads(w, m.Objs) }
 func (m *MultiFetchResp) decodeBody(r *reader) { m.Objs = decodeObjPayloads(r) }
 
-func (m *MultiPushReq) encodeBody(w *writer) { encodeObjPayloads(w, m.Objs) }
-func (m *MultiPushReq) decodeBody(r *reader) { m.Objs = decodeObjPayloads(r) }
+func (m *MultiPushReq) encodeBody(w *writer) {
+	w.u64(m.ReqID)
+	encodeObjPayloads(w, m.Objs)
+}
+
+func (m *MultiPushReq) decodeBody(r *reader) {
+	m.ReqID = r.u64()
+	m.Objs = decodeObjPayloads(r)
+}

@@ -114,6 +114,47 @@ func TestEveryRegisteredTypeRoundTripsAndClassifies(t *testing.T) {
 	}
 }
 
+// TestIdempotentMessagesCarryRequestID pins the retry layer's dedup
+// contract: exactly the retried request bodies — GDO acquire/release, the
+// batched copy-set lookup, and the xfer fetch/push requests — implement
+// Idempotent, and their stable body request ID survives a codec round-trip
+// (it is the dedup key; losing it in transit would defeat duplicate
+// suppression). A type added here must also get fuzz seeds in fuzz_test.go.
+func TestIdempotentMessagesCarryRequestID(t *testing.T) {
+	reg := registeredTypes(t)
+	want := map[MsgType]bool{
+		TAcquireReq:    true,
+		TReleaseReq:    true,
+		TCopySetReq:    true,
+		TMultiFetchReq: true,
+		TMultiPushReq:  true,
+	}
+	for tag, proto := range reg {
+		im, ok := proto.(Idempotent)
+		if want[tag] != ok {
+			t.Errorf("type %d: Idempotent=%v, want %v — keep the retry-dedup set in sync with this test", tag, ok, want[tag])
+		}
+		if !ok {
+			continue
+		}
+		if im.RequestID() != 0 {
+			t.Errorf("%T: fresh message has nonzero request ID %d (0 must mean unstamped)", proto, im.RequestID())
+		}
+		id := 0xD00D0000 + uint64(tag)
+		im.SetRequestID(id)
+		if im.RequestID() != id {
+			t.Errorf("%T: RequestID()=%d after SetRequestID(%d)", proto, im.RequestID(), id)
+		}
+		_, back, err := Decode(Encode(Envelope{ReqID: 1, From: 1, To: 2}, proto))
+		if err != nil {
+			t.Fatalf("%T: %v", proto, err)
+		}
+		if got := back.(Idempotent).RequestID(); got != id {
+			t.Errorf("%T: body request ID %d drifted to %d across the codec", proto, id, got)
+		}
+	}
+}
+
 // TestClassifyKindsAreDistinctPerType guards against copy-paste drift: no
 // two request/reply tags may collapse onto the same (Kind, direction)
 // accidentally. CopySetReq/Resp intentionally share the lock-req/reply

@@ -62,6 +62,22 @@ func FuzzDecode(f *testing.F) {
 		f.Add(Encode(Envelope{ReqID: 7, From: 3, To: 4}, m))
 	}
 
+	// Seeds for the request-ID-bearing (Idempotent) bodies: stamped with a
+	// retry-layer dedup key, plus a truncation that cuts through the ReqID
+	// field itself (the first body field, so headerSize+4 splits it).
+	idempotent := []Msg{
+		&AcquireReq{ReqID: 1 << 40, Obj: 9, Mode: 2, Site: 3, Shard: 1},
+		&ReleaseReq{ReqID: 1<<40 + 1, Site: 2, Shard: 1},
+		&CopySetReq{ReqID: 1<<40 + 2, Objs: []ids.ObjectID{4, 5}},
+		&MultiFetchReq{ReqID: 1<<40 + 3, Objs: []ObjPages{{Obj: 2, Pages: []ids.PageNum{0}}}},
+		&MultiPushReq{ReqID: 1<<40 + 4, Objs: []ObjPayload{{Obj: 2, Pages: []PagePayload{{Page: 0, Version: 1, Data: []byte{7}}}}}},
+	}
+	for _, m := range idempotent {
+		buf := Encode(Envelope{ReqID: 9, From: 1, To: 2}, m)
+		f.Add(buf)
+		f.Add(buf[:HeaderSize+4])
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, m, err := Decode(data)
 		if err != nil {

@@ -58,6 +58,20 @@ type Msg interface {
 	decodeBody(r *reader)
 }
 
+// Idempotent is implemented by the request bodies the retry layer may
+// transmit more than once: AcquireReq, ReleaseReq, CopySetReq,
+// MultiFetchReq and MultiPushReq. The request ID travels in the body (the
+// envelope's ReqID is a per-transmission correlation number on TCP, so it
+// changes across retries; the body's ID is stable) and keys the receiver's
+// idempotency cache — a duplicate replays the cached reply instead of
+// re-executing. ID 0 means "never stamped": the zero-fault path leaves it
+// 0 and the dedup layer passes such messages straight through.
+type Idempotent interface {
+	Msg
+	RequestID() uint64
+	SetRequestID(uint64)
+}
+
 // Fixed field sizes used by the Size formulas.
 const (
 	sizeTxRef     = 12 // txID(8) + node(4)
@@ -77,6 +91,9 @@ func (p PagePayload) size() int { return 4 + 8 + 4 + len(p.Data) }
 
 // AcquireReq asks the GDO to acquire obj's lock (Alg 4.2 input).
 type AcquireReq struct {
+	// ReqID is the stable idempotency key stamped by the retry layer
+	// (0 when retries are off). See Idempotent.
+	ReqID  uint64
 	Obj    ids.ObjectID
 	Ref    ids.TxRef
 	Family ids.FamilyID
@@ -97,7 +114,13 @@ type AcquireReq struct {
 func (*AcquireReq) Type() MsgType { return TAcquireReq }
 
 // Size implements Msg.
-func (*AcquireReq) Size() int { return HeaderSize + 8 + sizeTxRef + 8 + 8 + 4 + 1 + 4 }
+func (*AcquireReq) Size() int { return HeaderSize + 8 + 8 + sizeTxRef + 8 + 8 + 4 + 1 + 4 }
+
+// RequestID implements Idempotent.
+func (m *AcquireReq) RequestID() uint64 { return m.ReqID }
+
+// SetRequestID implements Idempotent.
+func (m *AcquireReq) SetRequestID(id uint64) { m.ReqID = id }
 
 // AcquireResp replies to AcquireReq.
 type AcquireResp struct {
@@ -123,6 +146,8 @@ func (m *AcquireResp) Size() int {
 // ReleaseReq releases a family's holds on the listed objects (Alg 4.4
 // input), with dirty-page info piggybacked.
 type ReleaseReq struct {
+	// ReqID is the stable idempotency key (see Idempotent; 0 = unstamped).
+	ReqID  uint64
 	Family ids.FamilyID
 	Site   ids.NodeID
 	// Commit distinguishes a root-commit release (dirty info meaningful,
@@ -139,12 +164,18 @@ func (*ReleaseReq) Type() MsgType { return TReleaseReq }
 
 // Size implements Msg.
 func (m *ReleaseReq) Size() int {
-	n := HeaderSize + 8 + 4 + 1 + 4 + 4
+	n := HeaderSize + 8 + 8 + 4 + 1 + 4 + 4
 	for _, rel := range m.Rels {
 		n += 8 + 4 + 4*len(rel.Dirty)
 	}
 	return n
 }
+
+// RequestID implements Idempotent.
+func (m *ReleaseReq) RequestID() uint64 { return m.ReqID }
+
+// SetRequestID implements Idempotent.
+func (m *ReleaseReq) SetRequestID(id uint64) { m.ReqID = id }
 
 // ReleaseResp replies with the new page versions assigned.
 type ReleaseResp struct {
@@ -266,14 +297,22 @@ func (*PushResp) Size() int { return HeaderSize }
 // Root commit batches the lookups for all dirty objects of a family into
 // one request per home site.
 type CopySetReq struct {
-	Objs []ids.ObjectID
+	// ReqID is the stable idempotency key (see Idempotent; 0 = unstamped).
+	ReqID uint64
+	Objs  []ids.ObjectID
 }
 
 // Type implements Msg.
 func (*CopySetReq) Type() MsgType { return TCopySetReq }
 
 // Size implements Msg.
-func (m *CopySetReq) Size() int { return HeaderSize + 4 + 8*len(m.Objs) }
+func (m *CopySetReq) Size() int { return HeaderSize + 8 + 4 + 8*len(m.Objs) }
+
+// RequestID implements Idempotent.
+func (m *CopySetReq) RequestID() uint64 { return m.ReqID }
+
+// SetRequestID implements Idempotent.
+func (m *CopySetReq) SetRequestID(id uint64) { m.ReqID = id }
 
 // CopySet is one object's caching sites within a CopySetResp.
 type CopySet struct {
@@ -387,6 +426,8 @@ func (o ObjPayload) size() int {
 // objects by source site (Alg 4.5's per-site copy, batched). Demand marks a
 // post-misprediction demand fetch (§4.3).
 type MultiFetchReq struct {
+	// ReqID is the stable idempotency key (see Idempotent; 0 = unstamped).
+	ReqID  uint64
 	Demand bool
 	Objs   []ObjPages
 }
@@ -396,12 +437,18 @@ func (*MultiFetchReq) Type() MsgType { return TMultiFetchReq }
 
 // Size implements Msg.
 func (m *MultiFetchReq) Size() int {
-	n := HeaderSize + 1 + 4
+	n := HeaderSize + 8 + 1 + 4
 	for _, o := range m.Objs {
 		n += o.size()
 	}
 	return n
 }
+
+// RequestID implements Idempotent.
+func (m *MultiFetchReq) RequestID() uint64 { return m.ReqID }
+
+// SetRequestID implements Idempotent.
+func (m *MultiFetchReq) SetRequestID(id uint64) { m.ReqID = id }
 
 // MultiFetchResp returns the payloads of a MultiFetchReq, grouped per
 // object.
@@ -425,7 +472,9 @@ func (m *MultiFetchResp) Size() int {
 // caching site in a single round-trip (the §6 Release Consistency push
 // fan-out, batched per destination). Acknowledged with PushResp.
 type MultiPushReq struct {
-	Objs []ObjPayload
+	// ReqID is the stable idempotency key (see Idempotent; 0 = unstamped).
+	ReqID uint64
+	Objs  []ObjPayload
 }
 
 // Type implements Msg.
@@ -433,12 +482,18 @@ func (*MultiPushReq) Type() MsgType { return TMultiPushReq }
 
 // Size implements Msg.
 func (m *MultiPushReq) Size() int {
-	n := HeaderSize + 4
+	n := HeaderSize + 8 + 4
 	for _, o := range m.Objs {
 		n += o.size()
 	}
 	return n
 }
+
+// RequestID implements Idempotent.
+func (m *MultiPushReq) RequestID() uint64 { return m.ReqID }
+
+// SetRequestID implements Idempotent.
+func (m *MultiPushReq) SetRequestID(id uint64) { m.ReqID = id }
 
 // ErrUnknownType reports an undecodable message type.
 var ErrUnknownType = errors.New("wire: unknown message type")

@@ -1,9 +1,13 @@
 package lotec
 
 import (
+	"fmt"
+
 	"lotec/internal/core"
+	"lotec/internal/fault"
 	"lotec/internal/ids"
 	"lotec/internal/server"
+	"lotec/internal/transport"
 )
 
 // Distributed deployment: the same engine the simulated Cluster runs, over
@@ -19,7 +23,31 @@ type GDO struct{ inner *server.GDOServer }
 
 // StartGDO starts the directory service of a deployment.
 func StartGDO(topo Topology) (*GDO, error) {
-	g := server.NewGDOServer(topo)
+	return StartGDOWith(GDOOptions{Topology: topo})
+}
+
+// GDOOptions configures the directory service.
+type GDOOptions struct {
+	// Topology is the shared deployment layout.
+	Topology Topology
+	// FaultPlan, when non-empty, injects deterministic faults into the
+	// directory's outbound traffic (a preset name like "drop" or a clause
+	// list like "drop(p=0.1);delay(p=0.2,d=1ms)" — see the fault package).
+	FaultPlan string
+	// FaultSeed drives the plan's random draws.
+	FaultSeed uint64
+}
+
+// StartGDOWith starts the directory service with explicit options.
+func StartGDOWith(opts GDOOptions) (*GDO, error) {
+	g := server.NewGDOServer(opts.Topology)
+	if opts.FaultPlan != "" {
+		plan, err := fault.Parse(opts.FaultPlan, opts.FaultSeed)
+		if err != nil {
+			return nil, fmt.Errorf("lotec: fault plan: %w", err)
+		}
+		g.InstallFaults(*plan, transport.RetryPolicy{})
+	}
 	if err := g.Start(); err != nil {
 		return nil, err
 	}
@@ -48,6 +76,13 @@ type NodeOptions struct {
 	// transfer fan-out (0 → default 4). On TCP the calls genuinely
 	// overlap; counters are unchanged at any setting.
 	FetchConcurrency int
+	// FaultPlan, when non-empty, injects deterministic faults into this
+	// node's outbound traffic and enables the RPC timeout/retry layer (a
+	// preset name like "drop" or a clause list like
+	// "drop(p=0.1);delay(p=0.2,d=1ms)" — see the fault package).
+	FaultPlan string
+	// FaultSeed drives the plan's random draws.
+	FaultSeed uint64
 }
 
 // Node is a running LOTEC site.
@@ -59,6 +94,14 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	if opts.Protocol != nil {
 		p = opts.Protocol
 	}
+	var plan *fault.Plan
+	if opts.FaultPlan != "" {
+		parsed, err := fault.Parse(opts.FaultPlan, opts.FaultSeed)
+		if err != nil {
+			return nil, fmt.Errorf("lotec: fault plan: %w", err)
+		}
+		plan = parsed
+	}
 	inner, err := server.NewNodeServer(server.NodeConfig{
 		Topology:         opts.Topology,
 		Self:             opts.Self,
@@ -66,6 +109,7 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		PageSize:         opts.PageSize,
 		Lenient:          opts.Lenient,
 		FetchConcurrency: opts.FetchConcurrency,
+		Faults:           plan,
 	})
 	if err != nil {
 		return nil, err

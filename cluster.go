@@ -38,6 +38,15 @@ type Options struct {
 	// transfer fan-out (0 → default 4). Byte and message counters are
 	// identical at every setting; only transfer wall-clock changes.
 	FetchConcurrency int
+	// DeltaOff disables sub-page delta transfers: fetches and pushes move
+	// full pages only, byte-identical to the pre-delta data plane. The
+	// default (false) lets version-tracking protocols ship just the bytes
+	// written since the requester's resident version.
+	DeltaOff bool
+	// DeltaJournalDepth bounds how many committed write-sets each page's
+	// dirty-range journal retains (how far back a delta can reach); 0 →
+	// default 8.
+	DeltaJournalDepth int
 }
 
 // Cluster is an in-process LOTEC deployment: a set of simulated sites over
@@ -76,6 +85,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		MaxRetries:        opts.MaxRetries,
 		DirectoryShards:   opts.DirectoryShards,
 		FetchConcurrency:  opts.FetchConcurrency,
+		DeltaOff:          opts.DeltaOff,
+		DeltaJournalDepth: opts.DeltaJournalDepth,
 	})
 	if err != nil {
 		return nil, err

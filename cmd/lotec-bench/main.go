@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,9 +44,24 @@ type benchResult struct {
 	Ops int `json:"ops"`
 	// NsPerOp is wall-clock nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
+	// WriteBytes is the write schema of a delta-sweep entry: each declared
+	// write touches only this many bytes of its attribute (absent =
+	// historical whole-attribute writes).
+	WriteBytes int `json:"write_bytes,omitempty"`
 	// BytesMoved is the consistency data traffic of the run (simulated
 	// runs only; the directory benchmark is in-process).
 	BytesMoved int64 `json:"bytes_moved"`
+	// Delta-transfer split of BytesMoved (delta sweep entries only):
+	// bytes that moved as dirty-range deltas, the full-page bytes those
+	// deltas replaced minus their encoded size, and how many pages fell
+	// back to a full payload.
+	DeltaBytes      int64 `json:"delta_bytes,omitempty"`
+	DeltaSavedBytes int64 `json:"delta_saved_bytes,omitempty"`
+	DeltaFallbacks  int64 `json:"delta_fallbacks,omitempty"`
+	// AllocsPerOp is heap allocations per committed root (delta sweep
+	// entries only; the delta path must stay allocation-lean — payload
+	// buffers are pooled).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Transfer-pipeline breakdown (simulated runs only): total transfers
 	// and the summed per-stage wall clock on the cluster's virtual clock.
 	// Gather is the only stage whose time responds to FetchConcurrency.
@@ -58,7 +74,9 @@ type benchResult struct {
 func main() {
 	figure := flag.String("figure", "3", "workload figure to sweep (2..5)")
 	jsonOut := flag.String("json", "", "also benchmark directory sharding and write results to this file (e.g. BENCH_results.json)")
-	smoke := flag.Bool("smoke", false, "fast CI check: assert the byte/message trace is FetchConcurrency-invariant and the gather wall-clock improves")
+	smoke := flag.Bool("smoke", false, "fast CI check: assert the byte/message trace is FetchConcurrency-invariant, the gather wall-clock improves, and bytes_moved has not regressed vs -baseline")
+	baseline := flag.String("baseline", "BENCH_results.json", "committed results the smoke check compares bytes_moved against (\"\" disables)")
+	writeBytes := flag.Int("write-bytes", 0, "cap each declared write at this many bytes (0 = whole attribute) — prices the figure grid under a field-sized write schema where sub-page deltas flow")
 	flag.Parse()
 
 	spec, err := sim.FigureByID(*figure)
@@ -66,11 +84,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lotec-bench:", err)
 		os.Exit(1)
 	}
+	spec.Workload.WriteBytes = *writeBytes
 
 	if *smoke {
 		if err := runSmoke(spec); err != nil {
 			fmt.Fprintln(os.Stderr, "lotec-bench: smoke:", err)
 			os.Exit(1)
+		}
+		if *baseline != "" {
+			if err := checkBaseline(spec, *baseline); err != nil {
+				fmt.Fprintln(os.Stderr, "lotec-bench: smoke:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -136,6 +161,12 @@ func writeJSON(spec sim.FigureSpec, path string) error {
 		return err
 	}
 	results = append(results, sweep...)
+
+	deltas, err := sweepDelta(spec)
+	if err != nil {
+		return err
+	}
+	results = append(results, deltas...)
 
 	for _, shards := range []int{1, 2, 4, 8} {
 		nsPerOp, ops, err := benchDirectory(shards)
@@ -206,6 +237,133 @@ func sweepFetchConcurrency(spec sim.FigureSpec) ([]benchResult, error) {
 			spec.ID, k, stages.Transfers, stages.Gather)
 	}
 	return results, nil
+}
+
+// sweepDelta runs the figure's workload under LOTEC with field-sized write
+// schemas (8 B, 64 B) and the historical whole-attribute schema, deltas on,
+// and reports what each moved: total data bytes, the delta/full split, and
+// heap allocations per committed root (the delta path pools its payload
+// buffers, so allocations must not grow with write count).
+func sweepDelta(spec sim.FigureSpec) ([]benchResult, error) {
+	var results []benchResult
+	for _, wb := range []int{8, 64, 0} {
+		cfg := spec.Workload
+		cfg.WriteBytes = wb
+		w, err := sim.GenerateWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		c, _, err := w.Execute(sim.Config{Protocol: core.LOTEC})
+		if err != nil {
+			return nil, fmt.Errorf("delta sweep (wb=%d): %w", wb, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		n := len(c.Results())
+		cnt := c.Recorder().Counters()
+		results = append(results, benchResult{
+			Op:              fmt.Sprintf("workload/figure%s/delta", spec.ID),
+			Protocol:        core.LOTEC.Name(),
+			WriteBytes:      wb,
+			Ops:             n,
+			NsPerOp:         float64(elapsed.Nanoseconds()) / float64(n),
+			BytesMoved:      c.Recorder().Totals().DataBytes,
+			DeltaBytes:      cnt.DeltaBytes,
+			DeltaSavedBytes: cnt.DeltaSavedBytes,
+			DeltaFallbacks:  cnt.DeltaFallbacks,
+			AllocsPerOp:     float64(after.Mallocs-before.Mallocs) / float64(n),
+		})
+		label := "page"
+		if wb > 0 {
+			label = fmt.Sprintf("%dB", wb)
+		}
+		r := results[len(results)-1]
+		fmt.Printf("workload/figure%s/delta  writes=%-5s %10d bytes  delta %8d B  saved %8d B  %6.0f allocs/op\n",
+			spec.ID, label, r.BytesMoved, r.DeltaBytes, r.DeltaSavedBytes, r.AllocsPerOp)
+	}
+	return results, nil
+}
+
+// checkBaseline is the bytes_moved regression gate: it reruns the figure's
+// LOTEC workload (whole-attribute and small-write schemas — both exactly
+// reproducible on the virtual clock) and fails if any moves more data than
+// the committed BENCH_results.json recorded, or if the 8-byte-write schema
+// stops clearing a 25% saving over the committed whole-attribute run.
+func checkBaseline(spec sim.FigureSpec, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("smoke: no %s; skipping bytes_moved regression gate\n", path)
+			return nil
+		}
+		return err
+	}
+	var committed struct {
+		Results []benchResult `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &committed); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	find := func(op string, wb int) *benchResult {
+		for i := range committed.Results {
+			r := &committed.Results[i]
+			if r.Op == op && r.Protocol == core.LOTEC.Name() && r.WriteBytes == wb {
+				return r
+			}
+		}
+		return nil
+	}
+	run := func(wb int) (int64, error) {
+		cfg := spec.Workload
+		cfg.WriteBytes = wb
+		w, err := sim.GenerateWorkload(cfg)
+		if err != nil {
+			return 0, err
+		}
+		c, _, err := w.Execute(sim.Config{Protocol: core.LOTEC})
+		if err != nil {
+			return 0, err
+		}
+		return c.Recorder().Totals().DataBytes, nil
+	}
+
+	full := find("workload/figure"+spec.ID, 0)
+	if full == nil {
+		fmt.Printf("smoke: %s has no figure %s LOTEC row; skipping regression gate\n", path, spec.ID)
+		return nil
+	}
+	got, err := run(0)
+	if err != nil {
+		return err
+	}
+	if got > full.BytesMoved {
+		return fmt.Errorf("bytes_moved regressed: figure %s LOTEC moves %d B, committed %d B",
+			spec.ID, got, full.BytesMoved)
+	}
+	fmt.Printf("smoke ok: figure %s LOTEC bytes_moved %d B (committed %d B)\n", spec.ID, got, full.BytesMoved)
+
+	for _, wb := range []int{8, 64} {
+		cur, err := run(wb)
+		if err != nil {
+			return err
+		}
+		if row := find("workload/figure"+spec.ID+"/delta", wb); row != nil && cur > row.BytesMoved {
+			return fmt.Errorf("bytes_moved regressed: %d B-write schema moves %d B, committed %d B",
+				wb, cur, row.BytesMoved)
+		}
+		if wb == 8 {
+			if limit := full.BytesMoved * 3 / 4; cur > limit {
+				return fmt.Errorf("delta saving eroded: 8 B-write schema moves %d B, must stay ≤ 75%% of the committed full-write run (%d B)",
+					cur, limit)
+			}
+		}
+		fmt.Printf("smoke ok: figure %s LOTEC %d B-write bytes_moved %d B\n", spec.ID, wb, cur)
+	}
+	return nil
 }
 
 // runSmoke is the CI gate on the data plane's core invariant: identical

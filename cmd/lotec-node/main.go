@@ -102,6 +102,7 @@ func main() {
 	objects := flag.Int("objects", 4, "demo accounts to create (owned round-robin)")
 	shards := flag.Int("shards", 1, "directory partitions; must match the lotec-gdo process")
 	fetchConc := flag.Int("fetch-concurrency", 0, "in-flight per-site page-transfer calls (0 = default 4)")
+	delta := flag.String("delta", "on", "sub-page delta transfers: on (default) or off; must match cluster-wide")
 	faultPlan := flag.String("fault-plan", "", `inject deterministic network faults: a preset (drop, delay, dup, reorder, chaos) or clause list like "drop(p=0.1);delay(p=0.2,d=1ms)"`)
 	faultSeed := flag.Uint64("fault-seed", 1, "seed driving the fault plan's random draws")
 
@@ -112,13 +113,17 @@ func main() {
 	amount := flag.Int64("amount", 0, "client mode: amount argument")
 	flag.Parse()
 
-	if err := run(*id, *gdoAddr, *nodes, *protocol, *objects, *shards, *fetchConc, *faultPlan, *faultSeed, *call, *node, *obj, *method, *amount); err != nil {
+	if *delta != "on" && *delta != "off" {
+		fmt.Fprintln(os.Stderr, "lotec-node: -delta must be on or off")
+		os.Exit(2)
+	}
+	if err := run(*id, *gdoAddr, *nodes, *protocol, *objects, *shards, *fetchConc, *delta == "off", *faultPlan, *faultSeed, *call, *node, *obj, *method, *amount); err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, gdoAddr, nodes, protocol string, objects, shards, fetchConc int, faultPlan string, faultSeed uint64, call string, nodeID int, obj int64, method string, amount int64) error {
+func run(id int, gdoAddr, nodes, protocol string, objects, shards, fetchConc int, deltaOff bool, faultPlan string, faultSeed uint64, call string, nodeID int, obj int64, method string, amount int64) error {
 	if call != "" {
 		client, err := lotec.Dial(call, lotec.NodeID(nodeID))
 		if err != nil {
@@ -147,6 +152,7 @@ func run(id int, gdoAddr, nodes, protocol string, objects, shards, fetchConc int
 		Self:             lotec.NodeID(id),
 		Protocol:         p,
 		FetchConcurrency: fetchConc,
+		DeltaOff:         deltaOff,
 		FaultPlan:        faultPlan,
 		FaultSeed:        faultSeed,
 	})

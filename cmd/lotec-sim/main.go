@@ -22,8 +22,9 @@ import (
 func main() {
 	figure := flag.String("figure", "", "figure to regenerate: 2..8, rc, or all")
 	headline := flag.Bool("headline", false, "print the §5 headline byte ratios")
-	ablation := flag.String("ablation", "", "ablation to run: prediction, granularity, demand, disorder, faults, or all")
+	ablation := flag.String("ablation", "", "ablation to run: prediction, granularity, demand, disorder, faults, delta, or all")
 	fetchConc := flag.Int("fetch-concurrency", 0, "in-flight per-site page-transfer calls (0 = default 4); trace-invariant")
+	delta := flag.String("delta", "on", "sub-page delta transfers: on (default) or off (pre-delta wire traffic, byte-identical)")
 	faultPlan := flag.String("fault-plan", "", `network fault plan for -figure runs: a preset (drop, delay, dup, reorder, partition, crash, chaos) or clause list like "drop(p=0.1);delay(p=0.2,d=1ms)"`)
 	faultSeed := flag.Uint64("fault-seed", 1, "seed driving the fault plan's random draws")
 	flag.Parse()
@@ -32,13 +33,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*figure, *headline, *ablation, *fetchConc, *faultPlan, *faultSeed); err != nil {
+	if *delta != "on" && *delta != "off" {
+		fmt.Fprintln(os.Stderr, "lotec-sim: -delta must be on or off")
+		os.Exit(2)
+	}
+	if err := run(*figure, *headline, *ablation, *fetchConc, *delta == "off", *faultPlan, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, headline bool, ablation string, fetchConc int, faultPlan string, faultSeed uint64) error {
+func run(figure string, headline bool, ablation string, fetchConc int, deltaOff bool, faultPlan string, faultSeed uint64) error {
 	var faults *fault.Plan
 	if faultPlan != "" {
 		plan, err := fault.Parse(faultPlan, faultSeed)
@@ -58,7 +63,7 @@ func run(figure string, headline bool, ablation string, fetchConc int, faultPlan
 		}
 		for _, spec := range specs {
 			t0 := time.Now()
-			res, err := sim.RunFigureConfig(spec, sim.Config{FetchConcurrency: fetchConc, Faults: faults})
+			res, err := sim.RunFigureConfig(spec, sim.Config{FetchConcurrency: fetchConc, DeltaOff: deltaOff, Faults: faults})
 			if err != nil {
 				return err
 			}
@@ -79,8 +84,9 @@ func run(figure string, headline bool, ablation string, fetchConc int, faultPlan
 			"demand":      sim.DemandFetchAblation,
 			"disorder":    sim.DisorderAblation,
 			"faults":      sim.FaultSweepAblation,
+			"delta":       sim.DeltaAblation,
 		}
-		names := []string{"prediction", "granularity", "demand", "disorder", "faults"}
+		names := []string{"prediction", "granularity", "demand", "disorder", "faults", "delta"}
 		if ablation != "all" {
 			fn, ok := all[ablation]
 			if !ok {

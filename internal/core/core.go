@@ -62,6 +62,12 @@ type Protocol interface {
 	// copy ("data transfer need only be done between the node which last
 	// updated the object and the node running the acquiring transaction").
 	GatherScattered() bool
+	// DeltaEligible reports whether the protocol's transfers may use
+	// sub-page dirty-range deltas: the requester piggybacks its resident
+	// page versions on fetches and the server answers with just the bytes
+	// written since. Requires version tracking, so COTEC — the deliberately
+	// version-blind baseline — stays ineligible and keeps moving full pages.
+	DeltaEligible() bool
 }
 
 // cotec is the Conservative Object Transactional Entry Consistency
@@ -79,6 +85,7 @@ func (cotec) FetchPlan(in FetchInput) schema.PageSet {
 func (cotec) PushOnRelease() bool   { return false }
 func (cotec) VersionAware() bool    { return false }
 func (cotec) GatherScattered() bool { return false }
+func (cotec) DeltaEligible() bool   { return false }
 
 // otec "optimized COTEC by sending only the updated pages to an acquiring
 // transaction's site" (§5): pages whose local copies are stale.
@@ -94,6 +101,7 @@ func (otec) FetchPlan(in FetchInput) schema.PageSet {
 func (otec) PushOnRelease() bool   { return false }
 func (otec) VersionAware() bool    { return true }
 func (otec) GatherScattered() bool { return false }
+func (otec) DeltaEligible() bool   { return true }
 
 // lotec "sends only those updated pages which are predicted to be needed"
 // (§5). Because only predicted pages move, up-to-date pages stay scattered
@@ -109,6 +117,7 @@ func (lotec) FetchPlan(in FetchInput) schema.PageSet {
 func (lotec) PushOnRelease() bool   { return false }
 func (lotec) VersionAware() bool    { return true }
 func (lotec) GatherScattered() bool { return true }
+func (lotec) DeltaEligible() bool   { return true }
 
 // rc is Release Consistency adapted to nested object transactions (§6's
 // "simulated version of Release Consistency for nested objects … now
@@ -127,6 +136,7 @@ func (rc) FetchPlan(in FetchInput) schema.PageSet {
 func (rc) PushOnRelease() bool   { return true }
 func (rc) VersionAware() bool    { return true }
 func (rc) GatherScattered() bool { return false }
+func (rc) DeltaEligible() bool   { return true }
 
 // The protocol singletons.
 var (

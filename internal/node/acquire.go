@@ -250,6 +250,7 @@ func (e *Engine) transfer(ts *txState, obj ids.ObjectID, layout *schema.Layout, 
 		PageMap:      pageMap,
 		Single:       single,
 		VersionAware: proto.VersionAware(),
+		Delta:        proto.DeltaEligible(),
 	}}, false))
 }
 
@@ -305,6 +306,7 @@ func (e *Engine) ensureCurrent(ts *txState, obj ids.ObjectID, pages schema.PageS
 		}
 	}
 	pageMap := meta.pageMap
+	delta := e.protocolForLocked(obj).DeltaEligible()
 	e.mu.Unlock()
 	if len(plan) == 0 {
 		return nil
@@ -318,6 +320,7 @@ func (e *Engine) ensureCurrent(ts *txState, obj ids.ObjectID, pages schema.PageS
 		PageMap:      pageMap,
 		Single:       ids.NoNode,
 		VersionAware: true,
+		Delta:        delta,
 	}}, true))
 }
 

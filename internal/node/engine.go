@@ -109,6 +109,16 @@ type Config struct {
 	// allowed and satisfied by demand fetches (the §4.3 fallback),
 	// modelling imperfect prediction.
 	Strict bool
+	// DeltaOff disables sub-page delta transfers (the -delta=off escape
+	// hatch): fetches carry no base versions and pushes stage only full
+	// pages, making the wire traffic byte-identical to the pre-delta data
+	// plane. Dirty-range journaling in the store stays on either way — it is
+	// invisible to the trace.
+	DeltaOff bool
+	// DeltaJournalDepth bounds how many sealed dirty-range epochs the store
+	// retains per page (how far back a delta can reach before falling back
+	// to a full page). <= 0 means pstore.DefaultDeltaJournalDepth.
+	DeltaJournalDepth int
 }
 
 // pendKey identifies one transaction's outstanding global request.
@@ -179,6 +189,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.FetchConcurrency <= 0 {
 		cfg.FetchConcurrency = 4
 	}
+	cfg.Store.SetJournalDepth(cfg.DeltaJournalDepth)
 	return &Engine{
 		cfg:  cfg,
 		env:  cfg.Env,
@@ -188,6 +199,7 @@ func New(cfg Config) (*Engine, error) {
 			Store:       cfg.Store,
 			Rec:         cfg.Rec,
 			Concurrency: cfg.FetchConcurrency,
+			DeltaOff:    cfg.DeltaOff,
 		},
 		objClass: make(map[ids.ObjectID]ids.ClassID),
 		fams:     make(map[ids.FamilyID]*famState),
@@ -698,7 +710,16 @@ func (e *Engine) releaseGlobal(fam *famState, objs []ids.ObjectID, dirty map[ids
 // The xfer pipeline batches the copy-set lookups per GDO home and the
 // pushes per destination site, across objects.
 func (e *Engine) pushUpdates(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum) error {
-	return siteErr(e.xfer.Push(objs, dirty, e.cfg.HomeFn))
+	// One delta decision per batch: deltas only when every pushed object's
+	// protocol is delta-eligible (in practice they all are — only RC pushes).
+	delta := true
+	for _, obj := range objs {
+		if !e.protocolFor(obj).DeltaEligible() {
+			delta = false
+			break
+		}
+	}
+	return siteErr(e.xfer.Push(objs, dirty, e.cfg.HomeFn, delta))
 }
 
 // completeAll wakes a batch of granted local waiters.

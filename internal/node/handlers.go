@@ -24,9 +24,9 @@ func (e *Engine) Handle(from ids.NodeID, m wire.Msg) wire.Msg {
 	case *wire.PushReq:
 		return e.handlePush(t)
 	case *wire.MultiFetchReq:
-		return xfer.ServeFetch(e.cfg.Store, t)
+		return xfer.ServeFetch(e.cfg.Store, e.cfg.Rec, t)
 	case *wire.MultiPushReq:
-		return xfer.ApplyPush(e.cfg.Store, t)
+		return xfer.ApplyPush(e.cfg.Store, e.cfg.Rec, t)
 	case *wire.AcquireReq:
 		return e.handleGDOAcquire(t)
 	case *wire.ReleaseReq:
@@ -112,7 +112,7 @@ func (e *Engine) handleAbort(a *wire.Abort) {
 // handleFetch serves legacy single-object Alg 4.5 gather requests (older
 // peers over TCP) through the same xfer serving path as the batched form.
 func (e *Engine) handleFetch(req *wire.FetchReq) wire.Msg {
-	reply := xfer.ServeFetch(e.cfg.Store, &wire.MultiFetchReq{
+	reply := xfer.ServeFetch(e.cfg.Store, e.cfg.Rec, &wire.MultiFetchReq{
 		Demand: req.Demand,
 		Objs:   []wire.ObjPages{{Obj: req.Obj, Pages: req.Pages}},
 	})
@@ -130,7 +130,7 @@ func (e *Engine) handleFetch(req *wire.FetchReq) wire.Msg {
 // handlePush installs legacy single-object RC pushes through the batched
 // apply path.
 func (e *Engine) handlePush(req *wire.PushReq) wire.Msg {
-	return xfer.ApplyPush(e.cfg.Store, &wire.MultiPushReq{
+	return xfer.ApplyPush(e.cfg.Store, e.cfg.Rec, &wire.MultiPushReq{
 		Objs: []wire.ObjPayload{{Obj: req.Obj, Pages: req.Pages}},
 	})
 }

@@ -64,6 +64,15 @@ type page struct {
 	data    []byte
 	version uint64 // version of the copy held here (assigned by the GDO)
 	dirty   bool   // modified locally since last global release
+
+	// pending is the open epoch of the dirty-range journal: the byte
+	// intervals written since this copy last changed version. Sealed into
+	// hist by SetPageVersion, rolled back exactly by undo.
+	pending intervalSet
+	// hist is the bounded ring of sealed epochs, oldest first. Each entry
+	// records the ranges that changed across one version transition, so a
+	// holder can answer "what changed since version V" for recent V.
+	hist []epoch
 }
 
 // objectMem is the per-object residency record at one site.
@@ -75,9 +84,10 @@ type objectMem struct {
 // Store is the paged object memory of a single site. A Store is safe for
 // concurrent use.
 type Store struct {
-	mu       sync.Mutex
-	pageSize int                         // immutable after NewStore
-	objects  map[ids.ObjectID]*objectMem // guarded by mu
+	mu           sync.Mutex
+	pageSize     int                         // immutable after NewStore
+	objects      map[ids.ObjectID]*objectMem // guarded by mu
+	journalDepth int                         // guarded by mu; 0 means DefaultDeltaJournalDepth
 }
 
 // NewStore returns an empty Store with the given page size (bytes).
@@ -248,7 +258,9 @@ func (s *Store) SetPageVersion(pid ids.PageID, version uint64) error {
 	if !ok {
 		return &PageMissingError{PID: pid}
 	}
+	old := pg.version
 	pg.version = version
+	s.sealLocked(pg, old, version)
 	return nil
 }
 
@@ -311,6 +323,7 @@ func (s *Store) Write(obj ids.ObjectID, off int, data []byte) ([]ids.PageNum, er
 		c := copy(pg.data[poff:], data[done:])
 		done += c
 		pg.dirty = true
+		pg.pending = pg.pending.insert(poff, c)
 		touched = append(touched, pnum)
 	}
 	return touched, nil
@@ -356,6 +369,13 @@ func (s *Store) ClearDirty(obj ids.ObjectID, pages []ids.PageNum) {
 	for _, p := range pages {
 		if pg, ok := om.pages[p]; ok {
 			pg.dirty = false
+			if len(pg.pending) > 0 {
+				// Dirty ranges discarded without a version seal: the bytes
+				// now differ from what any journal chain describes, so the
+				// ring must not serve deltas from here.
+				pg.pending = nil
+				pg.hist = nil
+			}
 		}
 	}
 }
@@ -389,16 +409,20 @@ func (s *Store) Objects() []ids.ObjectID {
 	return out
 }
 
-// snapshotLocked returns a copy of the page's bytes and dirty flag for undo.
-// Caller holds s.mu.
-func (pg *page) snapshotLocked() ([]byte, bool) {
+// snapshotLocked returns a copy of the page's bytes, dirty flag, and open
+// journal epoch for undo. Caller holds s.mu.
+func (pg *page) snapshotLocked() ([]byte, bool, intervalSet) {
 	buf := make([]byte, len(pg.data))
 	copy(buf, pg.data)
-	return buf, pg.dirty
+	return buf, pg.dirty, pg.pending.clone()
 }
 
-// restore overwrites the page from an undo record. Caller holds s.mu.
-func (pg *page) restore(data []byte, dirty bool) {
+// restore overwrites the page from an undo record, including the open
+// journal epoch — an aborted transaction's dirty ranges must vanish exactly,
+// or a later seal would describe changes the commit never made. Caller holds
+// s.mu.
+func (pg *page) restore(data []byte, dirty bool, pending intervalSet) {
 	copy(pg.data, data)
 	pg.dirty = dirty
+	pg.pending = pending.clone()
 }

@@ -6,12 +6,14 @@ import (
 	"lotec/internal/ids"
 )
 
-// undoRec is one shadow-page record: the bytes and dirty flag of a page as
-// they were immediately before the owning transaction's first write to it.
+// undoRec is one shadow-page record: the bytes, dirty flag, and open
+// dirty-range journal epoch of a page as they were immediately before the
+// owning transaction's first write to it.
 type undoRec struct {
-	pid    ids.PageID
-	before []byte
-	dirty  bool
+	pid     ids.PageID
+	before  []byte
+	dirty   bool
+	pending intervalSet
 }
 
 // UndoLog is a per-transaction shadow-page log (§4.1 of the paper: "UNDO
@@ -58,8 +60,8 @@ func (l *UndoLog) SnapshotBefore(st *Store, obj ids.ObjectID, pages []ids.PageNu
 		if !ok {
 			return &PageMissingError{PID: pid}
 		}
-		before, dirty := pg.snapshotLocked()
-		l.recs = append(l.recs, undoRec{pid: pid, before: before, dirty: dirty})
+		before, dirty, pending := pg.snapshotLocked()
+		l.recs = append(l.recs, undoRec{pid: pid, before: before, dirty: dirty, pending: pending})
 		l.seen[pid] = true
 	}
 	return nil
@@ -74,7 +76,7 @@ func (l *UndoLog) Undo(st *Store) {
 	for i := len(l.recs) - 1; i >= 0; i-- {
 		r := l.recs[i]
 		if pg, ok := st.lookupLocked(r.pid); ok {
-			pg.restore(r.before, r.dirty)
+			pg.restore(r.before, r.dirty, r.pending)
 		}
 	}
 	l.recs = nil

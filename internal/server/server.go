@@ -194,6 +194,11 @@ type NodeConfig struct {
 	// FetchConcurrency bounds in-flight per-site calls of one page
 	// transfer fan-out (0 → default 4).
 	FetchConcurrency int
+	// DeltaOff disables sub-page delta transfers (must match cluster-wide).
+	DeltaOff bool
+	// DeltaJournalDepth bounds the per-page dirty-range journal (0 →
+	// default 8; must match cluster-wide).
+	DeltaJournalDepth int
 	// Rec records traffic; may be nil.
 	Rec *stats.Recorder
 	// Faults, when non-nil, injects the deterministic fault plan into this
@@ -247,6 +252,8 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		Rec:               cfg.Rec,
 		FetchConcurrency:  cfg.FetchConcurrency,
 		Strict:            !cfg.Lenient,
+		DeltaOff:          cfg.DeltaOff,
+		DeltaJournalDepth: cfg.DeltaJournalDepth,
 	})
 	if err != nil {
 		return nil, err

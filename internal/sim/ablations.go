@@ -181,6 +181,52 @@ func FaultSweepAblation() (string, error) {
 	return b.String(), nil
 }
 
+// DeltaAblation sweeps write fraction × write size and reports what
+// sub-page delta transfers save LOTEC: with page-sized writes every delta
+// falls back to a full page (the encoded delta never beats it), while
+// field-sized writes shrink the data plane by orders of magnitude. The
+// delta-off column doubles as the escape-hatch check — its byte totals are
+// the pre-delta data plane.
+func DeltaAblation() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: sub-page delta transfers (LOTEC, write-fraction × write-size sweep)\n")
+	fmt.Fprintf(&b, "%-8s%-10s%14s%14s%12s%12s%10s%8s\n",
+		"WriteF", "WriteB", "off bytes", "on bytes", "delta B", "saved B", "fallback", "ratio")
+	for _, wf := range []float64{0.3, 0.7} {
+		for _, wb := range []int{8, 64, 512, 0} {
+			cfg := mediumHigh()
+			cfg.Transactions = 80
+			cfg.WriteFraction = wf
+			cfg.WriteBytes = wb
+			w, err := GenerateWorkload(cfg)
+			if err != nil {
+				return "", err
+			}
+			var offB, onB, deltaB, savedB, fallbacks int64
+			for _, off := range []bool{true, false} {
+				c, _, err := w.Execute(Config{Protocol: core.LOTEC, DeltaOff: off})
+				if err != nil {
+					return "", fmt.Errorf("wf %.1f wb %d (delta off=%v): %w", wf, wb, off, err)
+				}
+				cnt := c.Recorder().Counters()
+				if off {
+					offB = c.Recorder().Totals().DataBytes
+				} else {
+					onB = c.Recorder().Totals().DataBytes
+					deltaB, savedB, fallbacks = cnt.DeltaBytes, cnt.DeltaSavedBytes, cnt.DeltaFallbacks
+				}
+			}
+			label := "page"
+			if wb > 0 {
+				label = fmt.Sprintf("%d", wb)
+			}
+			fmt.Fprintf(&b, "%-8.1f%-10s%14d%14d%12d%12d%10d%8.2f\n",
+				wf, label, offB, onB, deltaB, savedB, fallbacks, float64(onB)/float64(offB))
+		}
+	}
+	return b.String(), nil
+}
+
 // LockingOverheadReport renders the §5.1 local-vs-global lock operation
 // split for one figure's runs.
 func LockingOverheadReport(res *FigureResult) string {

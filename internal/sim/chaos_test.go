@@ -74,11 +74,18 @@ func chaosRepro(seed uint64) string {
 //     to empty.
 func runChaosOne(t *testing.T, seed uint64, planName string, proto core.Protocol) {
 	t.Helper()
+	runChaosCell(t, seed, planName, proto, chaosWorkload(int64(seed)))
+}
+
+// runChaosCell is runChaosOne with an explicit workload shape, so variant
+// matrices (e.g. the small-write delta sweep) reuse the same oracles.
+func runChaosCell(t *testing.T, seed uint64, planName string, proto core.Protocol, cfg WorkloadConfig) {
+	t.Helper()
 	plan, err := fault.Parse(planName, seed)
 	if err != nil {
 		t.Fatalf("preset %q: %v", planName, err)
 	}
-	w, err := GenerateWorkload(chaosWorkload(int64(seed)))
+	w, err := GenerateWorkload(cfg)
 	if err != nil {
 		t.Fatalf("generate: %v", err)
 	}

@@ -62,6 +62,15 @@ type Config struct {
 	// Retry overrides the transport retry policy (zero fields fall back
 	// to the simulator defaults). Only consulted when Faults is non-nil.
 	Retry transport.RetryPolicy
+	// DeltaOff disables sub-page delta transfers (kept as the negative so
+	// the zero value of Config means deltas on, like Strict/Lenient). With
+	// deltas off the wire traffic is byte-identical to the pre-delta data
+	// plane.
+	DeltaOff bool
+	// DeltaJournalDepth bounds the per-page dirty-range journal (sealed
+	// epochs a delta may reach back across); <= 0 means
+	// pstore.DefaultDeltaJournalDepth.
+	DeltaJournalDepth int
 }
 
 // withDefaults fills unset fields.
@@ -164,6 +173,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			MaxRetries:        cfg.MaxRetries,
 			FetchConcurrency:  cfg.FetchConcurrency,
 			Strict:            cfg.Strict,
+			DeltaOff:          cfg.DeltaOff,
+			DeltaJournalDepth: cfg.DeltaJournalDepth,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("node %v: %w", id, err)

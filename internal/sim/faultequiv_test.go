@@ -24,8 +24,8 @@ func TestZeroFaultPlanTraceEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	variants := []struct {
-		name  string
-		plan  *fault.Plan
+		name string
+		plan *fault.Plan
 	}{
 		{"none-preset", zeroPreset},
 		{"empty-plan", &fault.Plan{Seed: 7}},

@@ -59,6 +59,12 @@ type WorkloadConfig struct {
 	// level (failure injection; aborted subtrees are survived by parents
 	// with probability ½, else propagated).
 	AbortProb float64
+	// WriteBytes, when positive, caps how many bytes each declared write
+	// actually modifies (at the attribute's start) instead of rewriting the
+	// whole attribute. Real update methods touch a few fields of a page-sized
+	// object, which is what sub-page delta transfers exploit; 0 keeps the
+	// historical whole-attribute writes (and their exact traces).
+	WriteBytes int
 	// DisorderProb is the probability an invocation ignores the canonical
 	// ascending object-index order. The default (0) emits transactions
 	// that acquire locks in a global order — the standard TP discipline
@@ -470,7 +476,11 @@ func decodeScript(arg []byte) (script, error) {
 // derive new contents from what was read (so serialization order is
 // observable), write the declared write set, optionally perform one
 // undeclared write, then run the sub-invocations in order.
-func genericBody(ctx *node.Ctx) error {
+func genericBody(ctx *node.Ctx) error { return genericBodyWith(ctx, 0) }
+
+// genericBodyWith is genericBody with the WorkloadConfig.WriteBytes cap:
+// writeBytes > 0 narrows each declared write to that many leading bytes.
+func genericBodyWith(ctx *node.Ctx, writeBytes int) error {
 	sc, err := decodeScript(ctx.Arg())
 	if err != nil {
 		return err
@@ -499,8 +509,12 @@ func genericBody(ctx *node.Ctx) error {
 		if err != nil {
 			return err
 		}
-		fill := bytes.Repeat([]byte{old[0] + seedByte + acc + 1}, a.Size)
-		if err := ctx.Write(a.Name, fill); err != nil {
+		n := a.Size
+		if writeBytes > 0 && writeBytes < n {
+			n = writeBytes
+		}
+		fill := bytes.Repeat([]byte{old[0] + seedByte + acc + 1}, n)
+		if err := ctx.WriteAt(a.Name, 0, fill); err != nil {
 			return err
 		}
 	}
@@ -541,12 +555,17 @@ func (w *Workload) Install(c *Cluster) ([]ids.ObjectID, error) {
 		return nil, fmt.Errorf("sim: workload wants %d nodes, cluster has %d",
 			w.Cfg.Nodes, c.Nodes())
 	}
+	body := genericBody
+	if w.Cfg.WriteBytes > 0 {
+		wb := w.Cfg.WriteBytes
+		body = func(ctx *node.Ctx) error { return genericBodyWith(ctx, wb) }
+	}
 	for _, cls := range w.Classes {
 		if err := c.AddClass(cls); err != nil {
 			return nil, err
 		}
 		for _, m := range cls.Methods() {
-			if err := c.RegisterBody(cls, m.Name, genericBody); err != nil {
+			if err := c.RegisterBody(cls, m.Name, body); err != nil {
 				return nil, err
 			}
 		}

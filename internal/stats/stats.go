@@ -108,7 +108,16 @@ type MsgRecord struct {
 	// batched data messages, so per-object byte counts stay exact when one
 	// message carries pages of several objects. Nil for control messages.
 	Payloads []int
-	Kind     MsgKind
+	// Overheads holds the per-object framing bytes parallel to Objs: the
+	// non-payload bytes of each object's section within a batched message
+	// (page numbers, versions, delta run lists, length prefixes). When set,
+	// per-object attribution charges each object its exact section framing
+	// and divides only the residual shared bytes (envelope, top-level
+	// fields) evenly; when nil, all non-payload bytes divide evenly — the
+	// historical approximation, exact only while every section framed
+	// identically (delta runs made section framing vary).
+	Overheads []int
+	Kind      MsgKind
 	// Bytes is the full on-wire message size (headers included).
 	Bytes int
 	// Payload is the page-data portion of Bytes (0 for control messages).
@@ -160,6 +169,11 @@ type Recorder struct {
 	msgDelays    atomic.Int64
 	callTimeouts atomic.Int64
 	callRetries  atomic.Int64
+
+	fullPageBytes   atomic.Int64
+	deltaBytes      atomic.Int64
+	deltaSavedBytes atomic.Int64
+	deltaFallbacks  atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
@@ -214,6 +228,23 @@ func (r *Recorder) AddCallTimeout() { r.callTimeouts.Add(1) }
 // AddCallRetry counts an RPC retransmission after a timeout.
 func (r *Recorder) AddCallRetry() { r.callRetries.Add(1) }
 
+// Delta-transfer counters (the sub-page data plane).
+
+// AddFullPage counts a page served as a full payload of n bytes.
+func (r *Recorder) AddFullPage(n int) { r.fullPageBytes.Add(int64(n)) }
+
+// AddDelta counts a page served as a delta: encoded delta payload bytes and
+// the bytes saved versus the full page it replaced.
+func (r *Recorder) AddDelta(encoded, saved int) {
+	r.deltaBytes.Add(int64(encoded))
+	r.deltaSavedBytes.Add(int64(saved))
+}
+
+// AddDeltaFallback counts a delta-eligible page (requester supplied a usable
+// base version) that had to be served as a full page anyway — journal
+// evicted, chain broken, or the encoded delta not smaller than the page.
+func (r *Recorder) AddDeltaFallback() { r.deltaFallbacks.Add(1) }
+
 // Counters is a snapshot of the scalar counters.
 type Counters struct {
 	LocalLockOps  int64
@@ -230,6 +261,14 @@ type Counters struct {
 	MsgDelays    int64
 	CallTimeouts int64
 	CallRetries  int64
+
+	// Delta-transfer metrics: how the data plane split page traffic between
+	// full payloads and dirty-range deltas. All deltas-related fields are
+	// zero with delta transfers off.
+	FullPageBytes   int64
+	DeltaBytes      int64
+	DeltaSavedBytes int64
+	DeltaFallbacks  int64
 }
 
 // Counters returns a snapshot of the scalar counters.
@@ -246,6 +285,11 @@ func (r *Recorder) Counters() Counters {
 		MsgDelays:     r.msgDelays.Load(),
 		CallTimeouts:  r.callTimeouts.Load(),
 		CallRetries:   r.callRetries.Load(),
+
+		FullPageBytes:   r.fullPageBytes.Load(),
+		DeltaBytes:      r.deltaBytes.Load(),
+		DeltaSavedBytes: r.deltaSavedBytes.Load(),
+		DeltaFallbacks:  r.deltaFallbacks.Load(),
 	}
 }
 
@@ -279,10 +323,28 @@ func (r *Recorder) forEachAttributionLocked(fn func(obj ids.ObjectID, rec *MsgRe
 	}
 }
 
+// ctrlShare computes object idx's control-byte share of a batched record.
+// With Overheads set (parallel to Objs), each object is charged its exact
+// section framing plus an even split of only the residual shared bytes
+// (envelope + top-level fields); without, all non-payload bytes split evenly
+// — the historical approximation, which delta-bearing messages outgrew
+// because their per-object framing varies with the run lists.
+func (rec *MsgRecord) ctrlShare(idx int) int64 {
+	shared := rec.Bytes - rec.Payload
+	if len(rec.Overheads) != len(rec.Objs) {
+		return int64(shared / len(rec.Objs))
+	}
+	for _, o := range rec.Overheads {
+		shared -= o
+	}
+	return int64(shared/len(rec.Objs) + rec.Overheads[idx])
+}
+
 // PerObject aggregates the trace per object. Multi-object control messages
 // contribute their size to each named object's message count and control
-// bytes divided evenly; batched data messages attribute each object's exact
-// payload (rec.Payloads) plus an even share of the non-payload overhead.
+// bytes (exact section framing when recorded, an even split otherwise);
+// batched data messages attribute each object's exact payload
+// (rec.Payloads).
 func (r *Recorder) PerObject() map[ids.ObjectID]ObjStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -300,11 +362,10 @@ func (r *Recorder) PerObject() map[ids.ObjectID]ObjStats {
 		if len(rec.Objs) == 0 {
 			continue
 		}
-		ctrlShare := int64(rec.Bytes-rec.Payload) / int64(len(rec.Objs))
 		for j, o := range rec.Objs {
 			s := out[o]
 			s.Msgs++
-			s.ControlBytes += ctrlShare
+			s.ControlBytes += rec.ctrlShare(j)
 			if j < len(rec.Payloads) {
 				s.DataBytes += int64(rec.Payloads[j])
 			}
@@ -378,7 +439,7 @@ func (r *Recorder) TransferTime(obj ids.ObjectID, p netmodel.Params) time.Durati
 		}
 		b := rec.Bytes
 		if rec.Obj == NoObject && len(rec.Objs) > 0 {
-			b = (rec.Bytes - rec.Payload) / len(rec.Objs)
+			b = int(rec.ctrlShare(idx))
 			if idx >= 0 && idx < len(rec.Payloads) {
 				b += rec.Payloads[idx]
 			}
@@ -426,8 +487,12 @@ func (k TransferKind) String() string {
 type TransferSample struct {
 	Kind    TransferKind
 	Batches int // per-site batched messages issued
-	Pages   int // pages moved
-	Bytes   int // page payload bytes moved
+	Pages   int // pages moved (full payloads and deltas)
+	Bytes   int // page payload bytes moved (full pages + encoded deltas)
+	// DeltaPages/DeltaBytes are the subset of Pages/Bytes that moved as
+	// dirty-range deltas instead of full payloads.
+	DeltaPages int
+	DeltaBytes int
 	// Per-stage wall-clock. Plan and Apply are sequential work; Gather is
 	// the in-flight round-trip span and is the only stage whose duration
 	// depends on FetchConcurrency — it must never appear in trace-equality
@@ -440,13 +505,15 @@ type TransferSample struct {
 
 // TransferTotals aggregates transfer samples per pipeline stage.
 type TransferTotals struct {
-	Transfers int
-	Batches   int
-	Pages     int
-	Bytes     int64
-	Plan      time.Duration
-	Gather    time.Duration
-	Apply     time.Duration
+	Transfers  int
+	Batches    int
+	Pages      int
+	Bytes      int64
+	DeltaPages int
+	DeltaBytes int64
+	Plan       time.Duration
+	Gather     time.Duration
+	Apply      time.Duration
 }
 
 // AddTransfer records one completed xfer pipeline run.
@@ -477,6 +544,8 @@ func (r *Recorder) TransferStages(kind TransferKind) TransferTotals {
 		t.Batches += s.Batches
 		t.Pages += s.Pages
 		t.Bytes += int64(s.Bytes)
+		t.DeltaPages += s.DeltaPages
+		t.DeltaBytes += int64(s.DeltaBytes)
 		t.Plan += s.Plan
 		t.Gather += s.Gather
 		t.Apply += s.Apply

@@ -151,3 +151,62 @@ func TestTransferTimeSharedMessageSplitsBytes(t *testing.T) {
 		t.Errorf("TransferTime(1) = %v", got)
 	}
 }
+
+// TestBatchedOverheadAttribution pins the exact-framing split for batched
+// messages: with Overheads recorded (parallel to Objs), each object is
+// charged its own section framing exactly, and only the residual shared
+// bytes (envelope + top-level fields) divide evenly. Delta-bearing batches
+// made this necessary — their per-object framing varies with the run lists,
+// so the historical even split would smear one object's run-list bytes over
+// its batchmates.
+func TestBatchedOverheadAttribution(t *testing.T) {
+	r := NewRecorder()
+	// 100 B message: 30 B payload (20+10), sections frame 12 B and 8 B,
+	// leaving 50 B shared → 25 B each.
+	r.Record(MsgRecord{
+		From: 1, To: 2, Obj: NoObject, Kind: KindMultiPageData,
+		Objs:      []ids.ObjectID{1, 2},
+		Payloads:  []int{20, 10},
+		Overheads: []int{12, 8},
+		Bytes:     100,
+		Payload:   30,
+	})
+	per := r.PerObject()
+	if got := per[1]; got.DataBytes != 20 || got.ControlBytes != 12+25 {
+		t.Errorf("object 1 = %+v, want data 20, control 37", got)
+	}
+	if got := per[2]; got.DataBytes != 10 || got.ControlBytes != 8+25 {
+		t.Errorf("object 2 = %+v, want data 10, control 33", got)
+	}
+	// Conservation: per-object shares sum back to the full message.
+	if sum := per[1].TotalBytes() + per[2].TotalBytes(); sum != 100 {
+		t.Errorf("attribution lost bytes: %d of 100", sum)
+	}
+	tot := r.Totals()
+	if tot.Msgs != 1 || tot.DataBytes != 30 || tot.ControlBytes != 70 {
+		t.Errorf("totals = %+v", tot)
+	}
+}
+
+// TestBatchedOverheadFallbackEvenSplit pins the historical approximation:
+// without Overheads, all non-payload bytes divide evenly — unchanged
+// behavior for every message type that never grew per-object framing.
+func TestBatchedOverheadFallbackEvenSplit(t *testing.T) {
+	r := NewRecorder()
+	r.Record(MsgRecord{
+		From: 1, To: 2, Obj: NoObject, Kind: KindMultiPush,
+		Objs:     []ids.ObjectID{4, 5, 6},
+		Payloads: []int{9, 0, 3},
+		Bytes:    90,
+		Payload:  12,
+	})
+	per := r.PerObject()
+	for _, o := range []ids.ObjectID{4, 5, 6} {
+		if got := per[o].ControlBytes; got != 26 {
+			t.Errorf("object %d control = %d, want even split 26", o, got)
+		}
+	}
+	if per[4].DataBytes != 9 || per[5].DataBytes != 0 || per[6].DataBytes != 3 {
+		t.Errorf("payload attribution = %+v", per)
+	}
+}

@@ -19,21 +19,27 @@ func Classify(m Msg) stats.MsgRecord {
 	case *ReleaseReq:
 		rec.Kind, rec.Shard = stats.KindRelease, int(t.Shard)
 		objs := make([]ids.ObjectID, 0, len(t.Rels))
+		overheads := make([]int, 0, len(t.Rels))
 		for _, rel := range t.Rels {
 			objs = append(objs, rel.Obj)
+			overheads = append(overheads, 8+4+4*len(rel.Dirty))
 		}
-		rec.Objs = objs
+		rec.Objs, rec.Overheads = objs, overheads
 	case *ReleaseResp:
 		rec.Kind, rec.Shard = stats.KindReleaseReply, int(t.Shard)
 		objs := make([]ids.ObjectID, 0, len(t.Stamps))
-		seen := make(map[ids.ObjectID]bool, len(t.Stamps))
+		stamps := make(map[ids.ObjectID]int, len(t.Stamps))
 		for _, st := range t.Stamps {
-			if !seen[st.Obj] {
-				seen[st.Obj] = true
+			if _, seen := stamps[st.Obj]; !seen {
 				objs = append(objs, st.Obj)
 			}
+			stamps[st.Obj]++
 		}
-		rec.Objs = objs
+		overheads := make([]int, 0, len(objs))
+		for _, o := range objs {
+			overheads = append(overheads, sizeStamp*stamps[o])
+		}
+		rec.Objs, rec.Overheads = objs, overheads
 	case *Grant:
 		rec.Kind, rec.Obj, rec.Shard = stats.KindGrant, t.Obj, int(t.Shard)
 	case *Abort:
@@ -58,26 +64,30 @@ func Classify(m Msg) stats.MsgRecord {
 	case *CopySetResp:
 		rec.Kind = stats.KindLockReply
 		objs := make([]ids.ObjectID, 0, len(t.Sets))
+		overheads := make([]int, 0, len(t.Sets))
 		for _, c := range t.Sets {
 			objs = append(objs, c.Obj)
+			overheads = append(overheads, c.size())
 		}
-		rec.Objs = objs
+		rec.Objs, rec.Overheads = objs, overheads
 	case *MultiFetchReq:
 		rec.Kind = stats.KindMultiFetchReq
 		objs := make([]ids.ObjectID, 0, len(t.Objs))
+		overheads := make([]int, 0, len(t.Objs))
 		for _, o := range t.Objs {
 			objs = append(objs, o.Obj)
+			overheads = append(overheads, o.size())
 		}
-		rec.Objs = objs
+		rec.Objs, rec.Overheads = objs, overheads
 	case *MultiFetchResp:
 		rec.Kind = stats.KindMultiPageData
-		rec.Objs, rec.Payloads = classifyObjPayloads(t.Objs)
+		rec.Objs, rec.Payloads, rec.Overheads = classifyObjPayloads(t.Objs)
 		for _, pb := range rec.Payloads {
 			rec.Payload += pb
 		}
 	case *MultiPushReq:
 		rec.Kind = stats.KindMultiPush
-		rec.Objs, rec.Payloads = classifyObjPayloads(t.Objs)
+		rec.Objs, rec.Payloads, rec.Overheads = classifyObjPayloads(t.Objs)
 		for _, pb := range rec.Payloads {
 			rec.Payload += pb
 		}
@@ -97,17 +107,25 @@ func Classify(m Msg) stats.MsgRecord {
 
 // classifyObjPayloads flattens a batched payload message into the parallel
 // per-object attribution lists of a stats.MsgRecord, so the paper's
-// per-object byte counts (Figures 2–5) stay exact under batching.
-func classifyObjPayloads(objs []ObjPayload) ([]ids.ObjectID, []int) {
+// per-object byte counts (Figures 2–5) stay exact under batching. An
+// object's payload is its full-page bytes plus its delta run bytes; the rest
+// of its section (page numbers, versions, run offsets, length prefixes) is
+// its exact framing overhead.
+func classifyObjPayloads(objs []ObjPayload) ([]ids.ObjectID, []int, []int) {
 	os := make([]ids.ObjectID, 0, len(objs))
 	payloads := make([]int, 0, len(objs))
+	overheads := make([]int, 0, len(objs))
 	for _, o := range objs {
 		n := 0
 		for _, pg := range o.Pages {
 			n += len(pg.Data)
 		}
+		for _, d := range o.Deltas {
+			n += len(d.Data)
+		}
 		os = append(os, o.Obj)
 		payloads = append(payloads, n)
+		overheads = append(overheads, o.size()-n)
 	}
-	return os, payloads
+	return os, payloads, overheads
 }

@@ -129,6 +129,24 @@ func (r *reader) count() int {
 	return n
 }
 
+// sectionFlag marks an optional trailing section in a collection count's
+// high bit. Counts are sanity-bounded far below 2³¹, so the bit is free;
+// using it keeps flag-less messages byte-identical to the pre-delta format.
+const sectionFlag = 1 << 31
+
+// flaggedCount reads a collection length whose bit 31 is an optional-section
+// presence flag.
+func (r *reader) flaggedCount() (int, bool) {
+	v := r.u32()
+	flag := v&sectionFlag != 0
+	n := int(v &^ sectionFlag)
+	if r.err == nil && n > 1<<24 {
+		r.err = fmt.Errorf("wire: absurd collection length %d", n)
+		return 0, false
+	}
+	return n, flag
+}
+
 // Encode serializes env+m into a fresh buffer. The envelope's Type field is
 // taken from the message, not from env.
 func Encode(env Envelope, m Msg) []byte {
@@ -359,7 +377,17 @@ func (m *FetchReq) decodeBody(r *reader) {
 }
 
 func encodePages(w *writer, pages []PagePayload) {
-	w.u32(uint32(len(pages)))
+	encodePagesFlagged(w, pages, false)
+}
+
+// encodePagesFlagged writes the page list, optionally raising the
+// delta-section presence flag on the count.
+func encodePagesFlagged(w *writer, pages []PagePayload, flag bool) {
+	cnt := uint32(len(pages))
+	if flag {
+		cnt |= sectionFlag
+	}
+	w.u32(cnt)
 	for _, p := range pages {
 		w.i32(int32(p.Page))
 		w.u64(p.Version)
@@ -368,7 +396,15 @@ func encodePages(w *writer, pages []PagePayload) {
 }
 
 func decodePages(r *reader) []PagePayload {
-	n := r.count()
+	out, flag := decodePagesFlagged(r)
+	if flag && r.err == nil {
+		r.err = fmt.Errorf("wire: delta flag on a non-batched page list")
+	}
+	return out
+}
+
+func decodePagesFlagged(r *reader) ([]PagePayload, bool) {
+	n, flag := r.flaggedCount()
 	var out []PagePayload
 	for i := 0; i < n && r.err == nil; i++ {
 		out = append(out, PagePayload{
@@ -377,7 +413,51 @@ func decodePages(r *reader) []PagePayload {
 			Data:    r.bytes(),
 		})
 	}
-	return out
+	return out, flag
+}
+
+func encodeDelta(w *writer, d DeltaPage) {
+	w.i32(int32(d.Page))
+	w.u64(d.Base)
+	w.u64(d.Version)
+	w.u32(uint32(len(d.Runs)))
+	for _, s := range d.Runs {
+		w.u32(s.Off)
+		w.u32(s.Len)
+	}
+	w.bytes(d.Data)
+}
+
+// decodeDelta reads one DeltaPage and validates its shape: version must
+// progress, runs must be sorted, non-overlapping, non-empty, and in-bounds,
+// and together exactly cover the payload. Anything else is a decode error,
+// never a panic — the apply path trusts decoded deltas' shape.
+func decodeDelta(r *reader) DeltaPage {
+	d := DeltaPage{Page: ids.PageNum(r.i32()), Base: r.u64(), Version: r.u64()}
+	n := r.count()
+	prevEnd := uint64(0)
+	sum := 0
+	for i := 0; i < n && r.err == nil; i++ {
+		s := Span{Off: r.u32(), Len: r.u32()}
+		if r.err != nil {
+			break
+		}
+		if s.Len == 0 || uint64(s.Off) < prevEnd || uint64(s.Off)+uint64(s.Len) > 1<<24 {
+			r.err = fmt.Errorf("wire: delta run %d [%d,+%d) empty, overlapping, or out of bounds", i, s.Off, s.Len)
+			break
+		}
+		prevEnd = uint64(s.Off) + uint64(s.Len)
+		sum += int(s.Len)
+		d.Runs = append(d.Runs, s)
+	}
+	if r.err == nil && d.Base >= d.Version {
+		r.err = fmt.Errorf("wire: delta for page %d has a version gap (%d→%d)", d.Page, d.Base, d.Version)
+	}
+	d.Data = r.bytes()
+	if r.err == nil && sum != len(d.Data) {
+		r.err = fmt.Errorf("wire: delta runs cover %d bytes, payload has %d", sum, len(d.Data))
+	}
+	return d
 }
 
 func (m *FetchResp) encodeBody(w *writer) {
@@ -490,9 +570,18 @@ func (m *MultiFetchReq) encodeBody(w *writer) {
 	w.u32(uint32(len(m.Objs)))
 	for _, o := range m.Objs {
 		w.i64(int64(o.Obj))
-		w.u32(uint32(len(o.Pages)))
+		cnt := uint32(len(o.Pages))
+		if o.hasBases() {
+			cnt |= sectionFlag
+		}
+		w.u32(cnt)
 		for _, p := range o.Pages {
 			w.i32(int32(p))
+		}
+		if o.hasBases() {
+			for _, b := range o.Bases {
+				w.u64(b)
+			}
 		}
 	}
 }
@@ -503,9 +592,17 @@ func (m *MultiFetchReq) decodeBody(r *reader) {
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		o := ObjPages{Obj: ids.ObjectID(r.i64())}
-		k := r.count()
+		k, withBases := r.flaggedCount()
+		if withBases && k == 0 && r.err == nil {
+			r.err = fmt.Errorf("wire: base-version section on an empty page list")
+		}
 		for j := 0; j < k && r.err == nil; j++ {
 			o.Pages = append(o.Pages, ids.PageNum(r.i32()))
+		}
+		if withBases {
+			for j := 0; j < k && r.err == nil; j++ {
+				o.Bases = append(o.Bases, r.u64())
+			}
 		}
 		m.Objs = append(m.Objs, o)
 	}
@@ -515,7 +612,13 @@ func encodeObjPayloads(w *writer, objs []ObjPayload) {
 	w.u32(uint32(len(objs)))
 	for _, o := range objs {
 		w.i64(int64(o.Obj))
-		encodePages(w, o.Pages)
+		encodePagesFlagged(w, o.Pages, len(o.Deltas) > 0)
+		if len(o.Deltas) > 0 {
+			w.u32(uint32(len(o.Deltas)))
+			for _, d := range o.Deltas {
+				encodeDelta(w, d)
+			}
+		}
 	}
 }
 
@@ -523,10 +626,19 @@ func decodeObjPayloads(r *reader) []ObjPayload {
 	n := r.count()
 	var out []ObjPayload
 	for i := 0; i < n && r.err == nil; i++ {
-		out = append(out, ObjPayload{
-			Obj:   ids.ObjectID(r.i64()),
-			Pages: decodePages(r),
-		})
+		o := ObjPayload{Obj: ids.ObjectID(r.i64())}
+		var withDeltas bool
+		o.Pages, withDeltas = decodePagesFlagged(r)
+		if withDeltas {
+			k := r.count()
+			if k == 0 && r.err == nil {
+				r.err = fmt.Errorf("wire: delta flag set on an empty delta section")
+			}
+			for j := 0; j < k && r.err == nil; j++ {
+				o.Deltas = append(o.Deltas, decodeDelta(r))
+			}
+		}
+		out = append(out, o)
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"lotec/internal/ids"
 	"lotec/internal/stats"
 )
 
@@ -38,6 +39,20 @@ func fill(v reflect.Value, ctr *int64) {
 		}
 		fill(v.Elem(), ctr)
 	case reflect.Struct:
+		// DeltaPage has internal validity constraints the generic filler
+		// cannot satisfy (version progress, sorted non-overlapping runs
+		// exactly covering the payload), so it gets a canonical value.
+		if v.Type() == reflect.TypeOf(DeltaPage{}) {
+			n := next()
+			v.Set(reflect.ValueOf(DeltaPage{
+				Page:    ids.PageNum(n),
+				Base:    uint64(n + 1),
+				Version: uint64(n + 2),
+				Runs:    []Span{{Off: 0, Len: 2}, {Off: 8, Len: 1}},
+				Data:    []byte{byte(n), byte(n + 1), byte(n + 2)},
+			}))
+			return
+		}
 		for i := 0; i < v.NumField(); i++ {
 			if v.Type().Field(i).IsExported() {
 				fill(v.Field(i), ctr)

@@ -62,6 +62,49 @@ func FuzzDecode(f *testing.F) {
 		f.Add(Encode(Envelope{ReqID: 7, From: 3, To: 4}, m))
 	}
 
+	// Delta-bearing seeds: version-aware fetches piggybacking resident base
+	// versions, responses and pushes answering with dirty-range deltas, and
+	// well-framed but semantically invalid deltas (overlapping runs,
+	// out-of-bounds offsets, version gaps, run/payload length mismatches —
+	// Encode frames whatever it is given; Decode must reject these with an
+	// error, never a panic).
+	deltas := []Msg{
+		&MultiFetchReq{Objs: []ObjPages{
+			{Obj: 3, Pages: []ids.PageNum{0, 2}, Bases: []uint64{12, 0}},
+			{Obj: 5, Pages: []ids.PageNum{1}}}},
+		&MultiFetchResp{Objs: []ObjPayload{
+			{Obj: 3,
+				Pages: []PagePayload{{Page: 2, Version: 4, Data: bytes.Repeat([]byte{0xC3}, 32)}},
+				Deltas: []DeltaPage{{Page: 0, Base: 12, Version: 13,
+					Runs: []Span{{Off: 0, Len: 2}, {Off: 16, Len: 3}},
+					Data: []byte{1, 2, 3, 4, 5}}}}}},
+		&MultiPushReq{ReqID: 1<<41 + 1, Objs: []ObjPayload{
+			{Obj: 8, Deltas: []DeltaPage{{Page: 1, Base: 6, Version: 7,
+				Runs: []Span{{Off: 8, Len: 1}}, Data: []byte{0xEE}}}}}},
+		// Overlapping runs.
+		&MultiPushReq{Objs: []ObjPayload{{Obj: 1, Deltas: []DeltaPage{{
+			Base: 1, Version: 2, Runs: []Span{{Off: 0, Len: 8}, {Off: 4, Len: 4}},
+			Data: bytes.Repeat([]byte{9}, 12)}}}}},
+		// Offset+length out of bounds.
+		&MultiFetchResp{Objs: []ObjPayload{{Obj: 1, Deltas: []DeltaPage{{
+			Base: 1, Version: 2, Runs: []Span{{Off: 1<<24 - 2, Len: 8}},
+			Data: bytes.Repeat([]byte{9}, 8)}}}}},
+		// Version gap (base not strictly before target).
+		&MultiFetchResp{Objs: []ObjPayload{{Obj: 1, Deltas: []DeltaPage{{
+			Base: 5, Version: 5, Runs: []Span{{Off: 0, Len: 1}}, Data: []byte{1}}}}}},
+		// Runs cover fewer bytes than the payload carries.
+		&MultiPushReq{Objs: []ObjPayload{{Obj: 1, Deltas: []DeltaPage{{
+			Base: 1, Version: 2, Runs: []Span{{Off: 0, Len: 4}}, Data: []byte{1, 2, 3}}}}}},
+		// Empty run.
+		&MultiFetchResp{Objs: []ObjPayload{{Obj: 1, Deltas: []DeltaPage{{
+			Base: 1, Version: 2, Runs: []Span{{Off: 4, Len: 0}}, Data: nil}}}}},
+	}
+	for _, m := range deltas {
+		buf := Encode(Envelope{ReqID: 11, From: 2, To: 1}, m)
+		f.Add(buf)
+		f.Add(buf[:len(buf)-2]) // truncated mid-delta
+	}
+
 	// Seeds for the request-ID-bearing (Idempotent) bodies: stamped with a
 	// retry-layer dedup key, plus a truncation that cuts through the ReqID
 	// field itself (the first body field, so headerSize+4 splits it).

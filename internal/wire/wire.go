@@ -89,6 +89,36 @@ type PagePayload struct {
 
 func (p PagePayload) size() int { return 4 + 8 + 4 + len(p.Data) }
 
+// EncodedSize is the payload's on-wire section size; the serving side uses
+// it to decide whether a delta actually beats the full page it replaces.
+func (p PagePayload) EncodedSize() int { return p.size() }
+
+// Span is one byte range [Off, Off+Len) within a delta-encoded page.
+type Span struct {
+	Off uint32
+	Len uint32
+}
+
+// DeltaPage carries one page's changed byte ranges between two versions: a
+// receiver holding exactly version Base patches the runs in place and ends
+// up byte-identical to the full page at Version. Runs are sorted and
+// non-overlapping; Data is the runs' bytes concatenated in order. The codec
+// rejects malformed deltas (overlapping runs, out-of-bounds offsets, version
+// gaps, run/payload length mismatch) at decode time.
+type DeltaPage struct {
+	Page    ids.PageNum
+	Base    uint64
+	Version uint64
+	Runs    []Span
+	Data    []byte
+}
+
+func (d DeltaPage) size() int { return 4 + 8 + 8 + 4 + 8*len(d.Runs) + 4 + len(d.Data) }
+
+// EncodedSize is the delta's on-wire section size (runs and framing
+// included — a delta only ships when this beats the full page).
+func (d DeltaPage) EncodedSize() int { return d.size() }
+
 // AcquireReq asks the GDO to acquire obj's lock (Alg 4.2 input).
 type AcquireReq struct {
 	// ReqID is the stable idempotency key stamped by the retry layer
@@ -402,21 +432,47 @@ func (m *ErrResp) Size() int { return HeaderSize + 4 + len(m.Msg) }
 type ObjPages struct {
 	Obj   ids.ObjectID
 	Pages []ids.PageNum
+	// Bases, when present, runs parallel to Pages: the version of the
+	// requester's resident copy of each page (0 = no usable copy). A serving
+	// site may answer a page whose base it can still cover from its
+	// dirty-range journal with a DeltaPage instead of the full payload.
+	// The section is flagged in the page count's high bit, so base-free
+	// requests encode byte-identically to the pre-delta wire format.
+	Bases []uint64
 }
 
-func (o ObjPages) size() int { return 8 + 4 + 4*len(o.Pages) }
+// hasBases reports whether the base-version section is encoded: Bases must
+// be exactly parallel to a non-empty Pages list.
+func (o ObjPages) hasBases() bool { return len(o.Pages) > 0 && len(o.Bases) == len(o.Pages) }
+
+func (o ObjPages) size() int {
+	n := 8 + 4 + 4*len(o.Pages)
+	if o.hasBases() {
+		n += 8 * len(o.Pages)
+	}
+	return n
+}
 
 // ObjPayload carries one object's page payloads within a batched reply or
-// push.
+// push. Pages carry full payloads; Deltas carry pages answered as dirty-range
+// deltas (the optional section is flagged in the page count's high bit, so
+// delta-free payloads encode byte-identically to the pre-delta wire format).
 type ObjPayload struct {
-	Obj   ids.ObjectID
-	Pages []PagePayload
+	Obj    ids.ObjectID
+	Pages  []PagePayload
+	Deltas []DeltaPage
 }
 
 func (o ObjPayload) size() int {
 	n := 8 + 4
 	for _, p := range o.Pages {
 		n += p.size()
+	}
+	if len(o.Deltas) > 0 {
+		n += 4
+		for _, d := range o.Deltas {
+			n += d.size()
+		}
 	}
 	return n
 }

@@ -22,6 +22,7 @@
 package xfer
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -50,6 +51,10 @@ type Want struct {
 	// VersionAware lets the plan skip pages whose resident version already
 	// matches the map (OTEC/LOTEC/RC); COTEC re-transfers regardless.
 	VersionAware bool
+	// Delta lets the plan piggyback each requester-cached page's version on
+	// the fetch request, inviting the serving side to answer with dirty-range
+	// deltas (core.Protocol.DeltaEligible; COTEC stays version-blind).
+	Delta bool
 }
 
 // Engine executes transfers for one site.
@@ -60,6 +65,11 @@ type Engine struct {
 	// Concurrency bounds the in-flight per-site calls of one gather or
 	// push fan-out (Options.FetchConcurrency); <= 1 means serial.
 	Concurrency int
+	// DeltaOff disables sub-page delta transfers entirely (the -delta=off
+	// escape hatch): no base versions are piggybacked on fetches and pushes
+	// stage only full pages, so the wire traffic is byte-identical to the
+	// pre-delta data plane.
+	DeltaOff bool
 }
 
 // sourcePlan is the batch stage's unit: the pages one peer site must
@@ -98,19 +108,21 @@ func (e *Engine) Fetch(wants []Want, demand bool) error {
 	results, span := transport.CallGroup(e.Env, calls, e.Concurrency)
 
 	t2 := e.Env.Now()
-	pages, bytes, err := e.applyFetch(calls, results)
+	pages, bytes, deltaPages, deltaBytes, err := e.applyFetch(calls, results)
 	if err != nil {
 		return err
 	}
 	if e.Rec != nil {
 		e.Rec.AddTransfer(stats.TransferSample{
-			Kind:    stats.TransferFetch,
-			Batches: len(calls),
-			Pages:   pages,
-			Bytes:   bytes,
-			Plan:    t1 - t0,
-			Gather:  span,
-			Apply:   e.Env.Now() - t2,
+			Kind:       stats.TransferFetch,
+			Batches:    len(calls),
+			Pages:      pages,
+			Bytes:      bytes,
+			DeltaPages: deltaPages,
+			DeltaBytes: deltaBytes,
+			Plan:       t1 - t0,
+			Gather:     span,
+			Apply:      e.Env.Now() - t2,
 		})
 	}
 	return nil
@@ -128,6 +140,7 @@ func (e *Engine) planFetch(wants []Want) ([]sourcePlan, error) {
 		obj  ids.ObjectID
 	}
 	pagesAt := make(map[key][]ids.PageNum)
+	basesAt := make(map[key][]uint64)
 	objsAt := make(map[ids.NodeID][]ids.ObjectID)
 	var sites []ids.NodeID
 	for _, w := range wants {
@@ -137,6 +150,7 @@ func (e *Engine) planFetch(wants []Want) ([]sourcePlan, error) {
 			// complete current copy; nothing to pull.
 			continue
 		}
+		delta := w.Delta && !e.DeltaOff
 		dirtyLocal := make(map[ids.PageNum]bool)
 		for _, p := range e.Store.DirtyPages(w.Obj) {
 			dirtyLocal[p] = true
@@ -169,6 +183,15 @@ func (e *Engine) planFetch(wants []Want) ([]sourcePlan, error) {
 				objsAt[src] = append(objsAt[src], w.Obj)
 			}
 			pagesAt[k] = append(pagesAt[k], p)
+			if delta {
+				// Piggyback the resident copy's version as the delta base
+				// (0 = no usable copy → the server must send a full page).
+				var base uint64
+				if v, ok := e.Store.PageVersion(ids.PageID{Object: w.Obj, Page: p}); ok && v > 0 && v < loc.Version {
+					base = v
+				}
+				basesAt[k] = append(basesAt[k], base)
+			}
 		}
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
@@ -178,7 +201,21 @@ func (e *Engine) planFetch(wants []Want) ([]sourcePlan, error) {
 		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 		sp := sourcePlan{site: site}
 		for _, obj := range objs {
-			sp.objs = append(sp.objs, wire.ObjPages{Obj: obj, Pages: pagesAt[key{site: site, obj: obj}]})
+			k := key{site: site, obj: obj}
+			bases := basesAt[k]
+			allZero := true
+			for _, b := range bases {
+				if b != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				// No usable base anywhere: omit the section so the request
+				// encodes byte-identically to the pre-delta format.
+				bases = nil
+			}
+			sp.objs = append(sp.objs, wire.ObjPages{Obj: obj, Pages: pagesAt[k], Bases: bases})
 		}
 		plans = append(plans, sp)
 	}
@@ -187,16 +224,26 @@ func (e *Engine) planFetch(wants []Want) ([]sourcePlan, error) {
 
 // applyFetch installs the gathered pages, skipping any a concurrent
 // transfer already brought to the mapped version, and returns pooled
-// staging buffers. It reports the pages and payload bytes moved.
-func (e *Engine) applyFetch(calls []transport.GroupCall, results []transport.GroupResult) (pages, bytes int, err error) {
+// staging buffers. Deltas patch the resident copy in place; a delta whose
+// base no longer matches (a concurrent transfer moved the copy to an
+// intermediate version) is re-fetched as a full page — one bounded,
+// base-free follow-up per page, so a fetch can never stall on a delta. It
+// reports the pages and payload bytes moved, and the delta subset of both.
+func (e *Engine) applyFetch(calls []transport.GroupCall, results []transport.GroupResult) (pages, bytes, deltaPages, deltaBytes int, err error) {
+	type miss struct {
+		src  ids.NodeID
+		obj  ids.ObjectID
+		page ids.PageNum
+	}
+	var misses []miss
 	for i, r := range results {
 		src := calls[i].To
 		if r.Err != nil {
-			return 0, 0, fmt.Errorf("fetch from %v: %w", src, r.Err)
+			return 0, 0, 0, 0, fmt.Errorf("fetch from %v: %w", src, r.Err)
 		}
 		resp, ok := r.Reply.(*wire.MultiFetchResp)
 		if !ok {
-			return 0, 0, fmt.Errorf("fetch from %v: unexpected reply %T", src, r.Reply)
+			return 0, 0, 0, 0, fmt.Errorf("fetch from %v: unexpected reply %T", src, r.Reply)
 		}
 		for _, op := range resp.Objs {
 			for _, pg := range op.Pages {
@@ -208,13 +255,62 @@ func (e *Engine) applyFetch(calls []transport.GroupCall, results []transport.Gro
 					continue
 				}
 				if err := e.Store.InstallPage(pid, pg.Data, pg.Version); err != nil {
-					return 0, 0, fmt.Errorf("install %v: %w", pid, err)
+					return 0, 0, 0, 0, fmt.Errorf("install %v: %w", pid, err)
+				}
+				ReleasePage(pg.Data)
+			}
+			for _, dp := range op.Deltas {
+				pages++
+				bytes += len(dp.Data)
+				deltaPages++
+				deltaBytes += len(dp.Data)
+				pid := ids.PageID{Object: op.Obj, Page: dp.Page}
+				if v, ok := e.Store.PageVersion(pid); ok && v >= dp.Version {
+					ReleasePage(dp.Data)
+					continue
+				}
+				applyErr := e.Store.ApplyDelta(pid, dp.Base, dp.Version, toStoreSpans(dp.Runs), dp.Data)
+				ReleasePage(dp.Data)
+				if applyErr == nil {
+					continue
+				}
+				if !errors.Is(applyErr, pstore.ErrDeltaBase) {
+					return 0, 0, 0, 0, fmt.Errorf("apply delta %v: %w", pid, applyErr)
+				}
+				misses = append(misses, miss{src: src, obj: op.Obj, page: dp.Page})
+			}
+		}
+	}
+	for _, ms := range misses {
+		if e.Rec != nil {
+			e.Rec.AddDeltaFallback()
+		}
+		pid := ids.PageID{Object: ms.obj, Page: ms.page}
+		reply, callErr := e.Env.Call(ms.src, &wire.MultiFetchReq{Objs: []wire.ObjPages{{Obj: ms.obj, Pages: []ids.PageNum{ms.page}}}})
+		if callErr != nil {
+			return 0, 0, 0, 0, fmt.Errorf("refetch %v from %v: %w", pid, ms.src, callErr)
+		}
+		resp, ok := reply.(*wire.MultiFetchResp)
+		if !ok {
+			return 0, 0, 0, 0, fmt.Errorf("refetch %v from %v: unexpected reply %T", pid, ms.src, reply)
+		}
+		for _, op := range resp.Objs {
+			for _, pg := range op.Pages {
+				pages++
+				bytes += len(pg.Data)
+				rpid := ids.PageID{Object: op.Obj, Page: pg.Page}
+				if v, ok := e.Store.PageVersion(rpid); ok && v >= pg.Version {
+					ReleasePage(pg.Data)
+					continue
+				}
+				if err := e.Store.InstallPage(rpid, pg.Data, pg.Version); err != nil {
+					return 0, 0, 0, 0, fmt.Errorf("install %v: %w", rpid, err)
 				}
 				ReleasePage(pg.Data)
 			}
 		}
 	}
-	return pages, bytes, nil
+	return pages, bytes, deltaPages, deltaBytes, nil
 }
 
 // Push runs the scatter direction of the pipeline (the §6 RC extension):
@@ -222,8 +318,11 @@ func (e *Engine) applyFetch(calls []transport.GroupCall, results []transport.Gro
 // per GDO home site — stage each object's dirty pages once, batch the
 // payloads by destination site across objects, and push each site's batch
 // acknowledged under the concurrency bound. homeFn maps an object to its
-// GDO home.
-func (e *Engine) Push(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum, homeFn func(ids.ObjectID) ids.NodeID) error {
+// GDO home. With delta set (the protocol is delta-eligible and deltas are
+// on), each page is staged as its newest journal epoch's dirty ranges when
+// that beats the full page; a pushee not at the delta's base evicts its
+// stale copy (see ApplyPush).
+func (e *Engine) Push(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum, homeFn func(ids.ObjectID) ids.NodeID, delta bool) error {
 	t0 := e.Env.Now()
 	var withPages []ids.ObjectID
 	for _, obj := range objs {
@@ -248,17 +347,43 @@ func (e *Engine) Push(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum,
 			ReleasePage(buf)
 		}
 	}()
+	delta = delta && !e.DeltaOff
+	fullSize := wire.PagePayload{}.EncodedSize() + e.Store.PageSize()
 	payloads := make(map[ids.ObjectID][]wire.PagePayload, len(withPages))
+	deltas := make(map[ids.ObjectID][]wire.DeltaPage)
 	for _, obj := range withPages {
 		for _, p := range dirty[obj] {
 			pid := ids.PageID{Object: obj, Page: p}
 			buf := GetPage(e.Store.PageSize())
+			if delta {
+				// restampDirty sealed this commit's dirty ranges as the
+				// newest epoch (version-1 → version) just before this push.
+				if ver, ok := e.Store.PageVersion(pid); ok && ver > 0 {
+					if runs, target, n, ok := e.Store.DeltaSince(pid, ver-1, buf); ok && target == ver {
+						dp := wire.DeltaPage{Page: p, Base: ver - 1, Version: target, Runs: toWireSpans(runs), Data: buf[:n]}
+						if dp.EncodedSize() < fullSize {
+							staged = append(staged, buf)
+							deltas[obj] = append(deltas[obj], dp)
+							if e.Rec != nil {
+								e.Rec.AddDelta(dp.EncodedSize(), fullSize-dp.EncodedSize())
+							}
+							continue
+						}
+					}
+					if e.Rec != nil {
+						e.Rec.AddDeltaFallback()
+					}
+				}
+			}
 			// restampDirty already advanced the version to what the GDO
 			// will assign at the release that follows.
 			ver, err := e.Store.PageCopyInto(pid, buf)
 			if err != nil {
 				ReleasePage(buf)
 				return err
+			}
+			if delta && e.Rec != nil {
+				e.Rec.AddFullPage(fullSize)
 			}
 			staged = append(staged, buf)
 			payloads[obj] = append(payloads[obj], wire.PagePayload{Page: p, Version: ver, Data: buf})
@@ -278,7 +403,7 @@ func (e *Engine) Push(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum,
 			if _, seen := byDest[site]; !seen {
 				dests = append(dests, site)
 			}
-			byDest[site] = append(byDest[site], wire.ObjPayload{Obj: obj, Pages: payloads[obj]})
+			byDest[site] = append(byDest[site], wire.ObjPayload{Obj: obj, Pages: payloads[obj], Deltas: deltas[obj]})
 		}
 	}
 	if len(dests) == 0 {
@@ -286,12 +411,17 @@ func (e *Engine) Push(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum,
 	}
 	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
 	calls := make([]transport.GroupCall, 0, len(dests))
-	pages, bytes := 0, 0
+	pages, bytes, deltaPages, deltaBytes := 0, 0, 0, 0
 	for _, site := range dests {
 		for _, op := range byDest[site] {
-			pages += len(op.Pages)
+			pages += len(op.Pages) + len(op.Deltas)
 			for _, pg := range op.Pages {
 				bytes += len(pg.Data)
+			}
+			for _, dp := range op.Deltas {
+				bytes += len(dp.Data)
+				deltaPages++
+				deltaBytes += len(dp.Data)
 			}
 		}
 		calls = append(calls, transport.GroupCall{To: site, Msg: &wire.MultiPushReq{Objs: byDest[site]}})
@@ -306,13 +436,15 @@ func (e *Engine) Push(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.PageNum,
 	}
 	if e.Rec != nil {
 		e.Rec.AddTransfer(stats.TransferSample{
-			Kind:    stats.TransferPush,
-			Batches: len(calls),
-			Pages:   pages,
-			Bytes:   bytes,
-			Plan:    t1 - t0,
-			Gather:  span,
-			Apply:   0, // installs happen at the receiving sites
+			Kind:       stats.TransferPush,
+			Batches:    len(calls),
+			Pages:      pages,
+			Bytes:      bytes,
+			DeltaPages: deltaPages,
+			DeltaBytes: deltaBytes,
+			Plan:       t1 - t0,
+			Gather:     span,
+			Apply:      0, // installs happen at the receiving sites
 		})
 	}
 	return nil

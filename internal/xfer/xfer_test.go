@@ -43,9 +43,9 @@ func newTestCluster(t *testing.T, n int) *testCluster {
 		c.net.SetHandler(id, func(from ids.NodeID, m wire.Msg) wire.Msg {
 			switch req := m.(type) {
 			case *wire.MultiFetchReq:
-				return ServeFetch(store, req)
+				return ServeFetch(store, nil, req)
 			case *wire.MultiPushReq:
-				return ApplyPush(store, req)
+				return ApplyPush(store, nil, req)
 			case *wire.CopySetReq:
 				resp := &wire.CopySetResp{}
 				for _, obj := range req.Objs {
@@ -279,7 +279,7 @@ func TestPushEndToEnd(t *testing.T) {
 	}
 	home := func(ids.ObjectID) ids.NodeID { return 4 }
 	rec := c.run(t, func(e *Engine) {
-		if err := e.Push([]ids.ObjectID{60, 61}, dirty, home); err != nil {
+		if err := e.Push([]ids.ObjectID{60, 61}, dirty, home, false); err != nil {
 			t.Errorf("push: %v", err)
 		}
 	})
@@ -329,7 +329,7 @@ func TestApplyPushSkipsStale(t *testing.T) {
 	if err := store.InstallPage(pid, bytes.Repeat([]byte{7}, pageSize), 5); err != nil {
 		t.Fatal(err)
 	}
-	reply := ApplyPush(store, &wire.MultiPushReq{Objs: []wire.ObjPayload{{
+	reply := ApplyPush(store, nil, &wire.MultiPushReq{Objs: []wire.ObjPayload{{
 		Obj:   70,
 		Pages: []wire.PagePayload{{Page: 0, Version: 3, Data: bytes.Repeat([]byte{9}, pageSize)}},
 	}}})

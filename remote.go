@@ -76,6 +76,11 @@ type NodeOptions struct {
 	// transfer fan-out (0 → default 4). On TCP the calls genuinely
 	// overlap; counters are unchanged at any setting.
 	FetchConcurrency int
+	// DeltaOff disables sub-page delta transfers; must match cluster-wide.
+	DeltaOff bool
+	// DeltaJournalDepth bounds the per-page dirty-range journal (0 →
+	// default 8); must match cluster-wide.
+	DeltaJournalDepth int
 	// FaultPlan, when non-empty, injects deterministic faults into this
 	// node's outbound traffic and enables the RPC timeout/retry layer (a
 	// preset name like "drop" or a clause list like
@@ -103,13 +108,15 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		plan = parsed
 	}
 	inner, err := server.NewNodeServer(server.NodeConfig{
-		Topology:         opts.Topology,
-		Self:             opts.Self,
-		Protocol:         p,
-		PageSize:         opts.PageSize,
-		Lenient:          opts.Lenient,
-		FetchConcurrency: opts.FetchConcurrency,
-		Faults:           plan,
+		Topology:          opts.Topology,
+		Self:              opts.Self,
+		Protocol:          p,
+		PageSize:          opts.PageSize,
+		Lenient:           opts.Lenient,
+		FetchConcurrency:  opts.FetchConcurrency,
+		DeltaOff:          opts.DeltaOff,
+		DeltaJournalDepth: opts.DeltaJournalDepth,
+		Faults:            plan,
 	})
 	if err != nil {
 		return nil, err

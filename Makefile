@@ -1,8 +1,8 @@
 # Tier-1 gate: everything must build, vet clean, lint clean, and pass
 # under the race detector before a change lands.
-.PHONY: check build vet lint test bench bench-smoke chaos
+.PHONY: check build vet lint test bench bench-smoke calibrate-smoke chaos
 
-check: build vet lint test bench-smoke chaos
+check: build vet lint test bench-smoke calibrate-smoke chaos
 
 build:
 	go build ./...
@@ -28,6 +28,14 @@ bench:
 # improve when transfers fan out.
 bench-smoke:
 	go run ./cmd/lotec-bench -figure 3 -smoke
+
+# Observe-predict-calibrate gate: the zipf-hot spec runs on the simulator
+# (dedicated-directory topology) and on a real in-process TCP cluster;
+# commit/abort counts must match exactly and traffic volume must agree
+# within tolerance. Writes the predicted-vs-measured table into a scratch
+# file so the committed BENCH_results.json is not touched by CI.
+calibrate-smoke:
+	go run ./cmd/lotec-bench -calibrate -workload zipf-hot -json /tmp/lotec-calibration.json
 
 # Chaos harness, full matrix: 40 seeds × 7 fault plans × 3 protocols under
 # the race detector, plus the zero-fault trace-equivalence gate. A failing

@@ -28,6 +28,7 @@ import (
 	"lotec/internal/o2pl"
 	"lotec/internal/sim"
 	"lotec/internal/stats"
+	"lotec/internal/workload"
 )
 
 // benchResult is one line of BENCH_results.json.
@@ -74,10 +75,24 @@ type benchResult struct {
 func main() {
 	figure := flag.String("figure", "3", "workload figure to sweep (2..5)")
 	jsonOut := flag.String("json", "", "also benchmark directory sharding and write results to this file (e.g. BENCH_results.json)")
-	smoke := flag.Bool("smoke", false, "fast CI check: assert the byte/message trace is FetchConcurrency-invariant, the gather wall-clock improves, and bytes_moved has not regressed vs -baseline")
+	smoke := flag.Bool("smoke", false, "fast CI check: assert the byte/message trace is FetchConcurrency-invariant, the gather wall-clock improves, and bytes_moved/ns_per_op/allocs_per_op have not regressed vs -baseline")
 	baseline := flag.String("baseline", "BENCH_results.json", "committed results the smoke check compares bytes_moved against (\"\" disables)")
 	writeBytes := flag.Int("write-bytes", 0, "cap each declared write at this many bytes (0 = whole attribute) — prices the figure grid under a field-sized write schema where sub-page deltas flow")
+	calibrate := flag.Bool("calibrate", false, "run the -workload spec on the simulator and on an in-process TCP cluster, write the predicted-vs-measured table into the -json file (default BENCH_results.json), and gate on model accuracy")
+	workloadArg := flag.String("workload", "zipf-hot", "workload spec for -calibrate: a preset name or a JSON spec file")
 	flag.Parse()
+
+	if *calibrate {
+		path := *jsonOut
+		if path == "" {
+			path = "BENCH_results.json"
+		}
+		if err := runCalibrate(*workloadArg, path); err != nil {
+			fmt.Fprintln(os.Stderr, "lotec-bench: calibrate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	spec, err := sim.FigureByID(*figure)
 	if err != nil {
@@ -120,6 +135,53 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Println(res.CountersTable())
+}
+
+// benchDoc is the whole of BENCH_results.json. The figure benchmarks
+// (writeJSON) and the calibrate loop (runCalibrate) each own one section
+// and preserve the other's on rewrite, so CI can refresh them
+// independently. Workload/SpecHash/Seed stamp the provenance of the figure
+// rows: which spec generated the traffic, under which seed.
+type benchDoc struct {
+	Figure      string        `json:"figure,omitempty"`
+	Workload    string        `json:"workload,omitempty"`
+	SpecHash    string        `json:"spec_hash,omitempty"`
+	Seed        int64         `json:"seed,omitempty"`
+	Results     []benchResult `json:"results,omitempty"`
+	Calibration *calibration  `json:"calibration,omitempty"`
+}
+
+// readBenchDoc loads path, or returns an empty document when it does not
+// exist yet.
+func readBenchDoc(path string) (*benchDoc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &benchDoc{}, nil
+		}
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func writeBenchDoc(path string, doc *benchDoc) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// figureProvenance identifies a figure's traffic the same way spec-compiled
+// workloads are identified: the legacy config wrapped as a spec, hashed.
+func figureProvenance(spec sim.FigureSpec) (name, hash string, seed int64) {
+	cfg := spec.Workload
+	s := workload.Spec{Name: "figure" + spec.ID, Seed: cfg.Seed, Legacy: &cfg}
+	return s.Name, s.Hash(), cfg.Seed
 }
 
 // writeJSON times the figure workload per protocol and the sharded
@@ -182,14 +244,14 @@ func writeJSON(spec sim.FigureSpec, path string) error {
 		fmt.Printf("directory/acquire-release  %d shard(s) %8d ops  %12.0f ns/op\n", shards, ops, nsPerOp)
 	}
 
-	buf, err := json.MarshalIndent(struct {
-		Figure  string        `json:"figure"`
-		Results []benchResult `json:"results"`
-	}{Figure: spec.ID, Results: results}, "", "  ")
+	doc, err := readBenchDoc(path)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+	doc.Figure = spec.ID
+	doc.Workload, doc.SpecHash, doc.Seed = figureProvenance(spec)
+	doc.Results = results
+	if err := writeBenchDoc(path, doc); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(results))
@@ -288,47 +350,82 @@ func sweepDelta(spec sim.FigureSpec) ([]benchResult, error) {
 	return results, nil
 }
 
-// checkBaseline is the bytes_moved regression gate: it reruns the figure's
-// LOTEC workload (whole-attribute and small-write schemas — both exactly
-// reproducible on the virtual clock) and fails if any moves more data than
-// the committed BENCH_results.json recorded, or if the 8-byte-write schema
-// stops clearing a 25% saving over the committed whole-attribute run.
+// Slack factors for the wall-clock and allocation regression gates.
+// bytes_moved is exactly reproducible on the virtual clock and gets no
+// slack; ns_per_op is real time on a shared CI machine and gets a wide
+// band that still catches order-of-magnitude regressions; allocs_per_op is
+// nearly deterministic (runtime background allocation is the only noise)
+// and gets a tight one.
+const (
+	smokeNsSlack     = 3.0
+	smokeAllocsSlack = 1.25
+)
+
+// checkBaseline is the regression gate against the committed
+// BENCH_results.json: it reruns the figure's LOTEC workload
+// (whole-attribute and small-write schemas — both exactly reproducible on
+// the virtual clock) and fails if any moves more data than the committed
+// run recorded, runs slower than smokeNsSlack× its committed ns_per_op,
+// allocates more than smokeAllocsSlack× its committed allocs_per_op, or if
+// the 8-byte-write schema stops clearing a 25% saving over the committed
+// whole-attribute run.
 func checkBaseline(spec sim.FigureSpec, path string) error {
-	buf, err := os.ReadFile(path)
+	doc, err := readBenchDoc(path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			fmt.Printf("smoke: no %s; skipping bytes_moved regression gate\n", path)
-			return nil
-		}
 		return err
 	}
-	var committed struct {
-		Results []benchResult `json:"results"`
-	}
-	if err := json.Unmarshal(buf, &committed); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+	if len(doc.Results) == 0 {
+		fmt.Printf("smoke: no results in %s; skipping regression gates\n", path)
+		return nil
 	}
 	find := func(op string, wb int) *benchResult {
-		for i := range committed.Results {
-			r := &committed.Results[i]
+		for i := range doc.Results {
+			r := &doc.Results[i]
 			if r.Op == op && r.Protocol == core.LOTEC.Name() && r.WriteBytes == wb {
 				return r
 			}
 		}
 		return nil
 	}
-	run := func(wb int) (int64, error) {
+	run := func(wb int) (measured benchResult, err error) {
 		cfg := spec.Workload
 		cfg.WriteBytes = wb
 		w, err := sim.GenerateWorkload(cfg)
 		if err != nil {
-			return 0, err
+			return benchResult{}, err
 		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
 		c, _, err := w.Execute(sim.Config{Protocol: core.LOTEC})
 		if err != nil {
-			return 0, err
+			return benchResult{}, err
 		}
-		return c.Recorder().Totals().DataBytes, nil
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		n := len(c.Results())
+		return benchResult{
+			Ops:         n,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+			BytesMoved:  c.Recorder().Totals().DataBytes,
+		}, nil
+	}
+	gate := func(label string, committed *benchResult, got benchResult) error {
+		if got.BytesMoved > committed.BytesMoved {
+			return fmt.Errorf("bytes_moved regressed: %s moves %d B, committed %d B",
+				label, got.BytesMoved, committed.BytesMoved)
+		}
+		if committed.NsPerOp > 0 && got.NsPerOp > committed.NsPerOp*smokeNsSlack {
+			return fmt.Errorf("ns_per_op regressed: %s runs at %.0f ns/op, committed %.0f (limit %.0fx)",
+				label, got.NsPerOp, committed.NsPerOp, smokeNsSlack)
+		}
+		if committed.AllocsPerOp > 0 && got.AllocsPerOp > committed.AllocsPerOp*smokeAllocsSlack {
+			return fmt.Errorf("allocs_per_op regressed: %s allocates %.0f/op, committed %.0f (limit %.2fx)",
+				label, got.AllocsPerOp, committed.AllocsPerOp, smokeAllocsSlack)
+		}
+		return nil
 	}
 
 	full := find("workload/figure"+spec.ID, 0)
@@ -340,28 +437,30 @@ func checkBaseline(spec sim.FigureSpec, path string) error {
 	if err != nil {
 		return err
 	}
-	if got > full.BytesMoved {
-		return fmt.Errorf("bytes_moved regressed: figure %s LOTEC moves %d B, committed %d B",
-			spec.ID, got, full.BytesMoved)
+	if err := gate("figure "+spec.ID+" LOTEC", full, got); err != nil {
+		return err
 	}
-	fmt.Printf("smoke ok: figure %s LOTEC bytes_moved %d B (committed %d B)\n", spec.ID, got, full.BytesMoved)
+	fmt.Printf("smoke ok: figure %s LOTEC bytes_moved %d B (committed %d B), %.0f ns/op (committed %.0f)\n",
+		spec.ID, got.BytesMoved, full.BytesMoved, got.NsPerOp, full.NsPerOp)
 
 	for _, wb := range []int{8, 64} {
 		cur, err := run(wb)
 		if err != nil {
 			return err
 		}
-		if row := find("workload/figure"+spec.ID+"/delta", wb); row != nil && cur > row.BytesMoved {
-			return fmt.Errorf("bytes_moved regressed: %d B-write schema moves %d B, committed %d B",
-				wb, cur, row.BytesMoved)
-		}
-		if wb == 8 {
-			if limit := full.BytesMoved * 3 / 4; cur > limit {
-				return fmt.Errorf("delta saving eroded: 8 B-write schema moves %d B, must stay ≤ 75%% of the committed full-write run (%d B)",
-					cur, limit)
+		if row := find("workload/figure"+spec.ID+"/delta", wb); row != nil {
+			if err := gate(fmt.Sprintf("%d B-write schema", wb), row, cur); err != nil {
+				return err
 			}
 		}
-		fmt.Printf("smoke ok: figure %s LOTEC %d B-write bytes_moved %d B\n", spec.ID, wb, cur)
+		if wb == 8 {
+			if limit := full.BytesMoved * 3 / 4; cur.BytesMoved > limit {
+				return fmt.Errorf("delta saving eroded: 8 B-write schema moves %d B, must stay ≤ 75%% of the committed full-write run (%d B)",
+					cur.BytesMoved, limit)
+			}
+		}
+		fmt.Printf("smoke ok: figure %s LOTEC %d B-write bytes_moved %d B, %.0f allocs/op\n",
+			spec.ID, wb, cur.BytesMoved, cur.AllocsPerOp)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"syscall"
 
 	"lotec"
+	"lotec/internal/workload"
 )
 
 func i64(v int64) []byte {
@@ -111,19 +113,31 @@ func main() {
 	obj := flag.Int64("obj", 1, "client mode: object ID")
 	method := flag.String("method", "peek", "client mode: method to invoke")
 	amount := flag.Int64("amount", 0, "client mode: amount argument")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON startup record (workload name, spec hash, seeds) instead of the plain banner")
 	flag.Parse()
 
 	if *delta != "on" && *delta != "off" {
 		fmt.Fprintln(os.Stderr, "lotec-node: -delta must be on or off")
 		os.Exit(2)
 	}
-	if err := run(*id, *gdoAddr, *nodes, *protocol, *objects, *shards, *fetchConc, *delta == "off", *faultPlan, *faultSeed, *call, *node, *obj, *method, *amount); err != nil {
+	if err := run(*id, *gdoAddr, *nodes, *protocol, *objects, *shards, *fetchConc, *delta == "off", *faultPlan, *faultSeed, *call, *node, *obj, *method, *amount, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, gdoAddr, nodes, protocol string, objects, shards, fetchConc int, deltaOff bool, faultPlan string, faultSeed uint64, call string, nodeID int, obj int64, method string, amount int64) error {
+// nodeReport is lotec-node's -json startup record: enough to identify what
+// this process serves and reproduce its behaviour (the demo schema is the
+// binary's only workload; the fault seed is its only random draw).
+type nodeReport struct {
+	Provenance workload.Provenance `json:"provenance"`
+	Node       int                 `json:"node"`
+	Addr       string              `json:"addr"`
+	Protocol   string              `json:"protocol"`
+	Objects    int                 `json:"objects"`
+}
+
+func run(id int, gdoAddr, nodes, protocol string, objects, shards, fetchConc int, deltaOff bool, faultPlan string, faultSeed uint64, call string, nodeID int, obj int64, method string, amount int64, jsonOut bool) error {
 	if call != "" {
 		client, err := lotec.Dial(call, lotec.NodeID(nodeID))
 		if err != nil {
@@ -179,7 +193,29 @@ func run(id int, gdoAddr, nodes, protocol string, objects, shards, fetchConc int
 			return fmt.Errorf("create O%d: %w", o, err)
 		}
 	}
-	fmt.Printf("node %d serving %s at %s (%d demo accounts)\n", id, p.Name(), n.Addr(), objects)
+	if jsonOut {
+		// The demo bank schema is this binary's whole workload; hashing it
+		// as a spec gives replays the same identity check spec files get.
+		rep := nodeReport{
+			Provenance: workload.Provenance{
+				Workload:  "demo-bank",
+				SpecHash:  workload.Spec{Name: "demo-bank"}.Hash(),
+				FaultSeed: faultSeed,
+				FaultPlan: faultPlan,
+			},
+			Node:     id,
+			Addr:     n.Addr(),
+			Protocol: p.Name(),
+			Objects:  objects,
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(buf))
+	} else {
+		fmt.Printf("node %d serving %s at %s (%d demo accounts)\n", id, p.Name(), n.Addr(), objects)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -10,26 +10,31 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"lotec/internal/core"
 	"lotec/internal/fault"
 	"lotec/internal/sim"
+	"lotec/internal/workload"
 )
 
 func main() {
 	figure := flag.String("figure", "", "figure to regenerate: 2..8, rc, or all")
 	headline := flag.Bool("headline", false, "print the §5 headline byte ratios")
 	ablation := flag.String("ablation", "", "ablation to run: prediction, granularity, demand, disorder, faults, delta, or all")
+	workloadArg := flag.String("workload", "", "run a spec workload (a preset name or a JSON spec file; see EXPERIMENTS.md) and print per-class KPIs")
+	jsonOut := flag.String("json", "", "with -workload: also write machine-readable results (provenance, per-class KPIs, traffic totals) to this file")
 	fetchConc := flag.Int("fetch-concurrency", 0, "in-flight per-site page-transfer calls (0 = default 4); trace-invariant")
 	delta := flag.String("delta", "on", "sub-page delta transfers: on (default) or off (pre-delta wire traffic, byte-identical)")
-	faultPlan := flag.String("fault-plan", "", `network fault plan for -figure runs: a preset (drop, delay, dup, reorder, partition, crash, chaos) or clause list like "drop(p=0.1);delay(p=0.2,d=1ms)"`)
+	faultPlan := flag.String("fault-plan", "", `network fault plan for -figure and -workload runs: a preset (drop, delay, dup, reorder, partition, crash, chaos) or clause list like "drop(p=0.1);delay(p=0.2,d=1ms)"`)
 	faultSeed := flag.Uint64("fault-seed", 1, "seed driving the fault plan's random draws")
 	flag.Parse()
 
-	if *figure == "" && !*headline && *ablation == "" {
+	if *figure == "" && !*headline && *ablation == "" && *workloadArg == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -37,10 +42,98 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lotec-sim: -delta must be on or off")
 		os.Exit(2)
 	}
+	if *workloadArg != "" {
+		if err := runWorkload(*workloadArg, *jsonOut, *fetchConc, *delta == "off", *faultPlan, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "lotec-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*figure, *headline, *ablation, *fetchConc, *delta == "off", *faultPlan, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "lotec-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// simReport is lotec-sim's machine-readable -workload output: everything
+// needed to reproduce the run (spec name, hash, seeds) plus what it did.
+type simReport struct {
+	Provenance workload.Provenance `json:"provenance"`
+	Protocol   string              `json:"protocol"`
+	Roots      int                 `json:"roots"`
+	KPIs       []workload.ClassKPI `json:"kpis"`
+	BytesMoved int64               `json:"bytes_moved"`
+	Msgs       int                 `json:"msgs"`
+}
+
+// runWorkload compiles a spec and runs it on the simulator under LOTEC,
+// printing the per-class KPI table and optionally a JSON report.
+func runWorkload(arg, jsonPath string, fetchConc int, deltaOff bool, faultPlan string, faultSeed uint64) error {
+	spec, err := workload.LoadSpec(arg)
+	if err != nil {
+		return err
+	}
+	w, err := workload.Compile(spec)
+	if err != nil {
+		return err
+	}
+	var faults *fault.Plan
+	if faultPlan != "" {
+		plan, err := fault.Parse(faultPlan, faultSeed)
+		if err != nil {
+			return fmt.Errorf("fault plan: %w", err)
+		}
+		faults = plan
+	}
+	cfg := sim.Config{Protocol: core.LOTEC, FetchConcurrency: fetchConc, DeltaOff: deltaOff, Faults: faults}
+	if faults != nil {
+		cfg.MaxRetries = 100
+	}
+	t0 := time.Now()
+	c, _, err := sim.WrapWorkload(w).Execute(cfg)
+	if err != nil {
+		return err
+	}
+	col := workload.NewKPICollector(w.ClassNames)
+	for _, r := range c.Results() {
+		root := w.Roots[r.Tag.(int)]
+		col.Observe(root.Class, int64(r.Done-r.At), r.Err == nil)
+	}
+	prov := w.Provenance()
+	if faults != nil {
+		prov.FaultPlan, prov.FaultSeed = faultPlan, faultSeed
+	}
+	rep := simReport{
+		Provenance: prov,
+		Protocol:   core.LOTEC.Name(),
+		Roots:      len(w.Roots),
+		KPIs:       col.Rows(),
+		BytesMoved: c.Recorder().Totals().DataBytes,
+		Msgs:       c.Recorder().MsgCount(),
+	}
+
+	fmt.Printf("workload %s (spec %.12s, seed %d): %d roots on %d nodes (regenerated in %v)\n",
+		prov.Workload, prov.SpecHash, prov.Seed, rep.Roots, w.Cfg.Nodes, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("%-10s %8s %8s %8s %10s %12s %12s %12s\n",
+		"class", "roots", "commits", "aborts", "abort_rate", "lat_p50", "lat_p95", "lat_p99")
+	for _, k := range rep.KPIs {
+		fmt.Printf("%-10s %8d %8d %8d %10.3f %12v %12v %12v\n",
+			k.Class, k.Roots, k.Commits, k.Aborts, k.AbortRate,
+			time.Duration(k.LatP50Ns), time.Duration(k.LatP95Ns), time.Duration(k.LatP99Ns))
+	}
+	fmt.Printf("traffic: %d data bytes, %d msgs\n", rep.BytesMoved, rep.Msgs)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 func run(figure string, headline bool, ablation string, fetchConc int, deltaOff bool, faultPlan string, faultSeed uint64) error {

@@ -9,7 +9,7 @@
 // Four repo-specific analyzers are provided:
 //
 //   - mapiter:  flags `for range` over maps in determinism-critical
-//     packages (sim, gdo, directory, node, stats) unless the loop's
+//     packages (sim, gdo, directory, node, stats, workload) unless the loop's
 //     results are sorted before use or the site carries a
 //     `//lotec:unordered` justification comment.
 //   - lockheld: struct fields annotated `// guarded by mu` may only be

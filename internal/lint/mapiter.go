@@ -17,6 +17,7 @@ var deterministicPackages = map[string]bool{
 	"node":      true,
 	"stats":     true,
 	"xfer":      true,
+	"workload":  true,
 }
 
 // MapIter flags `for range` over a map in determinism-critical packages

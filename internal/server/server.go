@@ -78,6 +78,13 @@ func (s *GDOServer) InstallFaults(plan fault.Plan, policy transport.RetryPolicy)
 	s.net.InstallFaults(fault.NewInjector(plan), policy)
 }
 
+// SetRecorder attaches a stats recorder: every frame the directory sends
+// (replies, deferred grants, deadlock aborts) joins the trace. Share one
+// recorder across the GDO and the nodes of an in-process deployment to get
+// a cluster-wide message trace (the calibrate loop does). Call before
+// Start.
+func (s *GDOServer) SetRecorder(rec *stats.Recorder) { s.net.SetRecorder(rec) }
+
 // Start begins serving.
 func (s *GDOServer) Start() error { return s.net.Listen() }
 

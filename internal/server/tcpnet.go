@@ -365,6 +365,15 @@ func (n *TCPNet) NewFuture() transport.Future {
 // the frame may be dropped, delayed, or duplicated per the plan. With no
 // injector this is exactly writeFrame.
 func (n *TCPNet) transmit(c *tcpConn, to ids.NodeID, env wire.Envelope, m wire.Msg) error {
+	if n.rec != nil {
+		// Every frame that leaves this process — request or reply — is
+		// classified and traced, mirroring SimNet's record points (local
+		// self-delivery is unrecorded on both transports). This is what
+		// makes measured TCP msgs/bytes comparable to simulated ones.
+		r := wire.Classify(m)
+		r.From, r.To = env.From, env.To
+		n.rec.Record(r)
+	}
 	buf := wire.Encode(env, m)
 	if n.inj == nil {
 		return c.writeFrame(buf)

@@ -11,6 +11,7 @@ import (
 	"lotec/internal/core"
 	"lotec/internal/fault"
 	"lotec/internal/ids"
+	"lotec/internal/workload"
 )
 
 // The chaos harness sweeps seeds × fault plans × protocols and asserts the
@@ -81,13 +82,21 @@ func runChaosOne(t *testing.T, seed uint64, planName string, proto core.Protocol
 // matrices (e.g. the small-write delta sweep) reuse the same oracles.
 func runChaosCell(t *testing.T, seed uint64, planName string, proto core.Protocol, cfg WorkloadConfig) {
 	t.Helper()
-	plan, err := fault.Parse(planName, seed)
-	if err != nil {
-		t.Fatalf("preset %q: %v", planName, err)
-	}
 	w, err := GenerateWorkload(cfg)
 	if err != nil {
 		t.Fatalf("generate: %v", err)
+	}
+	runChaosWorkload(t, seed, planName, proto, w)
+}
+
+// runChaosWorkload runs the chaos oracles on an already-built workload, so
+// spec-compiled (skewed) workloads share the exact same invariants as the
+// legacy matrix.
+func runChaosWorkload(t *testing.T, seed uint64, planName string, proto core.Protocol, w *Workload) {
+	t.Helper()
+	plan, err := fault.Parse(planName, seed)
+	if err != nil {
+		t.Fatalf("preset %q: %v", planName, err)
 	}
 	c, objs, err := w.Execute(Config{Protocol: proto, Faults: plan, MaxRetries: 100})
 	if err != nil {
@@ -194,6 +203,59 @@ func TestChaos(t *testing.T) {
 	// exist to shrink the matrix on purpose.)
 	if *chaosSeed < 0 && !testing.Short() && runs < 200 {
 		t.Fatalf("chaos smoke matrix shrank to %d runs; keep it >= 200", runs)
+	}
+}
+
+// chaosZipfSpec is the skewed chaos cell: a Zipf-rate, Zipf-object client
+// class with injected aborts, sized like chaosWorkload (4 nodes, 8 hot
+// objects, ~20 roots) so a plans × protocols sweep stays CI-cheap.
+func chaosZipfSpec(seed int64) *workload.Spec {
+	return &workload.Spec{
+		Name:      "chaos-zipf",
+		Seed:      seed,
+		Nodes:     4,
+		PageSize:  512,
+		Objects:   workload.ObjectPop{Count: 8, MinPages: 1, MaxPages: 3},
+		HorizonMs: 4,
+		Classes: []workload.ClientClass{{
+			Name:       "skewed",
+			Population: 200,
+			AbortProb:  0.15,
+			Rate:       workload.RateDist{Dist: "zipf", MeanHz: 25, S: 1.1},
+			Arrivals:   workload.ArrivalSpec{Process: "poisson", Envelope: "constant"},
+			ObjectDist: workload.ObjectDist{Dist: "zipf", S: 1.3},
+		}},
+	}
+}
+
+// TestChaosZipf runs the PR 4 chaos invariants (no proc leak, result/abort
+// oracle, fault-free serial-replay byte equality, page-map coherence,
+// directory and engine drain) on Zipf-skewed spec-compiled traffic — the
+// uniform matrix never concentrates load on a popularity head, and skew is
+// exactly where grant queues and ownership churn pile up.
+func TestChaosZipf(t *testing.T) {
+	seeds := []uint64{1, 2}
+	if testing.Short() {
+		seeds = []uint64{1}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		for _, planName := range chaosPlans {
+			planName := planName
+			for _, proto := range core.All() {
+				proto := proto
+				t.Run(fmt.Sprintf("seed=%d/%s/%s", seed, planName, proto.Name()), func(t *testing.T) {
+					w, err := workload.Compile(chaosZipfSpec(int64(seed)))
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					if len(w.Roots) < 10 {
+						t.Fatalf("zipf chaos spec compiled to only %d roots; cell is vacuous", len(w.Roots))
+					}
+					runChaosWorkload(t, seed, planName, proto, WrapWorkload(w))
+				})
+			}
+		}
 	}
 }
 

@@ -71,6 +71,14 @@ type Config struct {
 	// epochs a delta may reach back across); <= 0 means
 	// pstore.DefaultDeltaJournalDepth.
 	DeltaJournalDepth int
+	// DedicatedDirectory hosts the GDO on an extra (N+1)-th simulated node
+	// instead of co-locating directory partitions with the data sites.
+	// This mirrors the TCP deployment topology (server.Topology runs the
+	// GDO as its own process), putting every lock/release round trip on
+	// the simulated wire — required for apples-to-apples calibration
+	// against the real cluster. Default false keeps the paper's historical
+	// co-located layout and its exact traces.
+	DedicatedDirectory bool
 }
 
 // withDefaults fills unset fields.
@@ -132,6 +140,11 @@ type Result struct {
 	CommitSeq uint64
 	// Tag is the caller-supplied identity from SubmitTagged.
 	Tag any
+	// At is the submitted arrival time; Done is the virtual time the root
+	// finished (committed or gave up). Done-At is the commit latency the
+	// calibrate loop compares against wall clock on TCP.
+	At   time.Duration
+	Done time.Duration
 }
 
 // NewCluster builds a cluster; classes must be added before objects, and
@@ -148,15 +161,33 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		engines: make(map[ids.NodeID]*node.Engine, cfg.Nodes),
 		stores:  make(map[ids.NodeID]*pstore.Store, cfg.Nodes),
 	}
-	c.net = transport.NewSimNet(cfg.Nodes, cfg.Net, c.rec)
+	// With a dedicated directory the GDO lives on an extra simulated node
+	// (like the TCP deployment's standalone GDO process), so the network
+	// has one env beyond the data sites and every directory op is a real
+	// simulated round trip.
+	simSize := cfg.Nodes
+	dirNode := ids.NodeID(0)
+	homeFn := c.dir.HomeNode
+	if cfg.DedicatedDirectory {
+		simSize = cfg.Nodes + 1
+		dirNode = ids.NodeID(cfg.Nodes + 1)
+		homeFn = func(ids.ObjectID) ids.NodeID { return dirNode }
+	}
+	c.net = transport.NewSimNet(simSize, cfg.Net, c.rec)
 	faultsActive := false
 	if cfg.Faults != nil {
 		inj := fault.NewInjector(*cfg.Faults)
 		faultsActive = inj.Active()
 		c.net.InstallFaults(inj, cfg.Retry)
 	}
-	for i := 1; i <= cfg.Nodes; i++ {
+	for i := 1; i <= simSize; i++ {
 		id := ids.NodeID(i)
+		isDir := cfg.DedicatedDirectory && id == dirNode
+		var dirSvc directory.Service = c.dir
+		if cfg.DedicatedDirectory && !isDir {
+			// Data sites don't serve directory traffic in this layout.
+			dirSvc = nil
+		}
 		store := pstore.NewStore(cfg.PageSize)
 		eng, err := node.New(node.Config{
 			Env:               c.net.Env(id),
@@ -166,9 +197,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Manager:           c.mgr,
 			Protocol:          cfg.Protocol,
 			ProtocolOverrides: cfg.ProtocolOverrides,
-			HomeFn:            c.dir.HomeNode,
+			HomeFn:            homeFn,
 			ShardFn:           c.dir.ShardOf,
-			Dir:               c.dir,
+			Dir:               dirSvc,
 			Rec:               c.rec,
 			MaxRetries:        cfg.MaxRetries,
 			FetchConcurrency:  cfg.FetchConcurrency,
@@ -179,8 +210,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("node %v: %w", id, err)
 		}
-		c.engines[id] = eng
-		c.stores[id] = store
+		if !isDir {
+			c.engines[id] = eng
+			c.stores[id] = store
+		}
 		if faultsActive {
 			// At-least-once delivery needs exactly-once execution: replay
 			// cached replies for duplicated idempotent requests. Inert
@@ -262,6 +295,7 @@ func (c *Cluster) SubmitTagged(at time.Duration, nodeID ids.NodeID, obj ids.Obje
 		c.results = append(c.results, &Result{
 			Node: nodeID, Obj: obj, Method: method, Out: out, Err: err,
 			Family: fam, CommitSeq: seq, Tag: tag,
+			At: at, Done: env.Now(),
 		})
 	})
 	return nil

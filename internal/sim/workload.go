@@ -1,548 +1,60 @@
 package sim
 
 import (
-	"bytes"
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"math/rand"
-	"time"
 
 	"lotec/internal/ids"
-	"lotec/internal/node"
-	"lotec/internal/schema"
+	"lotec/internal/workload"
 )
 
-// WorkloadConfig shapes a randomly generated nested-object-transaction
-// workload (§5: "a number of randomly generated nested object transactions
-// in a simulated distributed system … expressly designed to induce high
-// degrees of conflict in object access").
-type WorkloadConfig struct {
-	// Seed makes the workload reproducible.
-	Seed int64
-	// Objects is the shared-object population size.
-	Objects int
-	// MinPages/MaxPages bound object sizes (the paper's "medium" objects
-	// are 1–5 pages, "large" are 10–20).
-	MinPages int
-	MaxPages int
-	// PageSize must match the cluster's (default 4096).
-	PageSize int
-	// Transactions is the number of root transactions.
-	Transactions int
-	// Nodes is the cluster size roots are load-balanced over.
-	Nodes int
-	// HotFraction of the objects receive HotWeight of the accesses; high
-	// contention ≈ (0.25, 0.85), moderate ≈ (0.5, 0.5).
-	HotFraction float64
-	HotWeight   float64
-	// MaxDepth bounds transaction nesting below the root.
-	MaxDepth int
-	// MaxFanout bounds sub-invocations per [sub-]transaction.
-	MaxFanout int
-	// WriteFraction is the probability an invocation picks an updating
-	// method.
-	WriteFraction float64
-	// ArrivalSpacing is the mean spacing between root arrivals; small
-	// values increase overlap and hence contention.
-	ArrivalSpacing time.Duration
-	// MispredictProb, when positive, makes method bodies additionally
-	// write one undeclared segment with this probability — modelling
-	// imperfect access prediction. Requires a Lenient cluster.
-	MispredictProb float64
-	// PredictionWiden widens every generated method's declared sets by
-	// this many extra segments (ablation: how LOTEC degrades toward OTEC
-	// as prediction gets more conservative).
-	PredictionWiden int
-	// AbortProb is the probability a generated [sub-]transaction fails
-	// after performing its writes, exercising rollback at every nesting
-	// level (failure injection; aborted subtrees are survived by parents
-	// with probability ½, else propagated).
-	AbortProb float64
-	// WriteBytes, when positive, caps how many bytes each declared write
-	// actually modifies (at the attribute's start) instead of rewriting the
-	// whole attribute. Real update methods touch a few fields of a page-sized
-	// object, which is what sub-page delta transfers exploit; 0 keeps the
-	// historical whole-attribute writes (and their exact traces).
-	WriteBytes int
-	// DisorderProb is the probability an invocation ignores the canonical
-	// ascending object-index order. The default (0) emits transactions
-	// that acquire locks in a global order — the standard TP discipline
-	// that makes deadlock structurally impossible; raise it to exercise
-	// the deadlock detector (at the cost of abort/retry storms under high
-	// contention).
-	DisorderProb float64
-}
+// The workload generator lives in internal/workload (shared with the TCP
+// runtime and the spec compiler); this file binds it to the simulated
+// cluster. The aliases keep the historical sim API — every experiment and
+// test keeps reading sim.WorkloadConfig{...} — while the generator itself
+// is runtime-agnostic.
 
-// withDefaults fills unset fields.
-func (c WorkloadConfig) withDefaults() WorkloadConfig {
-	if c.Objects <= 0 {
-		c.Objects = 20
-	}
-	if c.MinPages <= 0 {
-		c.MinPages = 1
-	}
-	if c.MaxPages < c.MinPages {
-		c.MaxPages = c.MinPages
-	}
-	if c.PageSize <= 0 {
-		c.PageSize = 4096
-	}
-	if c.Transactions <= 0 {
-		c.Transactions = 100
-	}
-	if c.Nodes <= 0 {
-		c.Nodes = 8
-	}
-	if c.HotFraction <= 0 || c.HotFraction > 1 {
-		c.HotFraction = 0.25
-	}
-	if c.HotWeight <= 0 || c.HotWeight > 1 {
-		c.HotWeight = 0.85
-	}
-	if c.MaxDepth <= 0 {
-		c.MaxDepth = 3
-	}
-	if c.MaxFanout <= 0 {
-		c.MaxFanout = 3
-	}
-	if c.WriteFraction <= 0 {
-		c.WriteFraction = 0.7
-	}
-	if c.ArrivalSpacing <= 0 {
-		c.ArrivalSpacing = 200 * time.Microsecond
-	}
-	return c
-}
+// WorkloadConfig shapes the legacy randomly generated workload; see
+// workload.Config.
+type WorkloadConfig = workload.Config
 
 // Call is one invocation in a generated transaction tree.
-type Call struct {
-	ObjIndex int
-	Method   string
-	Seed     uint64
-	// ExtraSeg, when > 0, makes the body write segment ExtraSeg-1 without
-	// declaring it (misprediction modelling).
-	ExtraSeg int
-	// Fail makes the body return an error after its writes (rolled back).
-	Fail bool
-	// Tolerate makes a parent survive this child's failure instead of
-	// propagating it.
-	Tolerate bool
-	Children []Call
-}
-
-// FailsOut predicts whether this call aborts out of its own frame: its own
-// injected failure, or an untolerated child failure, propagates upward. A
-// Tolerate'd child absorbs its whole failing subtree — even when the
-// child's own failure came from a grandchild — so the parent survives.
-// Tests compare executed outcomes against this oracle.
-func (c Call) FailsOut() bool {
-	for _, ch := range c.Children {
-		if ch.FailsOut() && !ch.Tolerate {
-			return true
-		}
-	}
-	return c.Fail
-}
+type Call = workload.Call
 
 // RootSpec is one generated root transaction.
-type RootSpec struct {
-	At   time.Duration
-	Node ids.NodeID
-	Call Call
-}
+type RootSpec = workload.RootSpec
 
 // ObjectSpec describes one generated object.
-type ObjectSpec struct {
-	Class ids.ClassID
-	Owner ids.NodeID
-	Pages int
-}
+type ObjectSpec = workload.ObjectSpec
 
-// Workload is a fully generated experiment input: classes, objects and the
-// transaction forest. It is protocol-independent; install it into one
-// cluster per protocol to compare them on identical input.
+// Workload binds a generated workload to the simulated cluster.
 type Workload struct {
-	Cfg     WorkloadConfig
-	Classes []*schema.Class
-	Objects []ObjectSpec
-	Roots   []RootSpec
+	workload.Workload
 }
 
-// segName returns the attribute name of segment i.
-func segName(i int) string { return fmt.Sprintf("seg%d", i) }
-
-// GenerateWorkload builds a reproducible workload from cfg.
+// GenerateWorkload builds a reproducible workload from cfg (the legacy
+// uniform random driver, unchanged traffic).
 func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	w := &Workload{Cfg: cfg}
-
-	// One class per object size; each page is one segment attribute, so
-	// declared attribute sets map 1:1 onto predicted page sets.
-	classBySize := make(map[int]*schema.Class)
-	for size := cfg.MinPages; size <= cfg.MaxPages; size++ {
-		cls, err := buildSizedClass(ids.ClassID(size), size, cfg, rng)
-		if err != nil {
-			return nil, err
-		}
-		classBySize[size] = cls
-		w.Classes = append(w.Classes, cls)
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
 	}
-
-	for i := 0; i < cfg.Objects; i++ {
-		size := cfg.MinPages + rng.Intn(cfg.MaxPages-cfg.MinPages+1)
-		w.Objects = append(w.Objects, ObjectSpec{
-			Class: classBySize[size].ID,
-			Owner: ids.NodeID(1 + rng.Intn(cfg.Nodes)),
-			Pages: size,
-		})
-	}
-
-	for i := 0; i < cfg.Transactions; i++ {
-		at := time.Duration(i)*cfg.ArrivalSpacing +
-			time.Duration(rng.Int63n(int64(cfg.ArrivalSpacing)))
-		call, ok := w.genCall(rng, nil, nil, 0)
-		if !ok {
-			continue
-		}
-		w.Roots = append(w.Roots, RootSpec{
-			At:   at,
-			Node: ids.NodeID(1 + rng.Intn(cfg.Nodes)),
-			Call: call,
-		})
-	}
-	return w, nil
+	return &Workload{*w}, nil
 }
 
-// buildSizedClass creates the class for objects of `size` pages: segment
-// attributes seg0..seg{size-1} (one page each) and six methods — three
-// updaters (w0..w2) and three readers (r0..r2) — with seeded random access
-// subsets ("only a subset of which are normally updated by any
-// method/transaction", §5).
-func buildSizedClass(id ids.ClassID, size int, cfg WorkloadConfig, rng *rand.Rand) (*schema.Class, error) {
-	b := schema.NewClassBuilder(id, fmt.Sprintf("Obj%dp", size))
-	for i := 0; i < size; i++ {
-		b.Attr(segName(i), cfg.PageSize)
-	}
-	subset := func(max int) []string {
-		if max < 1 {
-			max = 1
-		}
-		n := 1 + rng.Intn(max)
-		n += cfg.PredictionWiden
-		if n > size {
-			n = size
-		}
-		perm := rng.Perm(size)
-		out := make([]string, 0, n)
-		for _, p := range perm[:n] {
-			out = append(out, segName(p))
-		}
-		return out
-	}
-	third := (size + 2) / 3
-	half := (size + 1) / 2
-	for i := 0; i < 3; i++ {
-		b.Method(schema.MethodSpec{
-			Name:   fmt.Sprintf("w%d", i),
-			Writes: subset(third),
-			Reads:  subset(third),
-		})
-	}
-	for i := 0; i < 3; i++ {
-		b.Method(schema.MethodSpec{
-			Name:  fmt.Sprintf("r%d", i),
-			Reads: subset(half),
-		})
-	}
-	return b.Build()
-}
-
-// pickObject draws an object index ≥ minIdx with the configured hot-set
-// skew, avoiding indexes on the exclusion path (mutually recursive
-// invocations are precluded, §3.4).
-func (w *Workload) pickObject(rng *rand.Rand, exclude map[int]bool, minIdx int) (int, bool) {
-	total := len(w.Objects)
-	if minIdx >= total {
-		return 0, false
-	}
-	hot := int(float64(total) * w.Cfg.HotFraction)
-	if hot < 1 {
-		hot = 1
-	}
-	for tries := 0; tries < 20; tries++ {
-		var idx int
-		if rng.Float64() < w.Cfg.HotWeight && minIdx < hot {
-			idx = minIdx + rng.Intn(hot-minIdx)
-		} else {
-			idx = minIdx + rng.Intn(total-minIdx)
-		}
-		if !exclude[idx] {
-			return idx, true
-		}
-	}
-	return 0, false
-}
-
-// genCall builds one random invocation subtree. cursor tracks the highest
-// object index acquired so far on the family's depth-first path: picking
-// strictly above it yields globally ordered lock acquisition (deadlock-free
-// by construction); DisorderProb occasionally breaks the order.
-func (w *Workload) genCall(rng *rand.Rand, path map[int]bool, cursor *int, depth int) (Call, bool) {
-	if path == nil {
-		path = make(map[int]bool)
-	}
-	if cursor == nil {
-		c := -1
-		cursor = &c
-	}
-	minIdx := *cursor + 1
-	if w.Cfg.DisorderProb > 0 && rng.Float64() < w.Cfg.DisorderProb {
-		minIdx = 0
-	}
-	idx, ok := w.pickObject(rng, path, minIdx)
-	if !ok {
-		return Call{}, false
-	}
-	if idx > *cursor {
-		*cursor = idx
-	}
-	size := w.Objects[idx].Pages
-	var method string
-	if rng.Float64() < w.Cfg.WriteFraction {
-		method = fmt.Sprintf("w%d", rng.Intn(3))
-	} else {
-		method = fmt.Sprintf("r%d", rng.Intn(3))
-	}
-	c := Call{
-		ObjIndex: idx,
-		Method:   method,
-		Seed:     rng.Uint64(),
-	}
-	if w.Cfg.MispredictProb > 0 && rng.Float64() < w.Cfg.MispredictProb {
-		c.ExtraSeg = 1 + rng.Intn(size)
-	}
-	if w.Cfg.AbortProb > 0 && rng.Float64() < w.Cfg.AbortProb {
-		c.Fail = true
-		c.Tolerate = rng.Float64() < 0.5
-	}
-	if depth < w.Cfg.MaxDepth {
-		budget := w.Cfg.MaxFanout - depth
-		if budget > 0 {
-			n := rng.Intn(budget + 1)
-			path[idx] = true
-			for i := 0; i < n; i++ {
-				child, ok := w.genCall(rng, path, cursor, depth+1)
-				if ok {
-					c.Children = append(c.Children, child)
-				}
-			}
-			delete(path, idx)
-		}
-	}
-	return c, true
-}
-
-// script is the runtime form of a Call, carried in the invocation argument.
-type script struct {
-	seed     uint64
-	extraSeg int
-	fail     bool
-	children []childRef
-}
-
-type childRef struct {
-	obj      ids.ObjectID
-	method   string
-	tolerate bool
-	arg      []byte
+// WrapWorkload binds an externally built workload (e.g. a compiled spec,
+// workload.Compile) to the simulated cluster API.
+func WrapWorkload(w *workload.Workload) *Workload {
+	return &Workload{*w}
 }
 
 // encodeCall resolves object indexes against the created objects and
 // serializes the subtree for the generic body.
 func encodeCall(objs []ids.ObjectID, c Call) []byte {
-	var buf bytes.Buffer
-	var u64 [8]byte
-	var u32 [4]byte
-	put64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(u64[:], v)
-		buf.Write(u64[:])
-	}
-	put32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(u32[:], v)
-		buf.Write(u32[:])
-	}
-	put64(c.Seed)
-	put32(uint32(c.ExtraSeg))
-	flags := uint32(0)
-	if c.Fail {
-		flags |= 1
-	}
-	put32(flags)
-	put32(uint32(len(c.Children)))
-	for _, ch := range c.Children {
-		put64(uint64(objs[ch.ObjIndex]))
-		m := []byte(ch.Method)
-		put32(uint32(len(m)))
-		buf.Write(m)
-		cflags := uint32(0)
-		if ch.Tolerate {
-			cflags |= 1
-		}
-		put32(cflags)
-		sub := encodeCall(objs, ch)
-		put32(uint32(len(sub)))
-		buf.Write(sub)
-	}
-	return buf.Bytes()
-}
-
-// decodeScript parses an encoded Call argument.
-func decodeScript(arg []byte) (script, error) {
-	var sc script
-	r := bytes.NewReader(arg)
-	var u64 [8]byte
-	var u32 [4]byte
-	get64 := func() (uint64, error) {
-		if _, err := r.Read(u64[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint64(u64[:]), nil
-	}
-	get32 := func() (uint32, error) {
-		if _, err := r.Read(u32[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(u32[:]), nil
-	}
-	seed, err := get64()
-	if err != nil {
-		return sc, fmt.Errorf("sim: bad script: %w", err)
-	}
-	sc.seed = seed
-	extra, err := get32()
-	if err != nil {
-		return sc, fmt.Errorf("sim: bad script: %w", err)
-	}
-	sc.extraSeg = int(extra)
-	flags, err := get32()
-	if err != nil {
-		return sc, fmt.Errorf("sim: bad script: %w", err)
-	}
-	sc.fail = flags&1 != 0
-	n, err := get32()
-	if err != nil {
-		return sc, fmt.Errorf("sim: bad script: %w", err)
-	}
-	for i := uint32(0); i < n; i++ {
-		obj, err := get64()
-		if err != nil {
-			return sc, fmt.Errorf("sim: bad script child: %w", err)
-		}
-		mlen, err := get32()
-		if err != nil {
-			return sc, fmt.Errorf("sim: bad script child: %w", err)
-		}
-		m := make([]byte, mlen)
-		if _, err := r.Read(m); err != nil {
-			return sc, fmt.Errorf("sim: bad script child: %w", err)
-		}
-		cflags, err := get32()
-		if err != nil {
-			return sc, fmt.Errorf("sim: bad script child: %w", err)
-		}
-		alen, err := get32()
-		if err != nil {
-			return sc, fmt.Errorf("sim: bad script child: %w", err)
-		}
-		a := make([]byte, alen)
-		if alen > 0 {
-			if _, err := r.Read(a); err != nil {
-				return sc, fmt.Errorf("sim: bad script child: %w", err)
-			}
-		}
-		sc.children = append(sc.children, childRef{
-			obj:      ids.ObjectID(obj),
-			method:   string(m),
-			tolerate: cflags&1 != 0,
-			arg:      a,
-		})
-	}
-	return sc, nil
-}
-
-// genericBody interprets a script: read the method's declared read set,
-// derive new contents from what was read (so serialization order is
-// observable), write the declared write set, optionally perform one
-// undeclared write, then run the sub-invocations in order.
-func genericBody(ctx *node.Ctx) error { return genericBodyWith(ctx, 0) }
-
-// genericBodyWith is genericBody with the WorkloadConfig.WriteBytes cap:
-// writeBytes > 0 narrows each declared write to that many leading bytes.
-func genericBodyWith(ctx *node.Ctx, writeBytes int) error {
-	sc, err := decodeScript(ctx.Arg())
-	if err != nil {
-		return err
-	}
-	m := ctx.Method()
-	cls := ctx.Class()
-	var acc byte
-	for _, aid := range m.Reads {
-		a, err := cls.Attr(aid)
-		if err != nil {
-			return err
-		}
-		b, err := ctx.ReadAt(a.Name, 0, 1)
-		if err != nil {
-			return err
-		}
-		acc += b[0]
-	}
-	seedByte := byte(sc.seed)
-	for _, aid := range m.Writes {
-		a, err := cls.Attr(aid)
-		if err != nil {
-			return err
-		}
-		old, err := ctx.ReadAt(a.Name, 0, 1)
-		if err != nil {
-			return err
-		}
-		n := a.Size
-		if writeBytes > 0 && writeBytes < n {
-			n = writeBytes
-		}
-		fill := bytes.Repeat([]byte{old[0] + seedByte + acc + 1}, n)
-		if err := ctx.WriteAt(a.Name, 0, fill); err != nil {
-			return err
-		}
-	}
-	if sc.extraSeg > 0 {
-		if err := ctx.WriteAt(segName(sc.extraSeg-1), 0, []byte{seedByte + 1}); err != nil {
-			return err
-		}
-	}
-	for _, ch := range sc.children {
-		if _, err := ctx.Invoke(ch.obj, ch.method, ch.arg); err != nil {
-			if ch.tolerate && errors.Is(err, errInjectedFailure) {
-				// Closed nesting: the child is rolled back; this parent
-				// carries on (§3.2's "no unnecessary transaction roll
-				// backs").
-				continue
-			}
-			return err
-		}
-	}
-	if sc.fail {
-		return errInjectedFailure
-	}
-	ctx.SetResult([]byte{acc})
-	return nil
+	return workload.EncodeCall(objs, c)
 }
 
 // errInjectedFailure marks workload-injected aborts.
-var errInjectedFailure = errors.New("sim: injected transaction failure")
+var errInjectedFailure = workload.ErrInjected
 
 // Install adds the workload's classes, bodies and objects to a cluster and
 // returns the created object IDs (indexable by ObjIndex).
@@ -555,11 +67,7 @@ func (w *Workload) Install(c *Cluster) ([]ids.ObjectID, error) {
 		return nil, fmt.Errorf("sim: workload wants %d nodes, cluster has %d",
 			w.Cfg.Nodes, c.Nodes())
 	}
-	body := genericBody
-	if w.Cfg.WriteBytes > 0 {
-		wb := w.Cfg.WriteBytes
-		body = func(ctx *node.Ctx) error { return genericBodyWith(ctx, wb) }
-	}
+	body := workload.Body(w.Cfg.WriteBytes)
 	for _, cls := range w.Classes {
 		if err := c.AddClass(cls); err != nil {
 			return nil, err

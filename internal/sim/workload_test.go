@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"lotec/internal/core"
-	"lotec/internal/ids"
 )
 
 func smallWorkload(seed int64) WorkloadConfig {
@@ -87,36 +86,6 @@ func TestWorkloadRunsToCompletion(t *testing.T) {
 				t.Errorf("commits = %d", c.Recorder().Counters().Commits)
 			}
 		})
-	}
-}
-
-func TestWorkloadScriptRoundTrip(t *testing.T) {
-	call := Call{
-		ObjIndex: 1, Method: "w0", Seed: 99, ExtraSeg: 2,
-		Children: []Call{
-			{ObjIndex: 0, Method: "r1", Seed: 5},
-			{ObjIndex: 2, Method: "w2", Seed: 6, Children: []Call{
-				{ObjIndex: 3, Method: "r0", Seed: 7},
-			}},
-		},
-	}
-	objs := []ids.ObjectID{10, 11, 12, 13}
-	sc, err := decodeScript(encodeCall(objs, call))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sc.seed != 99 || sc.extraSeg != 2 || len(sc.children) != 2 {
-		t.Fatalf("script = %+v", sc)
-	}
-	if sc.children[0].obj != 10 || sc.children[0].method != "r1" {
-		t.Errorf("child0 = %+v", sc.children[0])
-	}
-	inner, err := decodeScript(sc.children[1].arg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(inner.children) != 1 || inner.children[0].obj != 13 {
-		t.Errorf("inner = %+v", inner)
 	}
 }
 

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram is a log-linear histogram of non-negative int64 samples (HDR
+// style): each power-of-two range is split into 2^histSubBits linear
+// sub-buckets, bounding the relative quantile error at 2^-histSubBits
+// (≈3%) regardless of the value range. It is deterministic — identical
+// multisets of samples produce identical histograms and quantiles no
+// matter the insertion order — and mergeable, which is what lets the
+// calibrate loop aggregate per-class latency across nodes and runs.
+//
+// The zero value is ready to use. Not safe for concurrent use; callers
+// that record from multiple goroutines must serialize (the sim records
+// from the event loop, the TCP harness from a mutex-guarded collector).
+type Histogram struct {
+	counts map[int]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// histSubBits sets the sub-bucket resolution: 2^5 = 32 linear sub-buckets
+// per power of two.
+const histSubBits = 5
+
+const histSubCount = 1 << histSubBits // 32
+
+// histIndex maps a non-negative value to its bucket index. Values below
+// 2·histSubCount get exact (identity) buckets; above that, the top
+// histSubBits+1 significant bits select the bucket.
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < 2*histSubCount {
+		return int(u)
+	}
+	shift := bits.Len64(u) - histSubBits - 1
+	top := int(u >> uint(shift)) // ∈ [histSubCount, 2·histSubCount)
+	return histSubCount*shift + top
+}
+
+// histLow returns the lowest value mapping to bucket idx (saturating at
+// MaxInt64 for the open top bucket).
+func histLow(idx int) int64 {
+	if idx < 2*histSubCount {
+		return int64(idx)
+	}
+	// idx = histSubCount·shift + top with top ∈ [histSubCount, 2·histSubCount).
+	shift := idx/histSubCount - 1
+	top := uint64(histSubCount + idx%histSubCount)
+	lo := top << uint(shift)
+	if lo > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(lo)
+}
+
+// histMid returns the representative value of bucket idx (its midpoint).
+func histMid(idx int) int64 {
+	lo := histLow(idx)
+	hi := histLow(idx + 1)
+	return lo + (hi-lo)/2
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[histIndex(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the exact sum of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min and Max return the exact extremes (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the exact sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Merge folds other into h. The result is identical to having recorded
+// both sample streams into one histogram, in any order.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	// Sparse index walk: iterate the dense index range instead of ranging
+	// over the map, keeping merge deterministic by construction.
+	for idx := 0; idx <= histIndex(other.max); idx++ {
+		if c := other.counts[idx]; c > 0 {
+			h.counts[idx] += c
+		}
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Quantile returns the value at quantile q ∈ [0,1] (0 when empty). The
+// returned value is a bucket representative clamped to the recorded
+// [Min, Max], so its relative error vs the true order statistic is at
+// most 2^-histSubBits.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the q-th order statistic, 1-based, nearest-rank method.
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for idx := 0; idx <= histIndex(h.max); idx++ {
+		c := h.counts[idx]
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			v := histMid(idx)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

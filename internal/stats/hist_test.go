@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram not zero-valued")
+	}
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		h.Record(v)
+	}
+	if h.Count() != 5 || h.Sum() != 25 || h.Min() != 1 || h.Max() != 9 {
+		t.Errorf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	// Small values land in exact buckets: quantiles are exact.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := h.Quantile(1); got != 9 {
+		t.Errorf("p100 = %d, want 9", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %d, want 1", got)
+	}
+	h.Record(-3) // clamps to 0
+	if h.Min() != 0 {
+		t.Errorf("negative sample did not clamp: min=%d", h.Min())
+	}
+}
+
+// Quantile error must stay within the log-linear bound (2^-histSubBits
+// relative) against the true order statistics.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Latency-like spread: ~lognormal over ~5 decades.
+		v := int64(1000 * math.Exp(rng.NormFloat64()*2))
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	bound := 1.0 / float64(int(1)<<histSubBits)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(len(samples)))) - 1
+		truth := samples[rank]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got-truth)) / float64(truth)
+		if relErr > bound {
+			t.Errorf("q=%v: got %d, true %d, rel err %.4f > bound %.4f",
+				q, got, truth, relErr, bound)
+		}
+	}
+}
+
+// Identical multisets must produce identical histograms regardless of
+// insertion order (the determinism contract the calibrate table relies on).
+func TestHistogramOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]int64, 5000)
+	for i := range samples {
+		samples[i] = rng.Int63n(1 << 40)
+	}
+	var a, b Histogram
+	for _, v := range samples {
+		a.Record(v)
+	}
+	perm := rng.Perm(len(samples))
+	for _, i := range perm {
+		b.Record(samples[i])
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("q=%v differs across insertion orders: %d vs %d", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	if a.Sum() != b.Sum() || a.Count() != b.Count() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Error("aggregates differ across insertion orders")
+	}
+}
+
+// Merging two histograms must equal recording both streams into one.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var whole, left, right Histogram
+	for i := 0; i < 4000; i++ {
+		v := rng.Int63n(1 << 30)
+		whole.Record(v)
+		if i%2 == 0 {
+			left.Record(v)
+		} else {
+			right.Record(v)
+		}
+	}
+	var merged Histogram
+	merged.Merge(&left)
+	merged.Merge(&right)
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Error("merged aggregates differ from whole-stream aggregates")
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %d != whole %d", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := merged.Count()
+	merged.Merge(nil)
+	merged.Merge(&Histogram{})
+	if merged.Count() != before {
+		t.Error("merging empty changed the histogram")
+	}
+	// Merging into an empty histogram copies.
+	var fresh Histogram
+	fresh.Merge(&whole)
+	if fresh.Quantile(0.5) != whole.Quantile(0.5) || fresh.Min() != whole.Min() {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+// Bucket indexing must be monotone and self-consistent.
+func TestHistogramIndexing(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 63, 64, 65, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		idx := histIndex(v)
+		if idx < prev {
+			t.Fatalf("histIndex not monotone at %d", v)
+		}
+		prev = idx
+		lo, hi := histLow(idx), histLow(idx+1)
+		if v < lo || (v >= hi && hi != math.MaxInt64) {
+			t.Errorf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+		mid := histMid(idx)
+		if mid < lo || mid >= hi {
+			t.Errorf("midpoint %d outside bucket [%d,%d)", mid, lo, hi)
+		}
+	}
+	// Exact region: values below 2·histSubCount are their own bucket.
+	for v := int64(0); v < 2*histSubCount; v++ {
+		if histLow(histIndex(v)) != v {
+			t.Errorf("exact region broken at %d", v)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import "lotec/internal/stats"
+
+// ClassKPI is one class's measured key performance indicators for one run
+// — the per-class rows of the calibrate table.
+type ClassKPI struct {
+	Class     string  `json:"class"`
+	Roots     int64   `json:"roots"`
+	Commits   int64   `json:"commits"`
+	Aborts    int64   `json:"aborts"`
+	AbortRate float64 `json:"abort_rate"`
+	// Latency of committed roots in nanoseconds (virtual time on the
+	// simulator, wall time on TCP).
+	LatP50Ns  int64   `json:"lat_p50_ns"`
+	LatP95Ns  int64   `json:"lat_p95_ns"`
+	LatP99Ns  int64   `json:"lat_p99_ns"`
+	LatMeanNs float64 `json:"lat_mean_ns"`
+}
+
+// KPICollector accumulates per-class outcomes. Classes report in
+// registration order (spec order), never map order, so output is
+// deterministic. Not safe for concurrent use.
+type KPICollector struct {
+	order   []string
+	byClass map[string]*classAcc
+}
+
+type classAcc struct {
+	roots   int64
+	commits int64
+	aborts  int64
+	lat     stats.Histogram
+}
+
+// NewKPICollector pre-registers the given classes (usually
+// Workload.ClassNames) so they appear in the output even with zero
+// traffic. The legacy driver's empty class name registers as "all".
+func NewKPICollector(classes []string) *KPICollector {
+	k := &KPICollector{byClass: make(map[string]*classAcc)}
+	for _, c := range classes {
+		k.class(c)
+	}
+	return k
+}
+
+func (k *KPICollector) class(name string) *classAcc {
+	if name == "" {
+		name = "all"
+	}
+	if acc, ok := k.byClass[name]; ok {
+		return acc
+	}
+	acc := &classAcc{}
+	k.byClass[name] = acc
+	k.order = append(k.order, name)
+	return acc
+}
+
+// Observe records one root outcome: its class, latency (only meaningful
+// for commits) and whether it committed.
+func (k *KPICollector) Observe(class string, latencyNs int64, committed bool) {
+	acc := k.class(class)
+	acc.roots++
+	if committed {
+		acc.commits++
+		acc.lat.Record(latencyNs)
+	} else {
+		acc.aborts++
+	}
+}
+
+// Rows returns the per-class KPI table in registration order.
+func (k *KPICollector) Rows() []ClassKPI {
+	rows := make([]ClassKPI, 0, len(k.order))
+	for _, name := range k.order {
+		acc := k.byClass[name]
+		row := ClassKPI{
+			Class:     name,
+			Roots:     acc.roots,
+			Commits:   acc.commits,
+			Aborts:    acc.aborts,
+			LatP50Ns:  acc.lat.Quantile(0.50),
+			LatP95Ns:  acc.lat.Quantile(0.95),
+			LatP99Ns:  acc.lat.Quantile(0.99),
+			LatMeanNs: acc.lat.Mean(),
+		}
+		if acc.roots > 0 {
+			row.AbortRate = float64(acc.aborts) / float64(acc.roots)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

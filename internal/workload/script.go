@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lotec/internal/ids"
+	"lotec/internal/node"
+)
+
+// script is the runtime form of a Call, carried in the invocation argument.
+type script struct {
+	seed     uint64
+	extraSeg int
+	fail     bool
+	children []childRef
+}
+
+type childRef struct {
+	obj      ids.ObjectID
+	method   string
+	tolerate bool
+	arg      []byte
+}
+
+// EncodeCall resolves object indexes against the created objects and
+// serializes the subtree for the generic body.
+func EncodeCall(objs []ids.ObjectID, c Call) []byte {
+	var buf bytes.Buffer
+	var u64 [8]byte
+	var u32 [4]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf.Write(u64[:])
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf.Write(u32[:])
+	}
+	put64(c.Seed)
+	put32(uint32(c.ExtraSeg))
+	flags := uint32(0)
+	if c.Fail {
+		flags |= 1
+	}
+	put32(flags)
+	put32(uint32(len(c.Children)))
+	for _, ch := range c.Children {
+		put64(uint64(objs[ch.ObjIndex]))
+		m := []byte(ch.Method)
+		put32(uint32(len(m)))
+		buf.Write(m)
+		cflags := uint32(0)
+		if ch.Tolerate {
+			cflags |= 1
+		}
+		put32(cflags)
+		sub := EncodeCall(objs, ch)
+		put32(uint32(len(sub)))
+		buf.Write(sub)
+	}
+	return buf.Bytes()
+}
+
+// decodeScript parses an encoded Call argument.
+func decodeScript(arg []byte) (script, error) {
+	var sc script
+	r := bytes.NewReader(arg)
+	var u64 [8]byte
+	var u32 [4]byte
+	get64 := func() (uint64, error) {
+		if _, err := r.Read(u64[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	get32 := func() (uint32, error) {
+		if _, err := r.Read(u32[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	seed, err := get64()
+	if err != nil {
+		return sc, fmt.Errorf("workload: bad script: %w", err)
+	}
+	sc.seed = seed
+	extra, err := get32()
+	if err != nil {
+		return sc, fmt.Errorf("workload: bad script: %w", err)
+	}
+	sc.extraSeg = int(extra)
+	flags, err := get32()
+	if err != nil {
+		return sc, fmt.Errorf("workload: bad script: %w", err)
+	}
+	sc.fail = flags&1 != 0
+	n, err := get32()
+	if err != nil {
+		return sc, fmt.Errorf("workload: bad script: %w", err)
+	}
+	for i := uint32(0); i < n; i++ {
+		obj, err := get64()
+		if err != nil {
+			return sc, fmt.Errorf("workload: bad script child: %w", err)
+		}
+		mlen, err := get32()
+		if err != nil {
+			return sc, fmt.Errorf("workload: bad script child: %w", err)
+		}
+		m := make([]byte, mlen)
+		if _, err := r.Read(m); err != nil {
+			return sc, fmt.Errorf("workload: bad script child: %w", err)
+		}
+		cflags, err := get32()
+		if err != nil {
+			return sc, fmt.Errorf("workload: bad script child: %w", err)
+		}
+		alen, err := get32()
+		if err != nil {
+			return sc, fmt.Errorf("workload: bad script child: %w", err)
+		}
+		a := make([]byte, alen)
+		if alen > 0 {
+			if _, err := r.Read(a); err != nil {
+				return sc, fmt.Errorf("workload: bad script child: %w", err)
+			}
+		}
+		sc.children = append(sc.children, childRef{
+			obj:      ids.ObjectID(obj),
+			method:   string(m),
+			tolerate: cflags&1 != 0,
+			arg:      a,
+		})
+	}
+	return sc, nil
+}
+
+// Body returns the generic method body that interprets encoded Call
+// scripts: read the method's declared read set, derive new contents from
+// what was read (so serialization order is observable), write the declared
+// write set, optionally perform one undeclared write, then run the
+// sub-invocations in order. writeBytes > 0 narrows each declared write to
+// that many leading bytes (Config.WriteBytes); 0 rewrites whole attributes.
+func Body(writeBytes int) node.MethodFunc {
+	return func(ctx *node.Ctx) error { return runScript(ctx, writeBytes) }
+}
+
+func runScript(ctx *node.Ctx, writeBytes int) error {
+	sc, err := decodeScript(ctx.Arg())
+	if err != nil {
+		return err
+	}
+	m := ctx.Method()
+	cls := ctx.Class()
+	var acc byte
+	for _, aid := range m.Reads {
+		a, err := cls.Attr(aid)
+		if err != nil {
+			return err
+		}
+		b, err := ctx.ReadAt(a.Name, 0, 1)
+		if err != nil {
+			return err
+		}
+		acc += b[0]
+	}
+	seedByte := byte(sc.seed)
+	for _, aid := range m.Writes {
+		a, err := cls.Attr(aid)
+		if err != nil {
+			return err
+		}
+		old, err := ctx.ReadAt(a.Name, 0, 1)
+		if err != nil {
+			return err
+		}
+		n := a.Size
+		if writeBytes > 0 && writeBytes < n {
+			n = writeBytes
+		}
+		fill := bytes.Repeat([]byte{old[0] + seedByte + acc + 1}, n)
+		if err := ctx.WriteAt(a.Name, 0, fill); err != nil {
+			return err
+		}
+	}
+	if sc.extraSeg > 0 {
+		if err := ctx.WriteAt(segName(sc.extraSeg-1), 0, []byte{seedByte + 1}); err != nil {
+			return err
+		}
+	}
+	for _, ch := range sc.children {
+		if _, err := ctx.Invoke(ch.obj, ch.method, ch.arg); err != nil {
+			if ch.tolerate && errors.Is(err, ErrInjected) {
+				// Closed nesting: the child is rolled back; this parent
+				// carries on (§3.2's "no unnecessary transaction roll
+				// backs").
+				continue
+			}
+			return err
+		}
+	}
+	if sc.fail {
+		return ErrInjected
+	}
+	ctx.SetResult([]byte{acc})
+	return nil
+}
+
+// ErrInjected marks workload-injected aborts. The text keeps the historical
+// "sim:" prefix because it crosses the wire inside error strings and
+// committed traces compare byte-for-byte.
+var ErrInjected = errors.New("sim: injected transaction failure")

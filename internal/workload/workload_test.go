@@ -1,0 +1,454 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lotec/internal/ids"
+)
+
+func TestScriptRoundTrip(t *testing.T) {
+	call := Call{
+		ObjIndex: 1, Method: "w0", Seed: 99, ExtraSeg: 2,
+		Children: []Call{
+			{ObjIndex: 0, Method: "r1", Seed: 5},
+			{ObjIndex: 2, Method: "w2", Seed: 6, Children: []Call{
+				{ObjIndex: 3, Method: "r0", Seed: 7},
+			}},
+		},
+	}
+	objs := []ids.ObjectID{10, 11, 12, 13}
+	sc, err := decodeScript(EncodeCall(objs, call))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.seed != 99 || sc.extraSeg != 2 || len(sc.children) != 2 {
+		t.Fatalf("script = %+v", sc)
+	}
+	if sc.children[0].obj != 10 || sc.children[0].method != "r1" {
+		t.Errorf("child0 = %+v", sc.children[0])
+	}
+	inner, err := decodeScript(sc.children[1].arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.children) != 1 || inner.children[0].obj != 13 {
+		t.Errorf("inner = %+v", inner)
+	}
+}
+
+func sameWorkload(a, b *Workload) bool {
+	if len(a.Roots) != len(b.Roots) || len(a.Objects) != len(b.Objects) {
+		return false
+	}
+	for i := range a.Objects {
+		if a.Objects[i] != b.Objects[i] {
+			return false
+		}
+	}
+	for i := range a.Roots {
+		ra, rb := a.Roots[i], b.Roots[i]
+		if ra.At != rb.At || ra.Node != rb.Node || ra.Class != rb.Class {
+			return false
+		}
+		var walk func(x, y Call) bool
+		walk = func(x, y Call) bool {
+			if x.ObjIndex != y.ObjIndex || x.Method != y.Method || x.Seed != y.Seed ||
+				x.Fail != y.Fail || x.Tolerate != y.Tolerate || len(x.Children) != len(y.Children) {
+				return false
+			}
+			for j := range x.Children {
+				if !walk(x.Children[j], y.Children[j]) {
+					return false
+				}
+			}
+			return true
+		}
+		if !walk(ra.Call, rb.Call) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	for _, name := range PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			spec, ok := Preset(name)
+			if !ok {
+				t.Fatalf("preset %q missing", name)
+			}
+			a, err := Compile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Compile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameWorkload(a, b) {
+				t.Error("same spec compiled to different schedules")
+			}
+			if a.SpecHash == "" || a.SpecHash != b.SpecHash {
+				t.Errorf("spec hash unstable: %q vs %q", a.SpecHash, b.SpecHash)
+			}
+			if a.Name != name {
+				t.Errorf("workload name = %q, want %q", a.Name, name)
+			}
+			if len(a.Roots) == 0 {
+				t.Error("preset compiled to an empty schedule")
+			}
+		})
+	}
+}
+
+func TestCompileSeedSensitivity(t *testing.T) {
+	spec, _ := Preset("zipf-hot")
+	a, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, _ := Preset("zipf-hot")
+	spec2.Seed = 2
+	b, err := Compile(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameWorkload(a, b) {
+		t.Error("different seeds compiled to identical schedules")
+	}
+	if a.SpecHash == b.SpecHash {
+		t.Error("seed change did not change spec hash")
+	}
+}
+
+// Editing one class must not perturb another class's stream: that is the
+// point of per-(class, purpose) sub-seeded RNGs.
+func TestCompileClassIsolation(t *testing.T) {
+	spec, _ := Preset("zipf-hot")
+	a, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, _ := Preset("zipf-hot")
+	spec2.Classes[0].Rate.MeanHz *= 3 // triple the writer class only
+	b, err := Compile(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(w *Workload, class string) []RootSpec {
+		var out []RootSpec
+		for _, r := range w.Roots {
+			if r.Class == class {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	ra, rb := pick(a, "reader"), pick(b, "reader")
+	if len(ra) != len(rb) {
+		t.Fatalf("reader stream resized: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].At != rb[i].At || ra[i].Call.Seed != rb[i].Call.Seed {
+			t.Fatalf("reader root %d perturbed by writer-class edit", i)
+		}
+	}
+	if len(pick(b, "writer")) <= len(pick(a, "writer")) {
+		t.Error("tripling the writer rate did not grow the writer stream")
+	}
+}
+
+func TestCompileScheduleShape(t *testing.T) {
+	spec, _ := Preset("zipf-hot")
+	w, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := spec.horizon()
+	var last time.Duration
+	for i, r := range w.Roots {
+		if r.At < last {
+			t.Fatalf("roots not sorted by arrival at %d", i)
+		}
+		last = r.At
+		if r.At >= horizon {
+			t.Fatalf("root %d at %v beyond horizon %v", i, r.At, horizon)
+		}
+		if r.Node < 1 || int(r.Node) > spec.Nodes {
+			t.Fatalf("root %d on node %d outside 1..%d", i, r.Node, spec.Nodes)
+		}
+		if r.Class != "writer" && r.Class != "reader" {
+			t.Fatalf("root %d has class %q", i, r.Class)
+		}
+	}
+	if w.Cfg.Transactions != len(w.Roots) {
+		t.Errorf("Cfg.Transactions = %d, want %d", w.Cfg.Transactions, len(w.Roots))
+	}
+	if got, want := w.ClassNames, []string{"writer", "reader"}; len(got) != 2 ||
+		got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("ClassNames = %v", got)
+	}
+}
+
+// Zipf object selection must actually skew: the head object should see far
+// more than its uniform share of accesses.
+func TestCompileZipfObjectSkew(t *testing.T) {
+	spec, _ := Preset("zipf-hot")
+	w, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, spec.Objects.Count)
+	var total int
+	var walk func(c Call)
+	walk = func(c Call) {
+		counts[c.ObjIndex]++
+		total++
+		for _, ch := range c.Children {
+			walk(ch)
+		}
+	}
+	for _, r := range w.Roots {
+		walk(r.Call)
+	}
+	uniformShare := float64(total) / float64(spec.Objects.Count)
+	if float64(counts[0]) < 2*uniformShare {
+		t.Errorf("object 0 saw %d of %d accesses; want ≥ 2× the uniform share %.0f",
+			counts[0], total, uniformShare)
+	}
+}
+
+// The diurnal envelope must modulate arrivals: peak-envelope windows see
+// more traffic than trough windows.
+func TestCompileDiurnalEnvelope(t *testing.T) {
+	spec, _ := Preset("diurnal")
+	w, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := time.Duration(spec.Classes[0].Arrivals.PeriodMs * float64(time.Millisecond))
+	var peak, trough int
+	for _, r := range w.Roots {
+		phase := float64(r.At%period) / float64(period)
+		switch {
+		case phase >= 0.10 && phase < 0.40: // around sin peak (phase 0.25)
+			peak++
+		case phase >= 0.60 && phase < 0.90: // around sin trough (phase 0.75)
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Errorf("diurnal envelope did not modulate: peak window %d ≤ trough window %d", peak, trough)
+	}
+}
+
+func TestCompileRespectsMaxRoots(t *testing.T) {
+	spec, _ := Preset("write-heavy")
+	spec.MaxRoots = 10
+	if _, err := Compile(spec); err == nil {
+		t.Error("overflowing max_roots should fail")
+	}
+}
+
+func TestParseSpecValidation(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{`)); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("spec without classes or legacy should fail")
+	}
+	if _, err := ParseSpec([]byte(`{"classes":[{"name":"a","rate":{"dist":"bogus"}}]}`)); err == nil {
+		t.Error("unknown rate dist should fail")
+	}
+	if _, err := ParseSpec([]byte(`{"classes":[{"name":"a"},{"name":"a"}]}`)); err == nil {
+		t.Error("duplicate class names should fail")
+	}
+	s, err := ParseSpec([]byte(`{"seed":7,"classes":[{"name":"a","population":50,"rate":{"mean_hz":40}}],"horizon_ms":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "custom" || s.Nodes != 8 || s.PageSize != 4096 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	w, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Roots) == 0 {
+		t.Error("parsed spec compiled to empty schedule")
+	}
+}
+
+func TestLoadSpecPreset(t *testing.T) {
+	s, err := LoadSpec("zipf-hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "zipf-hot" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if _, err := LoadSpec("no-such-preset-or-file"); err == nil {
+		t.Error("unknown spec arg should fail")
+	}
+}
+
+func TestSpecHashStability(t *testing.T) {
+	a, _ := Preset("zipf-hot")
+	b, _ := Preset("zipf-hot")
+	if a.Hash() != b.Hash() {
+		t.Error("identical specs hash differently")
+	}
+	c, _ := Preset("diurnal")
+	if a.Hash() == c.Hash() {
+		t.Error("different specs hash identically")
+	}
+	// Defaults are part of the identity: a sparse spec and its defaulted
+	// form hash the same.
+	sparse := Spec{Name: "zipf-hot", Seed: a.Seed, Nodes: a.Nodes,
+		Objects: a.Objects, HorizonMs: a.HorizonMs, Classes: a.Classes}
+	if sparse.Hash() != a.Hash() {
+		t.Error("defaulting changed the spec hash")
+	}
+}
+
+func TestRateBucketsZipfSkew(t *testing.T) {
+	cls := &ClientClass{Name: "c", Population: 100000,
+		Rate: RateDist{Dist: "zipf", MeanHz: 2, S: 1.2}}
+	tbl, total := rateBuckets(cls)
+	if want := 2.0 * 100000; math.Abs(total-want) > 1e-6 {
+		t.Errorf("aggregate rate = %v, want %v", total, want)
+	}
+	// The first bucket (head ranks) must carry far more than its
+	// uniform share of the rate mass.
+	head := tbl.cum[0]
+	mass := tbl.cum[len(tbl.cum)-1]
+	if head < 10*mass/float64(len(tbl.cum)) {
+		t.Errorf("zipf head bucket carries %.4f of mass; expected heavy skew", head/mass)
+	}
+	// pick must stay in range and favour the head.
+	rng := rand.New(rand.NewSource(1))
+	headHits := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		r := tbl.pick(rng)
+		if r < 0 || r >= cls.Population {
+			t.Fatalf("rank %d out of range", r)
+		}
+		if r < cls.Population/int(rateBucketCount) {
+			headHits++
+		}
+	}
+	if headHits < draws/20 {
+		t.Errorf("head ranks drawn %d/%d times; expected skew toward head", headHits, draws)
+	}
+}
+
+func TestRateBucketsLognormalMean(t *testing.T) {
+	cls := &ClientClass{Name: "c", Population: 5000,
+		Rate: RateDist{Dist: "lognormal", MeanHz: 0.5, Sigma: 1.5}}
+	tbl, total := rateBuckets(cls)
+	if want := 0.5 * 5000; math.Abs(total-want) > 1e-6 {
+		t.Errorf("aggregate rate = %v, want %v", total, want)
+	}
+	// Bucket-integrated mean should approximate MeanHz·Population within
+	// discretization error.
+	mass := tbl.cum[len(tbl.cum)-1]
+	if mass <= 0 {
+		t.Fatal("no rate mass")
+	}
+	ratio := mass / (0.5 * 5000)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("lognormal bucket mass off mean budget by ×%.3f", ratio)
+	}
+}
+
+func TestInvNorm(t *testing.T) {
+	// Spot checks against known quantiles of the standard normal.
+	cases := []struct{ p, z float64 }{
+		{0.5, 0}, {0.8413447, 1}, {0.1586553, -1}, {0.9772499, 2}, {0.9986501, 3},
+	}
+	for _, c := range cases {
+		if got := invNorm(c.p); math.Abs(got-c.z) > 1e-4 {
+			t.Errorf("invNorm(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+}
+
+func TestEnvelopes(t *testing.T) {
+	f, max := envelope(ArrivalSpec{Envelope: "constant"})
+	if f(0.123) != 1 || max != 1 {
+		t.Error("constant envelope wrong")
+	}
+	f, max = envelope(ArrivalSpec{Envelope: "diurnal", PeriodMs: 20, Amplitude: 0.5})
+	if max != 1.5 {
+		t.Errorf("diurnal max = %v", max)
+	}
+	if peak := f(0.005); math.Abs(peak-1.5) > 1e-9 { // quarter period = peak
+		t.Errorf("diurnal peak = %v", peak)
+	}
+	for _, tt := range []float64{0, 0.003, 0.011, 0.017} {
+		if v := f(tt); v < 0 || v > max {
+			t.Errorf("diurnal f(%v) = %v outside [0,max]", tt, v)
+		}
+	}
+	f, max = envelope(ArrivalSpec{Envelope: "bursty", PeriodMs: 10, BurstDuty: 0.2, BurstFactor: 4})
+	if max != 4 {
+		t.Errorf("bursty max = %v", max)
+	}
+	if f(0.001) != 4 || f(0.005) != 1 {
+		t.Errorf("bursty phases wrong: burst=%v idle=%v", f(0.001), f(0.005))
+	}
+}
+
+func TestKPICollector(t *testing.T) {
+	k := NewKPICollector([]string{"writer", "reader"})
+	k.Observe("writer", 100, true)
+	k.Observe("writer", 300, true)
+	k.Observe("writer", 0, false)
+	k.Observe("reader", 50, true)
+	k.Observe("", 10, true) // legacy empty class folds into "all"
+	rows := k.Rows()
+	if len(rows) != 3 || rows[0].Class != "writer" || rows[1].Class != "reader" || rows[2].Class != "all" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	w := rows[0]
+	if w.Roots != 3 || w.Commits != 2 || w.Aborts != 1 {
+		t.Errorf("writer counts = %+v", w)
+	}
+	if math.Abs(w.AbortRate-1.0/3) > 1e-9 {
+		t.Errorf("abort rate = %v", w.AbortRate)
+	}
+	if w.LatP50Ns <= 0 || w.LatP99Ns < w.LatP50Ns {
+		t.Errorf("latency percentiles = %+v", w)
+	}
+}
+
+func TestProvenance(t *testing.T) {
+	spec, _ := Preset("zipf-hot")
+	w, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Provenance()
+	if p.Workload != "zipf-hot" || p.SpecHash != spec.Hash() || p.Seed != spec.Seed {
+		t.Errorf("provenance = %+v", p)
+	}
+}
+
+func TestUniformPresetRoutesThroughLegacy(t *testing.T) {
+	spec, _ := Preset("uniform")
+	w, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Generate(Config{Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameWorkload(w, legacy) {
+		t.Error("uniform preset diverged from the legacy generator")
+	}
+}

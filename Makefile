@@ -1,8 +1,8 @@
 # Tier-1 gate: everything must build, vet clean, lint clean, and pass
 # under the race detector before a change lands.
-.PHONY: check build vet lint test bench bench-smoke calibrate-smoke chaos
+.PHONY: check build vet lint lint-fixtures test bench bench-smoke calibrate-smoke chaos
 
-check: build vet lint test bench-smoke calibrate-smoke chaos
+check: build vet lint lint-fixtures test bench-smoke calibrate-smoke chaos
 
 build:
 	go build ./...
@@ -10,10 +10,17 @@ build:
 vet:
 	go vet ./...
 
-# Repo-specific invariant analyzers (determinism, lock discipline,
-# wire-protocol sync, dropped errors). Exits non-zero on any finding.
+# Repo-specific invariant analyzers (determinism taint, lock discipline,
+# static lock ordering, hot-path allocations, wire-protocol sync, dropped
+# errors). Exits non-zero on any finding; per-analyzer timings on stderr.
 lint:
-	go run ./cmd/lotec-lint ./...
+	go run ./cmd/lotec-lint -time ./...
+
+# Analyzer self-test: every analyzer must produce exactly the expected
+# diagnostics on its positive fixtures (including the -json golden file)
+# and stay silent on the negative ones.
+lint-fixtures:
+	go test -run 'TestMapIter|TestLockHeld|TestWireSync|TestErrDrop|TestDetSource|TestLockOrder|TestHotAlloc|TestDirectiveAudit|TestMain' ./internal/lint/
 
 test:
 	go test -race ./...

@@ -1,94 +1,25 @@
 // Command lotec-lint runs the repository's invariant analyzer suite
-// (package internal/lint): mapiter, lockheld, wiresync and errdrop.
+// (package internal/lint): mapiter, lockheld, wiresync, errdrop,
+// detsource, lockorder and hotalloc, plus the //lotec: directive audit.
 //
 // Usage:
 //
-//	lotec-lint [-json] [packages]
+//	lotec-lint [-json] [-time] [packages]
 //
 // Packages default to ./... (every package in the module). Findings are
 // printed one per line as `file:line:col: [analyzer] message`, sorted, or
-// as a JSON array with -json. The exit status is 1 if any finding is
-// reported, 2 on a load or usage error, 0 otherwise — so the command
-// slots directly into `make check` and CI.
+// as a JSON array with -json; -time reports per-analyzer wall-clock
+// timings on stderr. The exit status is 1 if any finding is reported, 2 on
+// a load or usage error, 0 otherwise — so the command slots directly into
+// `make check` and CI.
 package main
 
 import (
-	"encoding/json"
-	"flag"
-	"fmt"
 	"os"
-	"path/filepath"
 
 	"lotec/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lotec-lint [-json] [packages]\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-
-	root, err := moduleRoot()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lotec-lint: %v\n", err)
-		os.Exit(2)
-	}
-	loader, err := lint.NewLoader(root)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lotec-lint: %v\n", err)
-		os.Exit(2)
-	}
-	pkgs, err := loader.Load(patterns...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lotec-lint: %v\n", err)
-		os.Exit(2)
-	}
-
-	findings := lint.RunAll(pkgs, lint.All())
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
-		}
-		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintf(os.Stderr, "lotec-lint: %v\n", err)
-			os.Exit(2)
-		}
-	} else {
-		for _, f := range findings {
-			fmt.Println(f.String())
-		}
-	}
-	if len(findings) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "lotec-lint: %d finding(s)\n", len(findings))
-		}
-		os.Exit(1)
-	}
-}
-
-// moduleRoot walks up from the working directory to the nearest go.mod.
-func moduleRoot() (string, error) {
-	dir, err := os.Getwd()
-	if err != nil {
-		return "", err
-	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir, nil
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", fmt.Errorf("no go.mod found above %s", dir)
-		}
-		dir = parent
-	}
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
 }

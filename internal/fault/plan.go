@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -131,7 +132,8 @@ func parseRule(name string, kvs map[string]string) (Rule, error) {
 		r.Op = OpReorder
 		r.Kinds = nil
 	}
-	for k, v := range kvs {
+	for _, k := range sortedParamKeys(kvs) {
+		v := kvs[k]
 		var err error
 		switch k {
 		case "p":
@@ -172,7 +174,8 @@ func parseRule(name string, kvs map[string]string) (Rule, error) {
 
 func parseCrash(kvs map[string]string) (Crash, error) {
 	var c Crash
-	for k, v := range kvs {
+	for _, k := range sortedParamKeys(kvs) {
+		v := kvs[k]
 		var err error
 		switch k {
 		case "node":
@@ -199,7 +202,8 @@ func parseCrash(kvs map[string]string) (Crash, error) {
 
 func parsePartition(kvs map[string]string) (Partition, error) {
 	var p Partition
-	for k, v := range kvs {
+	for _, k := range sortedParamKeys(kvs) {
+		v := kvs[k]
 		var err error
 		switch k {
 		case "from":
@@ -221,6 +225,17 @@ func parsePartition(kvs map[string]string) (Partition, error) {
 		return p, fmt.Errorf("partition needs from= and/or to=")
 	}
 	return p, nil
+}
+
+// sortedParamKeys orders a clause's k=v parameters so parse errors (and
+// any future order-sensitive validation) are reported deterministically.
+func sortedParamKeys(kvs map[string]string) []string {
+	out := make([]string, 0, len(kvs))
+	for k := range kvs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func parseNode(v string) (ids.NodeID, error) {

@@ -117,6 +117,8 @@ type entry struct {
 }
 
 // state derives the LockState from the holder list.
+//
+//lotec:noalloc
 func (e *entry) state() LockState {
 	if len(e.holders) == 0 {
 		return Free
@@ -129,6 +131,10 @@ func (e *entry) state() LockState {
 	return HeldRead
 }
 
+// holder, queue and removeHolder scan the short per-entry lists; with
+// state they are the grant/release fast path and must not allocate.
+//
+//lotec:noalloc
 func (e *entry) holder(f ids.FamilyID) *familyHold {
 	for _, h := range e.holders {
 		if h.family == f {
@@ -138,6 +144,7 @@ func (e *entry) holder(f ids.FamilyID) *familyHold {
 	return nil
 }
 
+//lotec:noalloc
 func (e *entry) queue(f ids.FamilyID) *familyQueue {
 	for _, q := range e.queues {
 		if q.family == f {
@@ -147,6 +154,7 @@ func (e *entry) queue(f ids.FamilyID) *familyQueue {
 	return nil
 }
 
+//lotec:noalloc
 func (e *entry) removeHolder(f ids.FamilyID) bool {
 	for i, h := range e.holders {
 		if h.family == f {
@@ -191,6 +199,8 @@ func New(n int) *Directory {
 
 // noteWaitersLocked keeps waitObjs exact; it must be called after any
 // mutation of e's queues or upgrades. Caller holds d.mu.
+//
+//lotec:noalloc
 func (d *Directory) noteWaitersLocked(e *entry) {
 	if len(e.queues) > 0 || len(e.upgrades) > 0 {
 		d.waitObjs[e.obj] = e
@@ -203,6 +213,8 @@ func (d *Directory) noteWaitersLocked(e *entry) {
 // directory state itself is centralized; HomeNode exists so the simulation
 // charges global lock messages to the right partition, matching the paper's
 // partitioned GDO.
+//
+//lotec:noalloc
 func (d *Directory) HomeNode(obj ids.ObjectID) ids.NodeID {
 	return ids.NodeID(int64(obj)%int64(d.nodes)) + 1
 }

@@ -167,6 +167,8 @@ func (d *Directory) scheduleLocked(e *entry) []Event {
 // CancelRequest withdraws any queued requests and pending upgrades of
 // family on obj (used when the engine unwinds a waiting transaction, e.g.
 // on external abort). It reports whether anything was removed.
+//
+//lotec:noalloc
 func (d *Directory) CancelRequest(obj ids.ObjectID, family ids.FamilyID) (bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -203,7 +205,7 @@ func (d *Directory) CancelRequest(obj ids.ObjectID, family ids.FamilyID) (bool, 
 // order. Caller holds d.mu.
 func (d *Directory) waitEntriesSortedLocked() []*entry {
 	out := make([]*entry, 0, len(d.waitObjs))
-	for _, e := range d.waitObjs { //lotec:unordered — sorted on the next line
+	for _, e := range d.waitObjs {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].obj < out[j].obj })

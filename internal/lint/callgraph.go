@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// funcInfo is one function or method declared in the analyzed program.
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// callSite is one statically resolved call inside a function body.
+type callSite struct {
+	caller *types.Func
+	callee *types.Func
+	call   *ast.CallExpr
+}
+
+// callGraph is the static, whole-program call graph over the loaded
+// packages. Only calls whose callee resolves to a concrete *types.Func
+// declared in an analyzed package appear as edges; calls through function
+// values and interface methods are opaque (the analyzers building on the
+// graph document that conservatism).
+type callGraph struct {
+	funcs map[*types.Func]*funcInfo
+	calls map[*types.Func][]callSite
+}
+
+// buildCallGraph indexes every function declaration of the program and the
+// statically resolvable calls between them. The graph is deterministic:
+// iteration helpers below sort by position.
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{
+		funcs: make(map[*types.Func]*funcInfo),
+		calls: make(map[*types.Func][]callSite),
+	}
+	for _, p := range prog.Pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.funcs[fn] = &funcInfo{obj: fn, decl: fd, pkg: p}
+			}
+		}
+	}
+	for _, fi := range g.funcs {
+		fi := fi
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(fi.pkg, call)
+			if callee == nil {
+				return true
+			}
+			g.calls[fi.obj] = append(g.calls[fi.obj], callSite{caller: fi.obj, callee: callee, call: call})
+			return true
+		})
+	}
+	return g
+}
+
+// calleeOf resolves a call expression to the *types.Func it invokes, or nil
+// for dynamic calls (function values, interface methods without a concrete
+// target), conversions and builtins.
+func calleeOf(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			if fn != nil && interfaceMethod(fn) {
+				return nil // dynamic dispatch: target unknown
+			}
+			return fn
+		}
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// interfaceMethod reports whether fn is declared on an interface type (so a
+// call to it dispatches dynamically).
+func interfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// sortedFuncs returns the program's functions ordered by source position,
+// for deterministic iteration.
+func (g *callGraph) sortedFuncs() []*funcInfo {
+	out := make([]*funcInfo, 0, len(g.funcs))
+	for _, fi := range g.funcs {
+		out = append(out, fi)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi := out[i].pkg.Fset.Position(out[i].decl.Pos())
+		pj := out[j].pkg.Fset.Position(out[j].decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	return out
+}
+
+// funcDisplayName renders a function for diagnostics: pkg.Func or
+// pkg.(*Type).Method, with import-path noise stripped.
+func funcDisplayName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	pkg := fn.Pkg().Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		star := ""
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+			star = "*"
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return pkg + ".(" + star + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// stdFuncIs reports whether fn is the standard-library function
+// <pkgPath>.<name> (package-level, not a method).
+func stdFuncIs(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig == nil || sig.Recv() == nil
+}
+
+// recvNamed returns the named type of fn's receiver (dereferencing a
+// pointer receiver), or nil for package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// pathString renders a chain of functions ending at a source description,
+// e.g. "server.dial → server.stamp → time.Now()".
+func pathString(chain []*types.Func, terminal string) string {
+	var b strings.Builder
+	for _, fn := range chain {
+		b.WriteString(funcDisplayName(fn))
+		b.WriteString(" → ")
+	}
+	b.WriteString(terminal)
+	return b.String()
+}

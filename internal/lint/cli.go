@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Main is the lotec-lint command entry point, factored here so its flag
+// handling, output schema and exit codes are testable in-process.
+//
+// Usage: lotec-lint [-json] [-time] [packages]
+//
+// Packages default to ./... (every package in the module). Findings are
+// printed one per line as `file:line:col: [analyzer] message`, sorted, or
+// as a JSON array with -json; -time appends per-analyzer wall-clock
+// timings to stderr. The exit status is 1 if any finding is reported, 2 on
+// a load or usage error, 0 otherwise.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lotec-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	timings := fs.Bool("time", false, "report per-analyzer wall-clock timings on stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: lotec-lint [-json] [-time] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "lotec-lint: %v\n", err)
+		return 2
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "lotec-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lotec-lint: %v\n", err)
+		return 2
+	}
+
+	findings, times := RunAllTimed(pkgs, All())
+	if *timings {
+		for _, t := range times {
+			fmt.Fprintf(stderr, "lotec-lint: %-10s %8.1fms\n", t.Analyzer, float64(t.Elapsed.Microseconds())/1000)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "lotec-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "lotec-lint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -5,33 +5,37 @@ import (
 	"go/types"
 )
 
-// errdropPackages are the I/O-boundary package names where a silently
-// dropped error hides partition, short-write and decode failures.
+// errdropPackages are the package names where a silently dropped error
+// hides partition, short-write and decode failures (the I/O boundary) or a
+// diverging replica (the deterministic engine and simulator).
 var errdropPackages = map[string]bool{
 	"transport": true,
 	"server":    true,
 	"wire":      true,
+	"sim":       true,
+	"node":      true,
 }
 
 // ErrDrop flags calls whose error result is implicitly discarded in the
-// transport, server and wire packages — the layers where an ignored error
-// means a lost message or a torn frame rather than a cosmetic slip. An
-// explicit `_ = f()` assignment is the sanctioned way to document a
-// deliberate discard and is not flagged; neither are discards in other
-// packages, where go vet's printf-style checks and code review suffice.
+// transport, server, wire, sim and node packages — the layers where an
+// ignored error means a lost message, a torn frame, or an engine silently
+// diverging from the directory, rather than a cosmetic slip. An explicit
+// `_ = f()` assignment is the sanctioned way to document a deliberate
+// discard and is not flagged; neither are discards in other packages,
+// where go vet's printf-style checks and code review suffice.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "error returns in transport/server/wire must be handled or explicitly discarded",
+	Doc:  "error returns in transport/server/wire/sim/node must be handled or explicitly discarded",
 	Run:  runErrDrop,
 }
 
-func runErrDrop(p *Package) []Finding {
+func runErrDrop(prog *Program, p *Package) []Finding {
 	if !errdropPackages[p.Name] {
 		return nil
 	}
 	var out []Finding
 	report := func(call *ast.CallExpr, how string) {
-		if returnsError(p, call) {
+		if returnsError(p, call) && !infallibleWrite(p, call) {
 			out = append(out, p.finding("errdrop", call.Pos(),
 				"%s returns an error that is discarded %s (handle it or assign to _ explicitly)",
 				callName(call), how))
@@ -53,6 +57,45 @@ func runErrDrop(p *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// infallibleWrite reports whether the call is a write whose error result
+// is documented to always be nil: fmt.Fprint* into a *strings.Builder or
+// *bytes.Buffer, or a Write* method on those types directly. Forcing an
+// explicit discard there would bury the real findings in noise.
+func infallibleWrite(p *Package, call *ast.CallExpr) bool {
+	fn := calleeOf(p, call)
+	if fn == nil {
+		return false
+	}
+	switch {
+	case stdFuncIs(fn, "fmt", "Fprintf"), stdFuncIs(fn, "fmt", "Fprintln"), stdFuncIs(fn, "fmt", "Fprint"):
+		return len(call.Args) > 0 && isInfallibleWriter(p.Info.TypeOf(call.Args[0]))
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if named := recvNamed(fn); named != nil {
+			return isInfallibleWriter(named)
+		}
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether t (or its pointee) is strings.Builder
+// or bytes.Buffer, whose Write methods never return a non-nil error.
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
 }
 
 // returnsError reports whether the call's result type is, or includes, an

@@ -2,15 +2,15 @@
 // repository, built only on the standard library's go/parser, go/ast and
 // go/types (no golang.org/x/tools dependency). It exists because the
 // invariants LOTEC's reproduction depends on — bit-for-bit deterministic
-// simulation runs, mutex discipline in the lock service, and three-way
-// wire/codec/classify synchronization — are invisible to the compiler and
-// to go vet.
+// simulation runs, mutex discipline in the lock service, three-way
+// wire/codec/classify synchronization, and the zero-allocation hot-path
+// ledger — are invisible to the compiler and to go vet.
 //
-// Four repo-specific analyzers are provided:
+// Seven repo-specific analyzers are provided:
 //
 //   - mapiter:  flags `for range` over maps in determinism-critical
-//     packages (sim, gdo, directory, node, stats, workload) unless the loop's
-//     results are sorted before use or the site carries a
+//     packages (sim, gdo, directory, node, stats, xfer, workload) unless
+//     the loop's results are sorted before use or the site carries a
 //     `//lotec:unordered` justification comment.
 //   - lockheld: struct fields annotated `// guarded by mu` may only be
 //     accessed in methods that hold that mutex on a dominating path
@@ -21,8 +21,29 @@
 //     stats trace (Classify type switch), and — when it carries a Shard
 //     field — attribute that shard in its Classify case.
 //   - errdrop:  implicitly discarded error returns in the transport,
-//     server and wire packages (an explicit `_ =` is the sanctioned
-//     discard marker).
+//     server, wire, sim and node packages (an explicit `_ =` is the
+//     sanctioned discard marker).
+//   - detsource: whole-program taint — nondeterminism sources (time.Now,
+//     global math/rand, os.Getenv, sync.Map.Range, multi-case select,
+//     unordered map iteration outside mapiter's scope) must not be
+//     reachable from the deterministic packages (sim, fault, workload,
+//     netmodel, stats). `//lotec:nondet-ok` blesses a source site.
+//   - lockorder: whole-program static mutex-acquisition graph over gdo,
+//     directory, node, pstore and server; cycles (potential deadlocks)
+//     are reported with a witness path. `//lotec:lockorder-ok` blesses
+//     an ordered nested acquisition.
+//   - hotalloc: functions annotated `//lotec:noalloc` may not contain
+//     allocating constructs (fresh make/append, interface boxing,
+//     closures, string↔[]byte conversion, fmt/errors calls, calls to
+//     unannotated functions). Amortized growth into a reused buffer
+//     (x = append(x, ...)) and allocations on error-returning/panicking
+//     paths are admitted; `//lotec:alloc-ok` documents a deliberate
+//     residual allocation.
+//
+// After the analyzers run, RunAll audits every `//lotec:` directive in the
+// analyzed sources: unknown directives and suppressions with no matching
+// diagnostic site are themselves findings, so stale justifications cannot
+// accumulate.
 //
 // Diagnostics are emitted as `file:line:col: [name] message` in a
 // deterministic order so output is diffable, and as JSON for machines.
@@ -35,6 +56,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic.
@@ -69,29 +91,212 @@ type Package struct {
 	Info *types.Info
 }
 
-// Analyzer is one invariant checker.
+// Analyzer is one invariant checker. Per-package analyzers set Run;
+// whole-program analyzers (detsource, lockorder, hotalloc) set RunProgram
+// and receive every loaded package at once, sharing the program's
+// type-checked state instead of re-loading per analyzer.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(p *Package) []Finding
+	Run  func(prog *Program, p *Package) []Finding
+	// RunProgram analyzes all packages together (cross-package dataflow).
+	RunProgram func(prog *Program) []Finding
 }
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, LockHeld, WireSync, ErrDrop}
+	return []*Analyzer{MapIter, LockHeld, WireSync, ErrDrop, DetSource, LockOrder, HotAlloc}
 }
 
-// RunAll applies every analyzer to every package and returns the combined
-// findings in deterministic order.
-func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
+// knownDirectives are the `//lotec:<name>` markers the suite understands.
+// Anything else trailing `//lotec:` is a typo and gets flagged by the
+// directive audit.
+var knownDirectives = map[string]string{
+	"unordered":    "mapiter",
+	"nondet-ok":    "detsource",
+	"lockorder-ok": "lockorder",
+	"alloc-ok":     "hotalloc",
+	"noalloc":      "hotalloc",
+}
+
+// directive is one `//lotec:<name>` comment occurrence in analyzed source.
+type directive struct {
+	name string
+	file string
+	line int
+	pos  token.Pos
+	used bool
+}
+
+// Program is the shared, fully loaded view the analyzers operate on: every
+// type-checked package plus the cross-package directive registry. Loading
+// (and stdlib type-checking) happens once; every analyzer reuses it.
+type Program struct {
+	Pkgs []*Package
+
+	directives []*directive
+	byFileLine map[string]map[int]*directive
+	cg         *callGraph
+}
+
+// graph returns the program's static call graph, built on first use and
+// shared by every whole-program analyzer.
+func (prog *Program) graph() *callGraph {
+	if prog.cg == nil {
+		prog.cg = buildCallGraph(prog)
+	}
+	return prog.cg
+}
+
+// NewProgram indexes the packages and their `//lotec:` directives.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:       pkgs,
+		byFileLine: make(map[string]map[int]*directive),
+	}
 	for _, p := range pkgs {
-		for _, a := range analyzers {
-			out = append(out, a.Run(p)...)
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lotec:")
+					if !ok {
+						continue
+					}
+					name := rest
+					if i := strings.IndexAny(rest, " \t—-"); i >= 0 {
+						// Allow a justification after the marker, e.g.
+						// `//lotec:unordered — sorted below`. A dash directly
+						// inside the name (nondet-ok) is kept by matching the
+						// longest known prefix first.
+						for known := range knownDirectives {
+							if rest == known || strings.HasPrefix(rest, known+" ") ||
+								strings.HasPrefix(rest, known+"\t") || strings.HasPrefix(rest, known+"—") {
+								name = known
+								break
+							}
+						}
+						if name == rest {
+							name = rest[:i]
+						}
+					}
+					pos := p.Fset.Position(c.Pos())
+					d := &directive{name: name, file: pos.Filename, line: pos.Line, pos: c.Pos()}
+					prog.directives = append(prog.directives, d)
+					m := prog.byFileLine[d.file]
+					if m == nil {
+						m = make(map[int]*directive)
+						prog.byFileLine[d.file] = m
+					}
+					m[d.line] = d
+				}
+			}
 		}
 	}
-	Sort(out)
+	return prog
+}
+
+// directiveAt returns the named directive covering a site at pos (directive
+// on the same line, or on the line directly above), or nil.
+func (prog *Program) directiveAt(name string, pos token.Position) *directive {
+	m := prog.byFileLine[pos.Filename]
+	if m == nil {
+		return nil
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := m[line]; ok && d.name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Suppressed reports whether a site at pos carries the named directive; a
+// positive answer marks the directive as consumed for the staleness audit.
+// Analyzers must call this only for sites that would otherwise be flagged —
+// a directive that never suppresses anything is stale by definition.
+func (prog *Program) Suppressed(name string, pos token.Position) bool {
+	d := prog.directiveAt(name, pos)
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// MarkUsed records that the named directive at pos was consumed without
+// suppressing a diagnostic (declaration-style directives like noalloc).
+func (prog *Program) MarkUsed(name string, pos token.Position) {
+	if d := prog.directiveAt(name, pos); d != nil {
+		d.used = true
+	}
+}
+
+// auditDirectives flags unknown `//lotec:` markers and suppressions that no
+// analyzer consumed — stale justifications over code that no longer trips
+// the check they silence.
+func (prog *Program) auditDirectives() []Finding {
+	var out []Finding
+	for _, d := range prog.directives {
+		analyzer, known := knownDirectives[d.name]
+		if !known {
+			out = append(out, Finding{
+				Analyzer: "directive",
+				File:     d.file,
+				Line:     d.line,
+				Col:      1,
+				Message:  fmt.Sprintf("unknown directive //lotec:%s (known: alloc-ok, lockorder-ok, noalloc, nondet-ok, unordered)", d.name),
+			})
+			continue
+		}
+		if !d.used {
+			out = append(out, Finding{
+				Analyzer: "directive",
+				File:     d.file,
+				Line:     d.line,
+				Col:      1,
+				Message:  fmt.Sprintf("stale //lotec:%s — no %s diagnostic site matches this suppression any more; delete it", d.name, analyzer),
+			})
+		}
+	}
 	return out
+}
+
+// Timing is one analyzer's wall-clock cost over the whole program.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// RunAll applies every analyzer to every package, audits the suppression
+// directives, and returns the combined findings in deterministic order.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	fs, _ := RunAllTimed(pkgs, analyzers)
+	return fs
+}
+
+// RunAllTimed is RunAll plus per-analyzer wall-clock timings, in analyzer
+// order. The type-checked program is built once and shared by every
+// analyzer; the timings therefore measure pure analysis, not loading.
+func RunAllTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing) {
+	prog := NewProgram(pkgs)
+	var out []Finding
+	timings := make([]Timing, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		start := time.Now()
+		if a.RunProgram != nil {
+			out = append(out, a.RunProgram(prog)...)
+		} else {
+			for _, p := range prog.Pkgs {
+				out = append(out, a.Run(prog, p)...)
+			}
+		}
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
+	}
+	start := time.Now()
+	out = append(out, prog.auditDirectives()...)
+	timings = append(timings, Timing{Analyzer: "directive", Elapsed: time.Since(start)})
+	Sort(out)
+	return out, timings
 }
 
 // Sort orders findings by file, line, column, analyzer, message.
@@ -126,43 +331,8 @@ func (p *Package) finding(analyzer string, pos token.Pos, format string, args ..
 	}
 }
 
-// suppressionLines collects, per file, the line numbers carrying the given
-// `//lotec:<directive>` marker. A marker suppresses a diagnostic on its own
-// line or the line directly below it (comment-above style).
-func (p *Package) suppressionLines(directive string) map[string]map[int]bool {
-	marker := "//lotec:" + directive
-	out := make(map[string]map[int]bool)
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, marker) {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				m := out[pos.Filename]
-				if m == nil {
-					m = make(map[int]bool)
-					out[pos.Filename] = m
-				}
-				m[pos.Line] = true
-			}
-		}
-	}
-	return out
-}
-
-// suppressed reports whether a site at pos is covered by a directive line
-// (same line, or the line above).
-func suppressed(lines map[string]map[int]bool, pos token.Position) bool {
-	m := lines[pos.Filename]
-	if m == nil {
-		return false
-	}
-	return m[pos.Line] || m[pos.Line-1]
-}
-
-// rootIdent digs through selectors, indexes, stars and parens to the
-// left-most identifier of an expression (nil if there is none).
+// rootIdent digs through selectors, indexes, slices, stars and parens to
+// the left-most identifier of an expression (nil if there is none).
 func rootIdent(e ast.Expr) *ast.Ident {
 	for {
 		switch x := e.(type) {
@@ -171,6 +341,8 @@ func rootIdent(e ast.Expr) *ast.Ident {
 		case *ast.SelectorExpr:
 			e = x.X
 		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
 			e = x.X
 		case *ast.StarExpr:
 			e = x.X

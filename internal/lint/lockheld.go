@@ -38,7 +38,7 @@ var guardedRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
 // one struct type.
 type guardSpec map[string]string
 
-func runLockHeld(p *Package) []Finding {
+func runLockHeld(prog *Program, p *Package) []Finding {
 	specs := collectGuards(p)
 	if len(specs) == 0 {
 		return nil

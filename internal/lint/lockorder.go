@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorderPackages are the packages whose mutexes participate in the
+// acquisition-order graph: the lock service core, both directory layouts,
+// the node engine, the persistent store and the TCP server. A cycle among
+// their locks is a potential deadlock the -race detector cannot see.
+var lockorderPackages = map[string]bool{
+	"gdo":       true,
+	"directory": true,
+	"node":      true,
+	"pstore":    true,
+	"server":    true,
+}
+
+// LockOrder builds a whole-program static mutex-acquisition graph. Every
+// sync.Mutex/RWMutex value is assigned a lock class — "pkg.Type.field" for
+// a struct field, "pkg.var" for a package-level mutex — and an edge a→b is
+// recorded whenever code acquires class b while (on some path) holding
+// class a, either directly or through a statically resolved call chain.
+// Cycles in the class graph are reported once each, with a witness: the
+// acquisition sites that close the loop.
+//
+// The analysis is may-hold (an acquisition anywhere earlier in the
+// function without an intervening release counts as held), which
+// over-approximates: it can report an ordering that no single execution
+// exhibits, but it never misses a statically visible one. Two limits keep
+// it honest rather than noisy: all instances of a class are conflated (a
+// sharded directory locking two *different* shard mutexes in a fixed index
+// order still reads as a self-cycle — annotate those), and calls through
+// interfaces or function values are invisible. A `//lotec:lockorder-ok`
+// directive on an acquisition site excuses every cycle that edge closes.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "mutex acquisition order across gdo/directory/node/pstore/server must be acyclic",
+	RunProgram: runLockOrder,
+}
+
+// lockEdge is one "acquired b while holding a" observation.
+type lockEdge struct {
+	from, to string
+	// pos is the acquisition (or call) site that created the edge.
+	pos token.Pos
+	pkg *Package
+	// where names the function containing the site.
+	where string
+	// via describes a transitive acquisition ("call to node.flush acquires
+	// node.Engine.mu"); empty for a direct Lock call.
+	via string
+}
+
+func runLockOrder(prog *Program) []Finding {
+	g := prog.graph()
+
+	// Pass 1: per-function facts — the classes each function acquires
+	// directly, and every (held-set, acquisition-or-call) event in body
+	// order.
+	type fnFacts struct {
+		fi *funcInfo
+		// events in source order; exactly one of class/call is set.
+		events []lockEvent
+		// direct are the classes this function's own Lock calls acquire.
+		direct map[string]token.Pos
+	}
+	var facts []*fnFacts
+	factsByFn := make(map[*types.Func]*fnFacts)
+	for _, fi := range g.sortedFuncs() {
+		if !lockorderPackages[fi.pkg.Name] {
+			continue
+		}
+		f := &fnFacts{fi: fi, direct: make(map[string]token.Pos)}
+		f.events = lockEvents(fi)
+		for _, ev := range f.events {
+			if ev.class != "" && !ev.release {
+				if _, ok := f.direct[ev.class]; !ok {
+					f.direct[ev.class] = ev.pos
+				}
+			}
+		}
+		facts = append(facts, f)
+		factsByFn[fi.obj] = f
+	}
+
+	// Pass 2: transitive may-acquire closure over the call graph.
+	mayAcquire := make(map[*types.Func]map[string]bool)
+	for _, f := range facts {
+		m := make(map[string]bool)
+		for class := range f.direct {
+			m[class] = true
+		}
+		mayAcquire[f.fi.obj] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range facts {
+			m := mayAcquire[f.fi.obj]
+			for _, site := range g.calls[f.fi.obj] {
+				for class := range mayAcquire[site.callee] {
+					if !m[class] {
+						m[class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: walk each function's events with a running held set,
+	// recording edges for direct acquisitions and for calls whose closure
+	// acquires further classes.
+	edges := make(map[string]*lockEdge) // keyed by from + "→" + to, first witness wins
+	record := func(e *lockEdge) {
+		key := e.from + "\x00" + e.to
+		if _, ok := edges[key]; !ok {
+			edges[key] = e
+		}
+	}
+	for _, f := range facts {
+		var held []string
+		holding := func(class string) bool {
+			for _, h := range held {
+				if h == class {
+					return true
+				}
+			}
+			return false
+		}
+		where := funcDisplayName(f.fi.obj)
+		for _, ev := range f.events {
+			switch {
+			case ev.class != "" && ev.release:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == ev.class {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case ev.class != "":
+				for _, h := range held {
+					record(&lockEdge{from: h, to: ev.class, pos: ev.pos, pkg: f.fi.pkg, where: where})
+				}
+				if !holding(ev.class) {
+					held = append(held, ev.class)
+				}
+			case ev.call != nil:
+				if len(held) == 0 {
+					continue
+				}
+				callee := calleeOf(f.fi.pkg, ev.call)
+				if callee == nil {
+					continue
+				}
+				via := "call to " + funcDisplayName(callee)
+				for class := range mayAcquire[callee] {
+					for _, h := range held {
+						if h == class {
+							// Same class through a call: with all instances
+							// conflated this is usually a sharded fan-out in
+							// index order, not re-entry — too noisy to flag.
+							continue
+						}
+						record(&lockEdge{from: h, to: class, pos: ev.call.Pos(),
+							pkg: f.fi.pkg, where: where, via: via + " acquires " + class})
+					}
+				}
+			}
+		}
+	}
+
+	// Self-edges are immediate: acquiring a class while holding it.
+	var out []Finding
+	keys := make([]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	adj := make(map[string][]string)
+	for _, k := range keys {
+		e := edges[k]
+		if e.from == e.to {
+			pos := e.pkg.Fset.Position(e.pos)
+			if prog.Suppressed("lockorder-ok", pos) {
+				continue
+			}
+			out = append(out, e.pkg.finding("lockorder", e.pos,
+				"%s acquires %s while already holding it%s (distinct instances in a fixed order? justify with //lotec:lockorder-ok)",
+				e.where, e.to, viaSuffix(e)))
+			continue
+		}
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+
+	// Cycle detection: for every edge a→b, a path b⇝a closes a cycle.
+	// Each cycle is reported once, keyed by its canonical rotation; a
+	// //lotec:lockorder-ok on any edge of the cycle excuses it (and the
+	// audit holds the directive accountable for an actual cycle).
+	seenCycle := make(map[string]bool)
+	for _, k := range keys {
+		e := edges[k]
+		if e.from == e.to {
+			continue
+		}
+		path := findPath(adj, e.to, e.from)
+		if path == nil {
+			continue
+		}
+		// path is [e.to, ..., e.from]; drop the trailing e.from so each
+		// node appears once and the wraparound pair closes the loop.
+		cycle := append([]string{e.from}, path[:len(path)-1]...)
+		canon := canonicalCycle(cycle)
+		if seenCycle[canon] {
+			continue
+		}
+		seenCycle[canon] = true
+
+		cycleEdges := make([]*lockEdge, 0, len(cycle))
+		for i := range cycle {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			if ce, ok := edges[from+"\x00"+to]; ok {
+				cycleEdges = append(cycleEdges, ce)
+			}
+		}
+		suppressed := false
+		for _, ce := range cycleEdges {
+			if prog.directiveAt("lockorder-ok", ce.pkg.Fset.Position(ce.pos)) != nil {
+				prog.MarkUsed("lockorder-ok", ce.pkg.Fset.Position(ce.pos))
+				suppressed = true
+			}
+		}
+		if suppressed {
+			continue
+		}
+		var steps []string
+		for _, ce := range cycleEdges {
+			p := ce.pkg.Fset.Position(ce.pos)
+			steps = append(steps, ce.from+" → "+ce.to+" in "+ce.where+viaSuffix(ce)+" ("+trimPath(ce.pkg, p)+")")
+		}
+		out = append(out, cycleEdges[0].pkg.finding("lockorder", cycleEdges[0].pos,
+			"lock-order cycle (potential deadlock): %s", strings.Join(steps, "; ")))
+	}
+	return out
+}
+
+// lockEvent is one acquisition, release or call in a function body, in
+// source order.
+type lockEvent struct {
+	pos     token.Pos
+	class   string // lock class for acquire/release events
+	release bool
+	call    *ast.CallExpr // non-lock call (for transitive edges)
+}
+
+// lockEvents linearizes a function body into lock events. Branches are
+// flattened in source order (may-hold semantics); a deferred unlock is
+// treated as held-to-end, which is what it means for ordering purposes.
+func lockEvents(fi *funcInfo) []lockEvent {
+	var events []lockEvent
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases at return: the lock stays held for
+			// every later acquisition in the body, so skip the release
+			// event. Other deferred calls still contribute transitively.
+			if _, rel, ok := lockCall(fi.pkg, x.Call); ok && rel {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if class, rel, ok := lockCall(fi.pkg, x); ok {
+				events = append(events, lockEvent{pos: x.Pos(), class: class, release: rel})
+				return false
+			}
+			events = append(events, lockEvent{pos: x.Pos(), call: x})
+			return true
+		case *ast.FuncLit:
+			return false // closures run elsewhere; their locks are their own
+		}
+		return true
+	})
+	return events
+}
+
+// lockCall decides whether call is (*sync.Mutex)/(*sync.RWMutex)
+// Lock/RLock/Unlock/RUnlock on a classifiable mutex, returning the lock
+// class and whether it is a release.
+func lockCall(p *Package, call *ast.CallExpr) (class string, release bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if s, okSel := p.Info.Selections[sel]; okSel {
+		fn, _ = s.Obj().(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	if named := recvNamed(fn); named == nil ||
+		(named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", false, false
+	}
+	class = lockClass(p, sel.X)
+	if class == "" {
+		return "", false, false
+	}
+	return class, !acquire, true
+}
+
+// lockClass names the mutex being locked: "pkg.Type.field" for a struct
+// field (any instance), "pkg.var" for a package-level variable, "" when the
+// expression cannot be classified (a local mutex, say).
+func lockClass(p *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if ptr, okP := recv.(*types.Pointer); okP {
+				recv = ptr.Elem()
+			}
+			if named, okN := recv.(*types.Named); okN {
+				return p.Name + "." + named.Obj().Name() + "." + sel.Obj().Name()
+			}
+		}
+		// Qualified package-level mutex (otherpkg.mu) — rare, but classify.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if pn, okP := p.Info.Uses[id].(*types.PkgName); okP {
+				return pn.Imported().Name() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok && v.Parent() == p.Types.Scope() {
+			return p.Name + "." + x.Name
+		}
+	}
+	return ""
+}
+
+// findPath BFS-searches adj for a path from src to dst, returning the node
+// sequence src..dst (nil if unreachable). Neighbor order is sorted, so the
+// witness path is deterministic.
+func findPath(adj map[string][]string, src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		next := append([]string(nil), adj[n]...)
+		sort.Strings(next)
+		for _, m := range next {
+			if _, ok := prev[m]; ok {
+				continue
+			}
+			prev[m] = n
+			if m == dst {
+				var path []string
+				for at := dst; ; at = prev[at] {
+					path = append([]string{at}, path...)
+					if at == src {
+						return path
+					}
+				}
+			}
+			queue = append(queue, m)
+		}
+	}
+	return nil
+}
+
+// canonicalCycle rotates a cycle's node list so the smallest class comes
+// first, yielding a stable dedup key.
+func canonicalCycle(cycle []string) string {
+	best := 0
+	for i := range cycle {
+		if cycle[i] < cycle[best] {
+			best = i
+		}
+	}
+	rotated := append(append([]string(nil), cycle[best:]...), cycle[:best]...)
+	return strings.Join(rotated, "→")
+}
+
+// viaSuffix renders an edge's transitive explanation, if any.
+func viaSuffix(e *lockEdge) string {
+	if e.via == "" {
+		return ""
+	}
+	return " via " + e.via
+}
+
+// trimPath renders a position with the file path relative to the package
+// directory's parent, keeping diagnostics short.
+func trimPath(p *Package, pos token.Position) string {
+	file := pos.Filename
+	if i := strings.LastIndex(file, "/"); i >= 0 {
+		if j := strings.LastIndex(file[:i], "/"); j >= 0 {
+			file = file[j+1:]
+		}
+	}
+	return fmt.Sprintf("%s:%d", file, pos.Line)
+}

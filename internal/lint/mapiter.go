@@ -15,6 +15,7 @@ var deterministicPackages = map[string]bool{
 	"gdo":       true,
 	"directory": true,
 	"node":      true,
+	"o2pl":      true,
 	"stats":     true,
 	"xfer":      true,
 	"workload":  true,
@@ -43,11 +44,10 @@ var MapIter = &Analyzer{
 	Run:  runMapIter,
 }
 
-func runMapIter(p *Package) []Finding {
+func runMapIter(prog *Program, p *Package) []Finding {
 	if !deterministicPackages[p.Name] {
 		return nil
 	}
-	supp := p.suppressionLines("unordered")
 	var out []Finding
 	for _, file := range p.Files {
 		for _, decl := range file.Decls {
@@ -63,10 +63,14 @@ func runMapIter(p *Package) []Finding {
 				if !isMapType(p.Info.Types[rs.X].Type) {
 					return true
 				}
-				if suppressed(supp, p.Fset.Position(rs.Pos())) {
-					return true
-				}
+				// The site is evaluated even when suppressed: a directive
+				// only counts as consumed if the loop would actually be
+				// flagged, so justifications over loops that became
+				// order-safe are reported as stale by the audit.
 				if f, bad := p.checkMapRange(fd, rs); bad {
+					if prog.Suppressed("unordered", p.Fset.Position(rs.Pos())) {
+						return true
+					}
 					out = append(out, f)
 				}
 				return true

@@ -1,0 +1,42 @@
+// Package sim is a detsource negative fixture: deterministic patterns
+// that must not be flagged — seeded RNGs, a virtual clock, single-clause
+// select, and sorted map iteration (mapiter's domain).
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock is a virtual clock advanced by the simulation, not the host.
+type Clock struct{ now int64 }
+
+// Advance moves virtual time; time.Duration arithmetic is pure.
+func (c *Clock) Advance(d time.Duration) { c.now += int64(d) }
+
+// Draw uses a seeded generator: methods on *rand.Rand are deterministic.
+func Draw(r *rand.Rand) int { return r.Intn(6) }
+
+// NewRNG constructs a seeded generator; rand.New/NewSource are not the
+// global RNG.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// One has a single communication clause: no scheduler choice.
+func One(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+
+// SortedKeys sorts before returning; mapiter accepts it and detsource
+// defers to mapiter inside its scope.
+func SortedKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

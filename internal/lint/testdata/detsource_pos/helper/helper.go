@@ -1,0 +1,29 @@
+// Package helper holds the nondeterminism sources the sim fixture reaches
+// transitively. It is not itself a deterministic root, so nothing here is
+// flagged directly — only the paths from sim are.
+package helper
+
+import (
+	"math/rand"
+	"os"
+)
+
+// Jitter hops once more before touching the global RNG.
+func Jitter() int { return jitter2() }
+
+func jitter2() int { return rand.Intn(10) }
+
+// Keys iterates a map in hash order and returns the keys unsorted.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Host reads ambient host state, blessed at the source site.
+func Host() string {
+	h, _ := os.Hostname() //lotec:nondet-ok — fixture: blessed ambient read
+	return h
+}

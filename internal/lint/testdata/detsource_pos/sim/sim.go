@@ -1,0 +1,36 @@
+// Package sim is a detsource positive fixture: a deterministic-root
+// package that reaches nondeterminism sources directly and through
+// helpers.
+package sim
+
+import (
+	"time"
+
+	"lotec/internal/lint/testdata/detsource_pos/helper"
+)
+
+// Stamp reads the wall clock directly: flagged at the time.Now site.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Step reaches the global RNG through two helper hops: flagged at the
+// helper.Jitter call with the full path.
+func Step() int { return helper.Jitter() }
+
+// Race depends on which channel the scheduler picks: flagged at the
+// select.
+func Race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// KeysOf leaks helper's unordered map iteration into deterministic code:
+// flagged at the helper.Keys call.
+func KeysOf(m map[int]int) []int { return helper.Keys(m) }
+
+// Blessed calls a source that is justified at its site — no finding, and
+// the //lotec:nondet-ok there must register as consumed.
+func Blessed() string { return helper.Host() }

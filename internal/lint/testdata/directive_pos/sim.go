@@ -1,0 +1,21 @@
+// Package sim is a directive-audit positive fixture: one stale
+// suppression over a loop that no longer needs it, and one misspelled
+// directive.
+package sim
+
+import "sort"
+
+// Sorted sorts after the loop, so the suppression above the range is
+// stale and must be reported by the audit.
+func Sorted(m map[string]int) []string {
+	var out []string
+	//lotec:unordered — stale: the loop is sorted below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+//lotec:tpyo this directive name is not known to the suite
+func Typo() {}

@@ -2,7 +2,11 @@
 // boundary, and every call below discards an error implicitly.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"io"
+)
 
 func send() error { return errors.New("short write") }
 
@@ -26,4 +30,10 @@ func DropInGo() {
 // DropInDefer discards the error of a deferred call.
 func DropInDefer() {
 	defer send()
+}
+
+// DropFprintf drops a fallible writer's error: the infallible-sink
+// exemption covers only strings.Builder and bytes.Buffer.
+func DropFprintf(w io.Writer) {
+	fmt.Fprintf(w, "frame %d", 1)
 }

@@ -1,0 +1,52 @@
+// Package directory is a lockorder negative fixture: consistent nested
+// order, defer-held locks, a local mutex (unclassifiable), and one
+// deliberate inversion blessed with //lotec:lockorder-ok.
+package directory
+
+import "sync"
+
+// S and T are two lock classes acquired S before T everywhere but TS.
+type S struct{ mu sync.Mutex }
+type T struct{ mu sync.Mutex }
+
+// ST nests in the canonical order.
+func ST(s *S, t *T) {
+	s.mu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// STAgain holds both via defer; same order, so still no cycle.
+func STAgain(s *S, t *T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}
+
+// Sequential releases S before taking T: no edge at all.
+func Sequential(s *S, t *T) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// Local locks a function-local mutex: no class, no edges.
+func Local(s *S) {
+	var mu sync.Mutex
+	mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	mu.Unlock()
+}
+
+// TS inverts the order deliberately; the blessing on the acquisition site
+// excuses the cycle it would otherwise close with ST.
+func TS(s *S, t *T) {
+	t.mu.Lock()
+	s.mu.Lock() //lotec:lockorder-ok — fixture: inversion is intentional
+	s.mu.Unlock()
+	t.mu.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package gdo is a lockorder positive fixture: one two-class cycle (half
+// of it through a call) and one self-acquisition.
+package gdo
+
+import "sync"
+
+// A and B are two lock classes.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// AB establishes the order A → B.
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BA establishes B → A transitively through lockA, closing the cycle.
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	lockA(a)
+	b.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// R self-deadlocks: Lock while already holding the same class.
+type R struct{ mu sync.Mutex }
+
+// Re acquires r.mu twice with no release in between.
+func Re(r *R) {
+	r.mu.Lock()
+	r.mu.Lock()
+}

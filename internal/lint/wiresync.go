@@ -28,7 +28,7 @@ var WireSync = &Analyzer{
 	Run:  runWireSync,
 }
 
-func runWireSync(p *Package) []Finding {
+func runWireSync(prog *Program, p *Package) []Finding {
 	msgIface := msgInterface(p)
 	newMsgFn := topFunc(p, "newMsg")
 	classifyFn := topFunc(p, "Classify")

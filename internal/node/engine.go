@@ -567,7 +567,9 @@ func (e *Engine) abortTx(ts *txState) {
 	// Alg 4.3: "ELSE /* not retained by an ancestor */ Forward request to
 	// GlobalLockRelease /* no dirty page info */".
 	sort.Slice(releaseGlobal, func(i, j int) bool { return releaseGlobal[i] < releaseGlobal[j] })
-	e.releaseGlobal(fam, releaseGlobal, nil, false, nil)
+	// Abort is best-effort, like Manager.Abort above: the local state is
+	// already torn down, and a lost release is recovered by GDO timeout.
+	_ = e.releaseGlobal(fam, releaseGlobal, nil, false, nil)
 }
 
 // commitRoot applies rule 5 of §4.1 / Alg 4.4: release every lock the

@@ -17,6 +17,7 @@ package o2pl
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lotec/internal/ids"
 	"lotec/internal/txn"
@@ -156,22 +157,26 @@ func (e *Entry) Idle() bool {
 	return len(e.holders) == 0 && len(e.retainers) == 0 && len(e.waiters) == 0
 }
 
-// HolderRefs returns ⟨tx,node⟩ refs for all current holders (diagnostics
-// and GDO reporting).
+// HolderRefs returns ⟨tx,node⟩ refs for all current holders in TxID order
+// (diagnostics and GDO reporting; the order is part of the deterministic
+// trace).
 func (e *Entry) HolderRefs() []ids.TxRef {
 	out := make([]ids.TxRef, 0, len(e.holders))
-	for _, h := range e.holders {
-		out = append(out, h.tx.Ref())
+	for _, id := range sortedTxIDs(e.holders) {
+		out = append(out, e.holders[id].tx.Ref())
 	}
 	return out
 }
 
 // deepestRetainer returns the retainer with the greatest depth, or nil.
 // Retainers always form a chain along one root path, so the deepest one
-// being an ancestor of a requester implies they all are.
+// being an ancestor of a requester implies they all are. Iteration is in
+// TxID order so ties (impossible on a chain, but cheap to rule out) cannot
+// make the answer depend on map order.
 func (e *Entry) deepestRetainer() *txn.Txn {
 	var deepest *txn.Txn
-	for _, r := range e.retainers {
+	for _, id := range sortedTxIDs(e.retainers) {
+		r := e.retainers[id]
 		if deepest == nil || r.Depth() > deepest.Depth() {
 			deepest = r
 		}
@@ -194,15 +199,19 @@ func (e *Entry) eligible(tx *txn.Txn, mode Mode) bool {
 	if !e.retainersPermit(tx) {
 		return false
 	}
-	others := 0
+	self := tx.ID()
+	others, writers := 0, 0
 	for id, h := range e.holders {
-		if id == tx.ID() {
+		if id == self {
 			continue
 		}
 		others++
 		if h.mode == Write {
-			return false
+			writers++
 		}
+	}
+	if writers > 0 {
+		return false
 	}
 	if others == 0 {
 		return true
@@ -219,9 +228,11 @@ func (e *Entry) Acquire(tx *txn.Txn, mode Mode) (Decision, *Waiter, error) {
 	}
 	// Precluded mutually recursive invocation: an ancestor *holds* the lock
 	// (§3.4). Checked before anything else; cost is proportional to the
-	// number of holders, i.e. bounded by nesting depth for writes.
-	for _, h := range e.holders {
-		if h.tx.IsAncestorOf(tx) {
+	// number of holders, i.e. bounded by nesting depth for writes. Holders
+	// are scanned in TxID order so the ancestor named in the error (which
+	// lands in the deterministic trace) cannot depend on map order.
+	for _, id := range sortedTxIDs(e.holders) {
+		if h := e.holders[id]; h.tx.IsAncestorOf(tx) {
 			return 0, nil, fmt.Errorf("%v requesting %v held by ancestor %v: %w",
 				tx.ID(), e.obj, h.tx.ID(), ErrRecursiveInvocation)
 		}
@@ -347,11 +358,22 @@ func (e *Entry) DropWaiter(target *Waiter) bool {
 	return false
 }
 
-// RetainerRefs returns the current retainers (diagnostics).
+// RetainerRefs returns the current retainers in TxID order (diagnostics).
 func (e *Entry) RetainerRefs() []ids.TxRef {
 	out := make([]ids.TxRef, 0, len(e.retainers))
-	for _, r := range e.retainers {
-		out = append(out, r.Ref())
+	for _, id := range sortedTxIDs(e.retainers) {
+		out = append(out, e.retainers[id].Ref())
 	}
+	return out
+}
+
+// sortedTxIDs returns the map's keys in increasing TxID order, so lock-table
+// scans observe holders and retainers deterministically.
+func sortedTxIDs[V any](m map[ids.TxID]V) []ids.TxID {
+	out := make([]ids.TxID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -29,11 +29,25 @@ type writer struct {
 	buf []byte
 }
 
-func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+// u8..qreq append fixed-width fields into the reused buffer; they are the
+// wire hot path and must stay allocation-free (amortized growth aside).
+//
+//lotec:noalloc
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+
+//lotec:noalloc
 func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+//lotec:noalloc
 func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
-func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
-func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+
+//lotec:noalloc
+func (w *writer) i32(v int32) { w.u32(uint32(v)) }
+
+//lotec:noalloc
+func (w *writer) i64(v int64) { w.u64(uint64(v)) }
+
+//lotec:noalloc
 func (w *writer) boolean(v bool) {
 	if v {
 		w.u8(1)
@@ -41,13 +55,21 @@ func (w *writer) boolean(v bool) {
 		w.u8(0)
 	}
 }
+
+//lotec:noalloc
 func (w *writer) bytes(b []byte) {
 	w.u32(uint32(len(b)))
 	w.buf = append(w.buf, b...)
 }
-func (w *writer) str(s string)         { w.bytes([]byte(s)) }
-func (w *writer) ref(r ids.TxRef)      { w.u64(uint64(r.Tx)); w.i32(int32(r.Node)) }
-func (w *writer) loc(l gdo.PageLoc)    { w.i32(int32(l.Node)); w.u64(l.Version) }
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+
+//lotec:noalloc
+func (w *writer) ref(r ids.TxRef) { w.u64(uint64(r.Tx)); w.i32(int32(r.Node)) }
+
+//lotec:noalloc
+func (w *writer) loc(l gdo.PageLoc) { w.i32(int32(l.Node)); w.u64(l.Version) }
+
+//lotec:noalloc
 func (w *writer) qreq(q gdo.QueuedReq) { w.ref(q.Ref); w.u8(uint8(q.Mode)) }
 
 // reader consumes a little-endian body, accumulating the first error.
@@ -57,17 +79,25 @@ type reader struct {
 	err error
 }
 
+// fail is the bounds check on every read; the formatted error is built only
+// once, on the first short read.
+//
+//lotec:noalloc
 func (r *reader) fail(n int) bool {
 	if r.err != nil {
 		return true
 	}
 	if r.off+n > len(r.buf) {
-		r.err = fmt.Errorf("%w: need %d at %d of %d", ErrShortBuffer, n, r.off, len(r.buf))
+		r.err = fmt.Errorf("%w: need %d at %d of %d", ErrShortBuffer, n, r.off, len(r.buf)) //lotec:alloc-ok — first short read poisons the reader
 		return true
 	}
 	return false
 }
 
+// u8..qreq read fixed-width fields in place; like their writer duals they
+// are annotated allocation-free.
+//
+//lotec:noalloc
 func (r *reader) u8() uint8 {
 	if r.fail(1) {
 		return 0
@@ -77,6 +107,7 @@ func (r *reader) u8() uint8 {
 	return v
 }
 
+//lotec:noalloc
 func (r *reader) u32() uint32 {
 	if r.fail(4) {
 		return 0
@@ -86,6 +117,7 @@ func (r *reader) u32() uint32 {
 	return v
 }
 
+//lotec:noalloc
 func (r *reader) u64() uint64 {
 	if r.fail(8) {
 		return 0
@@ -95,13 +127,24 @@ func (r *reader) u64() uint64 {
 	return v
 }
 
-func (r *reader) i32() int32     { return int32(r.u32()) }
-func (r *reader) i64() int64     { return int64(r.u64()) }
-func (r *reader) boolean() bool  { return r.u8() != 0 }
+//lotec:noalloc
+func (r *reader) i32() int32 { return int32(r.u32()) }
+
+//lotec:noalloc
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+//lotec:noalloc
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+//lotec:noalloc
 func (r *reader) ref() ids.TxRef { return ids.TxRef{Tx: ids.TxID(r.u64()), Node: ids.NodeID(r.i32())} }
+
+//lotec:noalloc
 func (r *reader) loc() gdo.PageLoc {
 	return gdo.PageLoc{Node: ids.NodeID(r.i32()), Version: r.u64()}
 }
+
+//lotec:noalloc
 func (r *reader) qreq() gdo.QueuedReq {
 	return gdo.QueuedReq{Ref: r.ref(), Mode: o2pl.Mode(r.u8())}
 }
@@ -120,10 +163,12 @@ func (r *reader) bytes() []byte {
 func (r *reader) str() string { return string(r.bytes()) }
 
 // count reads a collection length with a sanity bound.
+//
+//lotec:noalloc
 func (r *reader) count() int {
 	n := int(r.u32())
 	if r.err == nil && (n < 0 || n > 1<<24) {
-		r.err = fmt.Errorf("wire: absurd collection length %d", n)
+		r.err = fmt.Errorf("wire: absurd collection length %d", n) //lotec:alloc-ok — malformed frame poisons the reader
 		return 0
 	}
 	return n
@@ -136,12 +181,14 @@ const sectionFlag = 1 << 31
 
 // flaggedCount reads a collection length whose bit 31 is an optional-section
 // presence flag.
+//
+//lotec:noalloc
 func (r *reader) flaggedCount() (int, bool) {
 	v := r.u32()
 	flag := v&sectionFlag != 0
 	n := int(v &^ sectionFlag)
 	if r.err == nil && n > 1<<24 {
-		r.err = fmt.Errorf("wire: absurd collection length %d", n)
+		r.err = fmt.Errorf("wire: absurd collection length %d", n) //lotec:alloc-ok — malformed frame poisons the reader
 		return 0, false
 	}
 	return n, flag
@@ -199,6 +246,11 @@ func Decode(buf []byte) (Envelope, Msg, error) {
 // Body encoders/decoders. Each pair must mirror the other exactly; the test
 // suite round-trips every type and cross-checks Size.
 
+// The lock-protocol bodies (acquire/release/grant/abort) ride the
+// per-transaction fast path and are annotated allocation-free end to end;
+// the page-transfer bodies carry payload slices and are not.
+//
+//lotec:noalloc
 func (m *AcquireReq) encodeBody(w *writer) {
 	w.u64(m.ReqID)
 	w.i64(int64(m.Obj))
@@ -210,6 +262,7 @@ func (m *AcquireReq) encodeBody(w *writer) {
 	w.i32(m.Shard)
 }
 
+//lotec:noalloc
 func (m *AcquireReq) decodeBody(r *reader) {
 	m.ReqID = r.u64()
 	m.Obj = ids.ObjectID(r.i64())
@@ -221,6 +274,7 @@ func (m *AcquireReq) decodeBody(r *reader) {
 	m.Shard = r.i32()
 }
 
+//lotec:noalloc
 func (m *AcquireResp) encodeBody(w *writer) {
 	w.i64(int64(m.Obj))
 	w.u8(uint8(m.Status))
@@ -234,6 +288,7 @@ func (m *AcquireResp) encodeBody(w *writer) {
 	}
 }
 
+//lotec:noalloc
 func (m *AcquireResp) decodeBody(r *reader) {
 	m.Obj = ids.ObjectID(r.i64())
 	m.Status = gdo.AcquireStatus(r.u8())
@@ -247,6 +302,7 @@ func (m *AcquireResp) decodeBody(r *reader) {
 	}
 }
 
+//lotec:noalloc
 func (m *ReleaseReq) encodeBody(w *writer) {
 	w.u64(m.ReqID)
 	w.u64(uint64(m.Family))
@@ -263,6 +319,7 @@ func (m *ReleaseReq) encodeBody(w *writer) {
 	}
 }
 
+//lotec:noalloc
 func (m *ReleaseReq) decodeBody(r *reader) {
 	m.ReqID = r.u64()
 	m.Family = ids.FamilyID(r.u64())
@@ -280,6 +337,7 @@ func (m *ReleaseReq) decodeBody(r *reader) {
 	}
 }
 
+//lotec:noalloc
 func (m *ReleaseResp) encodeBody(w *writer) {
 	w.i32(m.Shard)
 	w.u32(uint32(len(m.Stamps)))
@@ -290,6 +348,7 @@ func (m *ReleaseResp) encodeBody(w *writer) {
 	}
 }
 
+//lotec:noalloc
 func (m *ReleaseResp) decodeBody(r *reader) {
 	m.Shard = r.i32()
 	n := r.count()
@@ -302,6 +361,7 @@ func (m *ReleaseResp) decodeBody(r *reader) {
 	}
 }
 
+//lotec:noalloc
 func (m *Grant) encodeBody(w *writer) {
 	w.i64(int64(m.Obj))
 	w.u64(uint64(m.Family))
@@ -320,6 +380,7 @@ func (m *Grant) encodeBody(w *writer) {
 	}
 }
 
+//lotec:noalloc
 func (m *Grant) decodeBody(r *reader) {
 	m.Obj = ids.ObjectID(r.i64())
 	m.Family = ids.FamilyID(r.u64())
@@ -338,6 +399,7 @@ func (m *Grant) decodeBody(r *reader) {
 	}
 }
 
+//lotec:noalloc
 func (m *Abort) encodeBody(w *writer) {
 	w.i64(int64(m.Obj))
 	w.u64(uint64(m.Family))
@@ -348,6 +410,7 @@ func (m *Abort) encodeBody(w *writer) {
 	}
 }
 
+//lotec:noalloc
 func (m *Abort) decodeBody(r *reader) {
 	m.Obj = ids.ObjectID(r.i64())
 	m.Family = ids.FamilyID(r.u64())

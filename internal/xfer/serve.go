@@ -27,16 +27,20 @@ var pagePool = sync.Pool{
 }
 
 // GetPage returns a staging buffer of exactly size bytes.
+//
+//lotec:noalloc
 func GetPage(size int) []byte {
 	bp := pagePool.Get().(*[]byte)
 	if cap(*bp) < size {
-		return make([]byte, size)
+		return make([]byte, size) //lotec:alloc-ok — pool buffers are page-sized; an oversized request pays for itself
 	}
 	return (*bp)[:size]
 }
 
 // ReleasePage returns a staging buffer to the pool. Safe to call with
 // buffers that did not come from GetPage.
+//
+//lotec:noalloc
 func ReleasePage(buf []byte) {
 	if cap(buf) == 0 {
 		return
@@ -122,6 +126,8 @@ func ServeFetch(store *pstore.Store, rec *stats.Recorder, req *wire.MultiFetchRe
 }
 
 // releasePayloads hands staged buffers back on an aborted serve.
+//
+//lotec:noalloc
 func releasePayloads(op wire.ObjPayload) {
 	for _, pg := range op.Pages {
 		ReleasePage(pg.Data)

@@ -50,13 +50,30 @@ type calibRow struct {
 	Limit float64 `json:"limit,omitempty"`
 }
 
+// latencyError is the netmodel's latency accuracy for one class: the
+// relative error of each reported latency statistic (virtual clock vs TCP
+// wall clock) and their mean. Never gated — the two clocks measure
+// different quantities — but recorded explicitly so model drift is a
+// first-class, trendable number instead of four table rows.
+type latencyError struct {
+	Class   string  `json:"class,omitempty"`
+	P50     float64 `json:"p50_rel_err"`
+	P95     float64 `json:"p95_rel_err"`
+	P99     float64 `json:"p99_rel_err"`
+	Mean    float64 `json:"mean_rel_err"`
+	Overall float64 `json:"overall_rel_err"`
+}
+
 // calibration is the "calibration" section of BENCH_results.json.
 type calibration struct {
 	Provenance workload.Provenance `json:"provenance"`
 	Predicted  []workload.ClassKPI `json:"predicted"`
 	Measured   []workload.ClassKPI `json:"measured"`
 	Table      []calibRow          `json:"table"`
-	Pass       bool                `json:"pass"`
+	// LatencyError is the per-class netmodel latency error, plus an
+	// aggregate row (empty class) averaging across classes.
+	LatencyError []latencyError `json:"latency_error"`
+	Pass         bool           `json:"pass"`
 }
 
 // calibRun is what one runtime reports for the shared schedule.
@@ -289,6 +306,34 @@ func buildCalibration(prov workload.Provenance, pred, meas *calibRun) *calibrati
 	}
 	add("bytes_moved", "", float64(pred.bytes), float64(meas.bytes), true, calibBytesTol)
 	add("msgs", "", float64(pred.msgs), float64(meas.msgs), true, calibMsgsTol)
+
+	// The explicit netmodel latency-error record: per class, then the
+	// cross-class aggregate.
+	var agg latencyError
+	for _, p := range pred.kpis {
+		m := byClass[p.Class]
+		le := latencyError{
+			Class: p.Class,
+			P50:   relErr(float64(p.LatP50Ns), float64(m.LatP50Ns)),
+			P95:   relErr(float64(p.LatP95Ns), float64(m.LatP95Ns)),
+			P99:   relErr(float64(p.LatP99Ns), float64(m.LatP99Ns)),
+			Mean:  relErr(p.LatMeanNs, m.LatMeanNs),
+		}
+		le.Overall = (le.P50 + le.P95 + le.P99 + le.Mean) / 4
+		cal.LatencyError = append(cal.LatencyError, le)
+		agg.P50 += le.P50
+		agg.P95 += le.P95
+		agg.P99 += le.P99
+		agg.Mean += le.Mean
+	}
+	if n := float64(len(pred.kpis)); n > 0 {
+		agg.P50 /= n
+		agg.P95 /= n
+		agg.P99 /= n
+		agg.Mean /= n
+		agg.Overall = (agg.P50 + agg.P95 + agg.P99 + agg.Mean) / 4
+		cal.LatencyError = append(cal.LatencyError, agg)
+	}
 	return cal
 }
 
@@ -310,6 +355,14 @@ func printCalibration(cal *calibration) {
 			class = "-"
 		}
 		fmt.Printf("%-12s %-8s %14.0f %14.0f %8.3f  %s\n", r.KPI, class, r.Predicted, r.Measured, r.RelErr, gate)
+	}
+	for _, le := range cal.LatencyError {
+		class := le.Class
+		if class == "" {
+			class = "(all)"
+		}
+		fmt.Printf("netmodel latency error %-8s p50=%.3f p95=%.3f p99=%.3f mean=%.3f overall=%.3f\n",
+			class, le.P50, le.P95, le.P99, le.Mean, le.Overall)
 	}
 }
 

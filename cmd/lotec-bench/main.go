@@ -70,6 +70,17 @@ type benchResult struct {
 	XferPlanNs   int64 `json:"xfer_plan_ns,omitempty"`
 	XferGatherNs int64 `json:"xfer_gather_ns,omitempty"`
 	XferApplyNs  int64 `json:"xfer_apply_ns,omitempty"`
+	// Control-plane availability (replication/availability rows only):
+	// failover latency percentiles under a primary kill, backup promotions,
+	// aborts attributable to each failover, and the state shipped by an
+	// online shard handoff. All measured on the virtual clock.
+	Replicas          int     `json:"replicas,omitempty"`
+	FailoverP50Ns     int64   `json:"failover_p50_ns,omitempty"`
+	FailoverP99Ns     int64   `json:"failover_p99_ns,omitempty"`
+	Promotions        int64   `json:"promotions,omitempty"`
+	AbortsPerFailover float64 `json:"aborts_per_failover,omitempty"`
+	HandoffBytes      uint64  `json:"handoff_bytes,omitempty"`
+	HandoffNs         int64   `json:"handoff_ns,omitempty"`
 }
 
 func main() {
@@ -111,6 +122,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, "lotec-bench: smoke:", err)
 				os.Exit(1)
 			}
+		}
+		if err := smokeAvailability(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "lotec-bench: smoke:", err)
+			os.Exit(1)
 		}
 		return
 	}

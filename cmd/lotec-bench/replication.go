@@ -1,0 +1,76 @@
+package main
+
+// Control-plane availability gate for -smoke: run the replicated-directory
+// availability experiment (primary kill + reshard-under-load, both on the
+// virtual clock, so exactly reproducible) and fail CI if a replicated
+// topology loses work, never fails over, or ships an empty handoff. The
+// measured rows are recorded as "replication/availability" entries in
+// BENCH_results.json alongside the figure benchmarks.
+
+import (
+	"fmt"
+
+	"lotec/internal/sim"
+)
+
+// availabilitySeed pins the experiment's workload; the run is virtual-clock
+// deterministic, so the recorded rows are stable across machines.
+const availabilitySeed = 11
+
+// smokeAvailability gates and records the availability sweep. path is the
+// BENCH_results.json to update ("" falls back to the default name).
+func smokeAvailability(path string) error {
+	if path == "" {
+		path = "BENCH_results.json"
+	}
+	rows, err := sim.RunAvailability(availabilitySeed, []int{2, 3})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.FailedRoots != 0 {
+			return fmt.Errorf("availability: replicas=%d lost %d/%d roots to a primary kill — failover must recover all of them",
+				r.Replicas, r.FailedRoots, r.Roots)
+		}
+		if r.Failovers == 0 || r.FailoverP99 <= 0 {
+			return fmt.Errorf("availability: replicas=%d observed no failover under a primary kill (promotions=%d)",
+				r.Replicas, r.Promotions)
+		}
+		if r.Promotions == 0 {
+			return fmt.Errorf("availability: replicas=%d recorded no backup promotion", r.Replicas)
+		}
+		if r.HandoffBytes == 0 || r.HandoffLatency <= 0 {
+			return fmt.Errorf("availability: replicas=%d reshard handoff shipped no state (bytes=%d)",
+				r.Replicas, r.HandoffBytes)
+		}
+		fmt.Printf("smoke ok: replicas=%d failover p50 %v p99 %v, %d promotion(s), %.2f aborts/failover, handoff %d B in %v\n",
+			r.Replicas, r.FailoverP50, r.FailoverP99, r.Promotions, r.AbortsPerFailover,
+			r.HandoffBytes, r.HandoffLatency)
+	}
+
+	doc, err := readBenchDoc(path)
+	if err != nil {
+		return err
+	}
+	kept := doc.Results[:0]
+	for _, r := range doc.Results {
+		if r.Op != "replication/availability" {
+			kept = append(kept, r)
+		}
+	}
+	doc.Results = kept
+	for _, r := range rows {
+		doc.Results = append(doc.Results, benchResult{
+			Op:                "replication/availability",
+			Replicas:          r.Replicas,
+			Ops:               r.Roots,
+			FailoverP50Ns:     r.FailoverP50.Nanoseconds(),
+			FailoverP99Ns:     r.FailoverP99.Nanoseconds(),
+			Promotions:        r.Promotions,
+			AbortsPerFailover: r.AbortsPerFailover,
+			HandoffBytes:      r.HandoffBytes,
+			HandoffNs:         r.HandoffLatency.Nanoseconds(),
+		})
+	}
+	return writeBenchDoc(path, doc)
+}

@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"lotec/internal/core"
 	"lotec/internal/fault"
+	"lotec/internal/ids"
 	"lotec/internal/sim"
 	"lotec/internal/workload"
 )
@@ -32,9 +34,12 @@ func main() {
 	delta := flag.String("delta", "on", "sub-page delta transfers: on (default) or off (pre-delta wire traffic, byte-identical)")
 	faultPlan := flag.String("fault-plan", "", `network fault plan for -figure and -workload runs: a preset (drop, delay, dup, reorder, partition, crash, chaos) or clause list like "drop(p=0.1);delay(p=0.2,d=1ms)"`)
 	faultSeed := flag.Uint64("fault-seed", 1, "seed driving the fault plan's random draws")
+	replicas := flag.Int("replicas", 0, "with -workload: run the replicated directory control plane on this many dedicated host nodes (0 = legacy single GDO; replicated runs use 4 shards spread across the hosts)")
+	reshard := flag.String("reshard", "", `with -workload and -replicas ≥ 2: hand a shard to another host mid-run, "shard=S,target=NODE,at=DUR" (e.g. "shard=0,target=6,at=2ms")`)
+	availability := flag.Bool("availability", false, "run the control-plane availability sweep (primary kill and reshard-under-load at 1, 2 and 3 replicas) and print the table")
 	flag.Parse()
 
-	if *figure == "" && !*headline && *ablation == "" && *workloadArg == "" {
+	if *figure == "" && !*headline && *ablation == "" && *workloadArg == "" && !*availability {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -42,8 +47,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lotec-sim: -delta must be on or off")
 		os.Exit(2)
 	}
+	if *availability {
+		rows, err := sim.RunAvailability(*faultSeed, []int{1, 2, 3})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lotec-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Print(sim.AvailabilityTable(rows))
+		return
+	}
 	if *workloadArg != "" {
-		if err := runWorkload(*workloadArg, *jsonOut, *fetchConc, *delta == "off", *faultPlan, *faultSeed); err != nil {
+		if err := runWorkload(*workloadArg, *jsonOut, *fetchConc, *delta == "off", *faultPlan, *faultSeed, *replicas, *reshard); err != nil {
 			fmt.Fprintln(os.Stderr, "lotec-sim:", err)
 			os.Exit(1)
 		}
@@ -66,9 +80,39 @@ type simReport struct {
 	Msgs       int                 `json:"msgs"`
 }
 
+// parseReshard decodes the -reshard clause "shard=S,target=NODE,at=DUR".
+func parseReshard(s string) (shard int, target ids.NodeID, at time.Duration, err error) {
+	shard, target, at = -1, 0, -1
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("-reshard: %q is not key=value", part)
+		}
+		switch k {
+		case "shard":
+			_, err = fmt.Sscanf(v, "%d", &shard)
+		case "target":
+			var n int
+			_, err = fmt.Sscanf(v, "%d", &n)
+			target = ids.NodeID(n)
+		case "at":
+			at, err = time.ParseDuration(v)
+		default:
+			return 0, 0, 0, fmt.Errorf("-reshard: unknown key %q", k)
+		}
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("-reshard: %s: %w", k, err)
+		}
+	}
+	if shard < 0 || target == 0 || at < 0 {
+		return 0, 0, 0, fmt.Errorf("-reshard: need shard=S,target=NODE,at=DUR, got %q", s)
+	}
+	return shard, target, at, nil
+}
+
 // runWorkload compiles a spec and runs it on the simulator under LOTEC,
 // printing the per-class KPI table and optionally a JSON report.
-func runWorkload(arg, jsonPath string, fetchConc int, deltaOff bool, faultPlan string, faultSeed uint64) error {
+func runWorkload(arg, jsonPath string, fetchConc int, deltaOff bool, faultPlan string, faultSeed uint64, replicas int, reshard string) error {
 	spec, err := workload.LoadSpec(arg)
 	if err != nil {
 		return err
@@ -89,9 +133,49 @@ func runWorkload(arg, jsonPath string, fetchConc int, deltaOff bool, faultPlan s
 	if faults != nil {
 		cfg.MaxRetries = 100
 	}
+	if replicas > 0 {
+		cfg.Replicas = replicas
+		cfg.DirectoryShards = 4
+		cfg.SpreadShards = true
+		if cfg.MaxRetries == 0 {
+			cfg.MaxRetries = 100
+		}
+	}
+	if reshard != "" && replicas < 2 {
+		return fmt.Errorf("-reshard needs -replicas ≥ 2 (another host must be able to receive the shard)")
+	}
 	t0 := time.Now()
-	c, _, err := sim.WrapWorkload(w).Execute(cfg)
-	if err != nil {
+	sw := sim.WrapWorkload(w)
+	var c *sim.Cluster
+	if reshard != "" {
+		shard, target, at, err := parseReshard(reshard)
+		if err != nil {
+			return err
+		}
+		cfg.Nodes, cfg.PageSize = w.Cfg.Nodes, w.Cfg.PageSize
+		if c, err = sim.NewCluster(cfg); err != nil {
+			return err
+		}
+		objs, err := sw.Install(c)
+		if err != nil {
+			return err
+		}
+		if err := sw.SubmitAll(c, objs); err != nil {
+			return err
+		}
+		if err := c.Reshard(at, shard, target); err != nil {
+			return err
+		}
+		if err := c.Run(); err != nil {
+			return err
+		}
+		for _, o := range c.Reshards() {
+			if !o.OK {
+				return fmt.Errorf("reshard of shard %d to node %d failed: %v", o.Shard, o.Target, o.Err)
+			}
+			fmt.Printf("reshard: shard %d → node %d, %d state bytes\n", o.Shard, o.Target, o.Bytes)
+		}
+	} else if c, _, err = sw.Execute(cfg); err != nil {
 		return err
 	}
 	col := workload.NewKPICollector(w.ClassNames)

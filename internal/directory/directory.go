@@ -251,6 +251,22 @@ func (s *Sharded) CommitSeq(f ids.FamilyID) (uint64, bool) {
 	return seq, ok
 }
 
+// AssignCommitSeq fixes the family's position in the global commit order
+// now, ahead of its per-shard releases, and returns it (skip-if-present:
+// re-assignment is a no-op). Routed clients call this through the control
+// plane before fanning their release batches out, so the order is decided
+// by a single counter even when the releases land on different shards.
+func (s *Sharded) AssignCommitSeq(f ids.FamilyID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq, ok := s.commitOrder[f]; ok {
+		return seq
+	}
+	s.commitSeq++
+	s.commitOrder[f] = s.commitSeq
+	return s.commitSeq
+}
+
 // CancelRequest withdraws family's queued requests and pending upgrades on
 // obj.
 func (s *Sharded) CancelRequest(obj ids.ObjectID, family ids.FamilyID) (bool, error) {

@@ -1,0 +1,150 @@
+// Client-side routing for the replicated control plane.
+//
+// A RouteTable is one actor's view of the placement map plus the retry
+// discipline around it: stamp the current epoch into the request, call the
+// shard's primary, and react to the two ways the cluster corrects a stale
+// view — a RouteResp carrying a newer map (adopt and retry) and an
+// unreachable primary (ask the shard's backup to promote itself, adopt the
+// post-promotion map, and retry). Requests are never dropped on a route
+// change; they are re-aimed until a current primary accepts them.
+
+package directory
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"lotec/internal/ids"
+	"lotec/internal/stats"
+	"lotec/internal/transport"
+	"lotec/internal/wire"
+)
+
+// ErrNoRoute is returned when a call exhausts its re-route budget without
+// reaching a current primary (in practice: more than a single failure, or
+// a partition outlasting every retry).
+var ErrNoRoute = errors.New("directory: no route to shard primary")
+
+// routeAttempts bounds the adopt-and-retry loop. Each map adoption makes
+// progress (epochs only grow), so the bound is only hit when the cluster
+// is genuinely unavailable.
+const routeAttempts = 64
+
+// routeBackoff spaces retries that did not learn a newer map, so a client
+// waiting out a transient ownership gap (e.g. a handoff ratification in
+// flight) does not hot-loop on RouteResp exchanges.
+const routeBackoff = 200 * time.Microsecond
+
+// RouteTable is safe for concurrent use by every proc of one node.
+type RouteTable struct {
+	env transport.Env
+	rec *stats.Recorder
+
+	mu  sync.Mutex
+	cur wire.PlacementMap
+}
+
+// NewRouteTable returns a table starting from the given map. rec may be
+// nil; when set, client-observed failovers are recorded into it.
+func NewRouteTable(env transport.Env, rec *stats.Recorder, initial wire.PlacementMap) *RouteTable {
+	return &RouteTable{env: env, rec: rec, cur: initial.Clone()}
+}
+
+// Epoch returns the currently adopted map epoch.
+func (r *RouteTable) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur.Epoch
+}
+
+// Map returns a copy of the currently adopted map.
+func (r *RouteTable) Map() wire.PlacementMap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur.Clone()
+}
+
+// NumShards returns the shard count of the adopted map.
+func (r *RouteTable) NumShards() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur.NumShards()
+}
+
+// Adopt installs m if it is strictly newer than the current map and
+// reports whether it was.
+func (r *RouteTable) Adopt(m wire.PlacementMap) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.Epoch <= r.cur.Epoch {
+		return false
+	}
+	r.cur = m.Clone()
+	return true
+}
+
+// view snapshots the routing decision for one attempt.
+func (r *RouteTable) view(shard int) (primary, backup ids.NodeID, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shard < 0 || shard >= r.cur.NumShards() {
+		return ids.NoNode, ids.NoNode, r.cur.Epoch
+	}
+	return r.cur.Primary[shard], r.cur.Backup[shard], r.cur.Epoch
+}
+
+// Call sends m to the current primary of shard, stamping the adopted
+// epoch, and follows route corrections until a primary answers. It must be
+// called from a proc (it blocks). The reply is never a RouteResp.
+func (r *RouteTable) Call(shard int, m wire.Msg) (wire.Msg, error) {
+	for attempt := 0; attempt < routeAttempts; attempt++ {
+		primary, backup, epoch := r.view(shard)
+		if primary == ids.NoNode {
+			return nil, ErrNoRoute
+		}
+		stampEpoch(m, epoch)
+		t0 := r.env.Now()
+		reply, err := r.env.Call(primary, m)
+		if err != nil {
+			// The primary stopped answering. Ask the backup to promote
+			// itself; its reply is the authoritative post-promotion map
+			// (or just the current one, if someone else already promoted).
+			if backup == ids.NoNode || backup == primary {
+				return nil, err
+			}
+			preply, perr := r.env.Call(backup, &wire.PromoteReq{Dead: primary, Epoch: epoch})
+			if perr != nil {
+				return nil, err // both replicas gone: out of failure budget
+			}
+			if pr, ok := preply.(*wire.PromoteResp); ok {
+				if r.Adopt(pr.Map) && r.rec != nil {
+					r.rec.AddFailover(stats.FailoverSample{Latency: r.env.Now() - t0})
+				}
+			}
+			continue
+		}
+		if rr, ok := reply.(*wire.RouteResp); ok {
+			// A redirect terminates this logical request: the op was
+			// rejected at the front door (not applied anywhere), and the
+			// host's idempotency cache now holds this RouteResp against the
+			// request's current ID. Clear the ID so the re-aimed attempt is
+			// a fresh request instead of a replay of the redirect. (The
+			// timeout path above must NOT clear it: a promoted backup
+			// answers the replayed request from an entry primed under the
+			// original ID.)
+			if im, ok := m.(wire.Idempotent); ok {
+				im.SetRequestID(0)
+			}
+			if !r.Adopt(rr.Map) {
+				// Same or older map: ownership is in transition (seal,
+				// ratification, a peer that has not yet adopted the epoch
+				// we hold). Back off briefly instead of spinning.
+				r.env.Sleep(routeBackoff)
+			}
+			continue
+		}
+		return reply, nil
+	}
+	return nil, ErrNoRoute
+}

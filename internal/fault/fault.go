@@ -143,6 +143,16 @@ var RetriableKinds = []stats.MsgKind{
 	stats.KindPush, stats.KindPushReply,
 	stats.KindMultiFetchReq, stats.KindMultiPageData,
 	stats.KindMultiPush,
+	// Control-plane replication traffic is idempotent end to end (body
+	// request IDs + receiver dedup), so every leg may be dropped and
+	// retried: that is what lets a partition cut primary↔backup or
+	// old↔new owner during a handoff and still converge.
+	stats.KindReplicate, stats.KindReplicateReply,
+	stats.KindPromote, stats.KindPromoteReply,
+	stats.KindEpoch, stats.KindEpochReply,
+	stats.KindHandoff, stats.KindHandoffReply,
+	stats.KindDetect, stats.KindDetectReply,
+	stats.KindCommitSeq, stats.KindCommitSeqReply,
 }
 
 func kindRetriable(k stats.MsgKind) bool {

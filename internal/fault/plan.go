@@ -34,6 +34,12 @@ var kindGroups = map[string][]stats.MsgKind{
 	"data":      {stats.KindPageData, stats.KindMultiPageData},
 	"grant":     {stats.KindGrant},
 	"abort":     {stats.KindAbort},
+	"replica": {
+		stats.KindReplicate, stats.KindReplicateReply,
+		stats.KindPromote, stats.KindPromoteReply,
+		stats.KindEpoch, stats.KindEpochReply,
+		stats.KindHandoff, stats.KindHandoffReply,
+	},
 	"retriable": RetriableKinds,
 	"all":       nil,
 }

@@ -331,6 +331,22 @@ func (d *Directory) CommitSeq(f ids.FamilyID) (uint64, bool) {
 	return seq, ok
 }
 
+// AssignCommitSeq assigns (or returns the already-assigned) commit-order
+// position for a family. In replicated topologies the sequencer lives on
+// one designated shard and clients ask it for their position explicitly
+// before fanning releases out to the other shards; Release's own
+// skip-if-present check then leaves the assignment untouched.
+func (d *Directory) AssignCommitSeq(f ids.FamilyID) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if seq, ok := d.commitOrder[f]; ok {
+		return seq
+	}
+	d.commitSeq++
+	d.commitOrder[f] = d.commitSeq
+	return d.commitSeq
+}
+
 // LastWriter returns the site of obj's most recent committing update.
 func (d *Directory) LastWriter(obj ids.ObjectID) (ids.NodeID, error) {
 	d.mu.Lock()

@@ -19,6 +19,9 @@ var detRootPackages = map[string]bool{
 	"workload": true,
 	"netmodel": true,
 	"stats":    true,
+	// The replicated directory (hosts, handoff, routing) replays inside the
+	// simulator: its promotions and epoch adoptions are part of the trace.
+	"directory": true,
 }
 
 // DetSource is the whole-program nondeterminism-taint analyzer. It marks a

@@ -99,8 +99,7 @@ func (e *Engine) acquireGlobal(ts *txState, obj ids.ObjectID, mode o2pl.Mode) er
 	if age == 0 {
 		age = uint64(ts.t.Family())
 	}
-	home := e.cfg.HomeFn(obj)
-	reply, err := e.env.Call(home, &wire.AcquireReq{
+	reply, err := e.gdoCall(e.shardOf(obj), e.cfg.HomeFn(obj), &wire.AcquireReq{
 		Obj:    obj,
 		Ref:    ts.t.Ref(),
 		Family: ts.t.Family(),

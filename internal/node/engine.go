@@ -96,6 +96,11 @@ type Config struct {
 	// Dir, when non-nil, makes this node serve GDO requests from Dir —
 	// either a single *gdo.Directory or a *directory.Sharded router.
 	Dir directory.Service
+	// Route, when non-nil, sends every GDO request through the replicated
+	// control plane's placement map instead of HomeFn: calls go to the
+	// shard's current primary, stale-epoch rejections re-aim, and an
+	// unreachable primary triggers client-driven backup promotion.
+	Route *directory.RouteTable
 	// Rec records the message trace and counters; may be nil.
 	Rec *stats.Recorder
 	// MaxRetries bounds deadlock-victim retries of a root (default 20).
@@ -216,6 +221,16 @@ func (e *Engine) shardOf(obj ids.ObjectID) int32 {
 		return 0
 	}
 	return int32(e.cfg.ShardFn(obj))
+}
+
+// gdoCall sends a GDO request: through the replicated control plane's route
+// table when configured (the shard's current primary, wherever the placement
+// map says it lives), else directly to the static home node.
+func (e *Engine) gdoCall(shard int32, home ids.NodeID, m wire.Msg) (wire.Msg, error) {
+	if e.cfg.Route != nil {
+		return e.cfg.Route.Call(int(shard), m)
+	}
+	return e.env.Call(home, m)
 }
 
 // Protocol returns the default consistency protocol.
@@ -587,6 +602,21 @@ func (e *Engine) commitRoot(ts *txState) error {
 	delete(e.fams, ts.t.Family())
 	e.mu.Unlock()
 
+	// Replicated mode: the commit sequencer is shard 0's primary, and the
+	// per-shard releases below fan out to whichever hosts own the shards.
+	// Ask the sequencer for our position first so the global commit order
+	// is fixed before any shard observes the release (the sequencer shard's
+	// own release then finds the assignment already present and keeps it).
+	if e.cfg.Route != nil {
+		reply, err := e.cfg.Route.Call(0, &wire.CommitSeqReq{Family: ts.t.Family()})
+		if err != nil {
+			return fmt.Errorf("commit seq: %w", siteErr(err))
+		}
+		if er, ok := reply.(*wire.ErrResp); ok {
+			return fmt.Errorf("commit seq: %s", er.Msg)
+		}
+	}
+
 	// Restamp dirty pages to version+1 and clear their dirty flags *before*
 	// the release leaves: the directory assigns exactly +1 per committing
 	// release, and the next holder may be granted — and may fetch from, or
@@ -661,6 +691,11 @@ func (e *Engine) releaseGlobal(fam *famState, objs []ids.ObjectID, dirty map[ids
 	byDest := make(map[dest][]gdo.ObjectRelease)
 	for _, obj := range objs {
 		d := dest{home: e.cfg.HomeFn(obj), shard: e.shardOf(obj)}
+		if e.cfg.Route != nil {
+			// Replicated mode: the shard, not the static home, is the
+			// address — collapse batches per shard.
+			d.home = ids.NoNode
+		}
 		byDest[d] = append(byDest[d], gdo.ObjectRelease{Obj: obj, Dirty: dirty[obj]})
 	}
 	dests := make([]dest, 0, len(byDest))
@@ -680,7 +715,7 @@ func (e *Engine) releaseGlobal(fam *famState, objs []ids.ObjectID, dirty map[ids
 		if e.cfg.Rec != nil {
 			e.cfg.Rec.AddGlobalLockOp()
 		}
-		reply, err := e.env.Call(d.home, &wire.ReleaseReq{
+		reply, err := e.gdoCall(d.shard, d.home, &wire.ReleaseReq{
 			Family: family,
 			Site:   e.self,
 			Commit: commit,
@@ -721,7 +756,21 @@ func (e *Engine) pushUpdates(objs []ids.ObjectID, dirty map[ids.ObjectID][]ids.P
 			break
 		}
 	}
-	return siteErr(e.xfer.Push(objs, dirty, e.cfg.HomeFn, delta))
+	homeFn := e.cfg.HomeFn
+	if e.cfg.Route != nil {
+		// Replicated mode: copy-set lookups go to each shard's current
+		// primary per the adopted map. A stale view surfaces as a site
+		// error (the host answers RouteResp), failing this commit rather
+		// than pushing to a wrong copy set.
+		m := e.cfg.Route.Map()
+		homeFn = func(obj ids.ObjectID) ids.NodeID {
+			if s := int(e.shardOf(obj)); s < m.NumShards() {
+				return m.Primary[s]
+			}
+			return e.cfg.HomeFn(obj)
+		}
+	}
+	return siteErr(e.xfer.Push(objs, dirty, homeFn, delta))
 }
 
 // completeAll wakes a batch of granted local waiters.

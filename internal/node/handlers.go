@@ -50,12 +50,19 @@ func (e *Engine) handleGrant(g *wire.Grant) {
 		// The family is gone (aborted while queued): hand the lock straight
 		// back so no one waits on a ghost holder.
 		e.mu.Unlock()
-		_ = e.env.Send(e.cfg.HomeFn(g.Obj), &wire.ReleaseReq{
+		rel := &wire.ReleaseReq{
 			Family: g.Family,
 			Site:   e.self,
 			Shard:  g.Shard,
 			Rels:   []gdo.ObjectRelease{{Obj: g.Obj}},
-		})
+		}
+		if e.cfg.Route != nil {
+			// Handlers must not block; the routed hand-back needs its own
+			// proc for the adopt-and-retry loop.
+			e.env.Go(func() { _, _ = e.cfg.Route.Call(int(g.Shard), rel) })
+		} else {
+			_ = e.env.Send(e.cfg.HomeFn(g.Obj), rel)
+		}
 		return
 	}
 	entry := fam.entries[g.Obj]

@@ -39,6 +39,18 @@ func (t Topology) Placement() directory.Placement {
 	return directory.NewPlacement(t.DirectoryShards, len(t.NodeAddrs))
 }
 
+// InitialMap returns the deployment's epoch-stamped placement map: every
+// shard's primary is the single GDO host, no backups. Nodes start from
+// this map and adopt any newer one a RouteResp carries, so a deployment
+// that later relocates shards corrects stale clients instead of erroring.
+func (t Topology) InitialMap() wire.PlacementMap {
+	shards := t.DirectoryShards
+	if shards < 1 {
+		shards = 1
+	}
+	return directory.InitialMap(shards, len(t.NodeAddrs), []ids.NodeID{t.GDONode()}, false)
+}
+
 // addrMap builds the ID→address table shared by every process.
 func (t Topology) addrMap() map[ids.NodeID]string {
 	m := make(map[ids.NodeID]string, len(t.NodeAddrs)+1)
@@ -54,6 +66,11 @@ type GDOServer struct {
 	topo Topology
 	net  *TCPNet
 	dir  *directory.Sharded
+	// cur is the authoritative epoch-stamped placement map. Requests
+	// stamped with a different epoch (or addressed to the wrong shard) are
+	// answered with a RouteResp carrying this map instead of an error, so
+	// a client with a stale view re-aims rather than aborts.
+	cur wire.PlacementMap
 }
 
 // NewGDOServer creates (without starting) a directory server. The handler
@@ -66,6 +83,7 @@ func NewGDOServer(topo Topology) *GDOServer {
 	s := &GDOServer{
 		topo: topo,
 		dir:  directory.NewSharded(p.Shards, p.Nodes),
+		cur:  topo.InitialMap(),
 	}
 	s.net = NewTCPNet(topo.GDONode(), topo.addrMap())
 	s.net.SetHandler(fault.NewDedup().Wrap(s.handle))
@@ -97,15 +115,27 @@ func (s *GDOServer) Addr() string { return s.net.Addr() }
 // Directory exposes the directory (diagnostics).
 func (s *GDOServer) Directory() *directory.Sharded { return s.dir }
 
+// redirect reports whether a request's placement view is stale — a
+// mismatched epoch stamp or a wrong shard address — and if so builds the
+// corrective RouteResp. Epoch 0 (an unstamped legacy client) is accepted:
+// only a client that claims a view can claim a stale one.
+func (s *GDOServer) redirect(epoch uint64, obj ids.ObjectID, shard int32) wire.Msg {
+	if epoch != 0 && epoch != s.cur.Epoch {
+		return &wire.RouteResp{Map: s.cur.Clone()}
+	}
+	if want := s.dir.ShardOf(obj); int(shard) != want {
+		return &wire.RouteResp{Map: s.cur.Clone()}
+	}
+	return nil
+}
+
 // handle serves the directory protocol. The event routing mirrors
 // node.Engine.routeEvents.
 func (s *GDOServer) handle(from ids.NodeID, m wire.Msg) wire.Msg {
 	switch req := m.(type) {
 	case *wire.AcquireReq:
-		if want := s.dir.ShardOf(req.Obj); int(req.Shard) != want {
-			return &wire.ErrResp{Msg: fmt.Sprintf(
-				"gdo: acquire of %v addressed to shard %d, owned by shard %d (placement mismatch)",
-				req.Obj, req.Shard, want)}
+		if rr := s.redirect(req.Epoch, req.Obj, req.Shard); rr != nil {
+			return rr
 		}
 		res, events, err := s.dir.Acquire(req.Obj, req.Ref, req.Family, req.Age, req.Site, req.Mode)
 		if err != nil {
@@ -123,10 +153,8 @@ func (s *GDOServer) handle(from ids.NodeID, m wire.Msg) wire.Msg {
 		}
 	case *wire.ReleaseReq:
 		for _, rel := range req.Rels {
-			if want := s.dir.ShardOf(rel.Obj); int(req.Shard) != want {
-				return &wire.ErrResp{Msg: fmt.Sprintf(
-					"gdo: release of %v addressed to shard %d, owned by shard %d (placement mismatch)",
-					rel.Obj, req.Shard, want)}
+			if rr := s.redirect(req.Epoch, rel.Obj, req.Shard); rr != nil {
+				return rr
 			}
 		}
 		events, stamps, err := s.dir.Release(req.Family, req.Site, req.Commit, req.Rels)
@@ -135,6 +163,11 @@ func (s *GDOServer) handle(from ids.NodeID, m wire.Msg) wire.Msg {
 		}
 		s.route(events)
 		return &wire.ReleaseResp{Shard: req.Shard, Stamps: stamps}
+	case *wire.CommitSeqReq:
+		if req.Epoch != 0 && req.Epoch != s.cur.Epoch {
+			return &wire.RouteResp{Map: s.cur.Clone()}
+		}
+		return &wire.CommitSeqResp{Seq: s.dir.AssignCommitSeq(req.Family)}
 	case *wire.CopySetReq:
 		sets := make([]wire.CopySet, 0, len(req.Objs))
 		for _, obj := range req.Objs {
@@ -246,6 +279,11 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 	s.net = NewTCPNet(cfg.Self, cfg.Topology.addrMap())
 	gdoNode := cfg.Topology.GDONode()
 	place := cfg.Topology.Placement()
+	// Every GDO request goes through a route table seeded with the
+	// deployment's initial map: requests carry the adopted epoch and a
+	// RouteResp from the directory (stale epoch, relocated shard) re-aims
+	// them instead of failing the transaction.
+	route := directory.NewRouteTable(s.net, cfg.Rec, cfg.Topology.InitialMap())
 	eng, err := node.New(node.Config{
 		Env:               s.net,
 		Store:             pstore.NewStore(cfg.PageSize),
@@ -256,6 +294,7 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		ProtocolOverrides: cfg.ProtocolOverrides,
 		HomeFn:            func(ids.ObjectID) ids.NodeID { return gdoNode },
 		ShardFn:           place.ShardOf,
+		Route:             route,
 		Rec:               cfg.Rec,
 		FetchConcurrency:  cfg.FetchConcurrency,
 		Strict:            !cfg.Lenient,

@@ -1,0 +1,178 @@
+package sim
+
+// Control-plane availability experiments: how fast does the replicated
+// directory recover from a primary crash, and what does an online shard
+// handoff cost? RunAvailability sweeps replica counts with a deterministic
+// primary-kill plan, then measures a reshard-under-load handoff on the
+// same traffic. lotec-bench -smoke gates on these rows and records them in
+// BENCH_results.json; the EXPERIMENTS.md availability table is this
+// function's output.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lotec/internal/core"
+	"lotec/internal/fault"
+	"lotec/internal/ids"
+)
+
+// AvailabilityRow is one replica count's measured recovery behaviour.
+type AvailabilityRow struct {
+	// Replicas is the control-plane host count (1 = relocatable but
+	// unreplicated: a primary crash is unrecoverable by design).
+	Replicas int `json:"replicas"`
+	// Roots / FailedRoots account for every submitted transaction under
+	// the primary-kill plan.
+	Roots       int `json:"roots"`
+	FailedRoots int `json:"failed_roots"`
+	// Failovers is the number of client-observed failovers; FailoverP50/
+	// P99 are the observed suspicion-to-adoption latencies.
+	Failovers   int           `json:"failovers"`
+	FailoverP50 time.Duration `json:"failover_p50_ns"`
+	FailoverP99 time.Duration `json:"failover_p99_ns"`
+	// Promotions counts backup promotions executed by the hosts.
+	Promotions int64 `json:"promotions"`
+	// AbortsPerFailover is FailedRoots/Failovers (0 when no failover).
+	AbortsPerFailover float64 `json:"aborts_per_failover"`
+	// HandoffBytes / HandoffLatency describe the reshard-under-load
+	// handoff measured on the fault-free leg (0 when Replicas < 2).
+	HandoffBytes   uint64        `json:"handoff_bytes"`
+	HandoffLatency time.Duration `json:"handoff_ns"`
+}
+
+// availabilityWorkload is the traffic both legs run: chaos-matrix sized,
+// but with no injected aborts, so every failed root is attributable to the
+// control-plane fault under test.
+func availabilityWorkload(seed int64) WorkloadConfig {
+	return WorkloadConfig{
+		Seed:           seed,
+		Objects:        8,
+		MinPages:       1,
+		MaxPages:       3,
+		PageSize:       512,
+		Transactions:   20,
+		Nodes:          4,
+		HotFraction:    0.25,
+		HotWeight:      0.6,
+		ArrivalSpacing: 200 * time.Microsecond,
+	}
+}
+
+// durP returns the p-quantile of the sorted duration set.
+func durP(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RunAvailability measures one row per replica count. The kill leg crashes
+// the first control-plane host 1 ms into the run (permanently); the
+// handoff leg reruns the same workload fault-free with shard 0 resharded
+// onto the last host mid-stream.
+func RunAvailability(seed uint64, replicas []int) ([]AvailabilityRow, error) {
+	var rows []AvailabilityRow
+	for _, r := range replicas {
+		cfg := availabilityWorkload(int64(seed))
+		row := AvailabilityRow{Replicas: r}
+
+		// Kill leg.
+		w, err := GenerateWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		firstHost := cfg.Nodes + 1
+		plan, err := fault.Parse(fmt.Sprintf("crash(node=%d,at=1ms)", firstHost), seed)
+		if err != nil {
+			return nil, err
+		}
+		c, _, err := w.Execute(Config{
+			Protocol: core.LOTEC, Faults: plan, MaxRetries: 100,
+			Replicas: r, DirectoryShards: 4, SpreadShards: true,
+		})
+		switch {
+		case err != nil && r == 1:
+			// No backup: killing the only host wedges whatever was parked
+			// on it and the run cannot terminate cleanly. That IS the
+			// availability result — every root is lost.
+			row.Roots = cfg.Transactions
+			row.FailedRoots = cfg.Transactions
+		case err != nil:
+			return nil, fmt.Errorf("availability (replicas=%d): %w", r, err)
+		default:
+			row.Roots = len(c.Results())
+			for _, res := range c.Results() {
+				if res.Err != nil {
+					row.FailedRoots++
+				}
+			}
+			var lats []time.Duration
+			for _, f := range c.Recorder().Failovers() {
+				lats = append(lats, f.Latency)
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			row.Failovers = len(lats)
+			row.FailoverP50 = durP(lats, 0.50)
+			row.FailoverP99 = durP(lats, 0.99)
+			row.Promotions = c.Recorder().Counters().Promotions
+			if row.Failovers > 0 {
+				row.AbortsPerFailover = float64(row.FailedRoots) / float64(row.Failovers)
+			}
+		}
+
+		// Handoff leg (needs a host that is not shard 0's primary).
+		if r >= 2 {
+			w2, err := GenerateWorkload(cfg)
+			if err != nil {
+				return nil, err
+			}
+			c2, err := NewCluster(Config{
+				Protocol: core.LOTEC, Nodes: cfg.Nodes, PageSize: cfg.PageSize,
+				MaxRetries: 100, Replicas: r, DirectoryShards: 4, SpreadShards: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			objs, err := w2.Install(c2)
+			if err != nil {
+				return nil, err
+			}
+			if err := w2.SubmitAll(c2, objs); err != nil {
+				return nil, err
+			}
+			// Spread layout: shard 0's primary is the first host, so the
+			// last host (primary of shard r-1 at most) receives it.
+			target := ids.NodeID(cfg.Nodes + r)
+			if err := c2.Reshard(2*time.Millisecond, 0, target); err != nil {
+				return nil, err
+			}
+			if err := c2.Run(); err != nil {
+				return nil, fmt.Errorf("handoff leg (replicas=%d): %w", r, err)
+			}
+			for _, h := range c2.Recorder().Handoffs() {
+				row.HandoffBytes += uint64(h.Bytes)
+				if h.Latency > row.HandoffLatency {
+					row.HandoffLatency = h.Latency
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AvailabilityTable renders rows as the EXPERIMENTS.md markdown table.
+func AvailabilityTable(rows []AvailabilityRow) string {
+	s := "| replicas | roots | failed | failovers | failover p50 | failover p99 | promotions | aborts/failover | handoff bytes | handoff latency |\n"
+	s += "|---|---|---|---|---|---|---|---|---|---|\n"
+	for _, r := range rows {
+		s += fmt.Sprintf("| %d | %d | %d | %d | %v | %v | %d | %.2f | %d | %v |\n",
+			r.Replicas, r.Roots, r.FailedRoots, r.Failovers,
+			r.FailoverP50, r.FailoverP99, r.Promotions, r.AbortsPerFailover,
+			r.HandoffBytes, r.HandoffLatency)
+	}
+	return s
+}

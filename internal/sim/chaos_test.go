@@ -98,7 +98,16 @@ func runChaosWorkload(t *testing.T, seed uint64, planName string, proto core.Pro
 	if err != nil {
 		t.Fatalf("preset %q: %v", planName, err)
 	}
-	c, objs, err := w.Execute(Config{Protocol: proto, Faults: plan, MaxRetries: 100})
+	runChaosWorkloadIn(t, seed, w, Config{Protocol: proto, Faults: plan, MaxRetries: 100})
+}
+
+// runChaosWorkloadIn is the oracle core with an explicit cluster config, so
+// replicated-control-plane cells (Replicas > 0, crafted crash/partition
+// plans) share the exact invariants of the legacy matrix.
+func runChaosWorkloadIn(t *testing.T, seed uint64, w *Workload, clusterCfg Config) *Cluster {
+	t.Helper()
+	proto := clusterCfg.Protocol
+	c, objs, err := w.Execute(clusterCfg)
 	if err != nil {
 		t.Fatalf("execute: %v\n%s", err, chaosRepro(seed))
 	}
@@ -157,7 +166,7 @@ func runChaosWorkload(t *testing.T, seed uint64, planName string, proto core.Pro
 	if err := c.VerifyPageMapCoherence(); err != nil {
 		t.Errorf("page map incoherent: %v\n%s", err, chaosRepro(seed))
 	}
-	if dump := c.Directory().DebugDump(); dump != "" {
+	if dump := c.DirectoryDump(); dump != "" {
 		t.Errorf("directory lock tables not drained:\n%s\n%s", dump, chaosRepro(seed))
 	}
 	for n := 1; n <= w.Cfg.Nodes; n++ {
@@ -165,6 +174,7 @@ func runChaosWorkload(t *testing.T, seed uint64, planName string, proto core.Pro
 			t.Errorf("node %d engine state not drained:\n%s\n%s", n, dump, chaosRepro(seed))
 		}
 	}
+	return c
 }
 
 func TestChaos(t *testing.T) {

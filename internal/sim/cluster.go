@@ -13,6 +13,7 @@ import (
 	"lotec/internal/core"
 	"lotec/internal/directory"
 	"lotec/internal/fault"
+	"lotec/internal/gdo"
 	"lotec/internal/ids"
 	"lotec/internal/netmodel"
 	"lotec/internal/node"
@@ -21,6 +22,7 @@ import (
 	"lotec/internal/stats"
 	"lotec/internal/transport"
 	"lotec/internal/txn"
+	"lotec/internal/wire"
 )
 
 // Config shapes a simulated cluster.
@@ -79,6 +81,20 @@ type Config struct {
 	// against the real cluster. Default false keeps the paper's historical
 	// co-located layout and its exact traces.
 	DedicatedDirectory bool
+	// Replicas, when > 0, runs the directory as that many dedicated
+	// control-plane host nodes (N+1 .. N+Replicas) speaking the replicated
+	// shard protocol: primary/backup op-log replication, epoch-stamped
+	// placement, backup promotion on primary crash, and online shard
+	// handoff (Reshard). Engines route lock traffic through a per-node
+	// RouteTable instead of HomeFn. Mutually exclusive with
+	// DedicatedDirectory. 1 means unreplicated-but-relocatable (no
+	// backups). Default 0 keeps the in-process directory and its exact
+	// traces.
+	Replicas int
+	// SpreadShards distributes shard primaries round-robin across the
+	// host nodes (each host backs up its ring predecessor's shards)
+	// instead of the default all-primaries-on-host-1 layout.
+	SpreadShards bool
 }
 
 // withDefaults fills unset fields.
@@ -122,7 +138,14 @@ type Cluster struct {
 	stores  map[ids.NodeID]*pstore.Store
 	objGen  ids.ObjectIDGenerator
 
-	results []*Result
+	// Replicated control plane (Replicas > 0); empty in legacy mode.
+	hosts      map[ids.NodeID]*directory.Host
+	hostIDs    []ids.NodeID
+	place      directory.Placement
+	initialMap wire.PlacementMap
+
+	results  []*Result
+	reshards []*ReshardOutcome
 }
 
 // Result captures one submitted root transaction's outcome.
@@ -173,6 +196,23 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		dirNode = ids.NodeID(cfg.Nodes + 1)
 		homeFn = func(ids.ObjectID) ids.NodeID { return dirNode }
 	}
+	if cfg.Replicas > 0 {
+		if cfg.DedicatedDirectory {
+			return nil, errors.New("sim: Replicas and DedicatedDirectory are mutually exclusive")
+		}
+		simSize = cfg.Nodes + cfg.Replicas
+		for i := 0; i < cfg.Replicas; i++ {
+			c.hostIDs = append(c.hostIDs, ids.NodeID(cfg.Nodes+1+i))
+		}
+		c.hosts = make(map[ids.NodeID]*directory.Host, cfg.Replicas)
+		c.place = directory.NewPlacement(cfg.DirectoryShards, cfg.Nodes)
+		c.initialMap = directory.InitialMap(cfg.DirectoryShards, cfg.Nodes, c.hostIDs, cfg.SpreadShards)
+		// HomeFn survives as the engines' fallback only; with a RouteTable
+		// configured every lock message is routed by the adopted map.
+		homeFn = func(obj ids.ObjectID) ids.NodeID {
+			return c.initialMap.Primary[c.place.ShardOf(obj)]
+		}
+	}
 	c.net = transport.NewSimNet(simSize, cfg.Net, c.rec)
 	faultsActive := false
 	if cfg.Faults != nil {
@@ -180,13 +220,33 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		faultsActive = inj.Active()
 		c.net.InstallFaults(inj, cfg.Retry)
 	}
-	for i := 1; i <= simSize; i++ {
+	for _, id := range c.hostIDs {
+		h := directory.NewHost(directory.HostConfig{
+			Env:   c.net.Env(id),
+			Place: c.place,
+			Map:   c.initialMap,
+			Rec:   c.rec,
+		})
+		c.hosts[id] = h
+		c.net.SetAsyncHandler(id, h.Handler())
+	}
+	dataNodes := simSize
+	if cfg.Replicas > 0 {
+		dataNodes = cfg.Nodes
+	}
+	for i := 1; i <= dataNodes; i++ {
 		id := ids.NodeID(i)
 		isDir := cfg.DedicatedDirectory && id == dirNode
 		var dirSvc directory.Service = c.dir
 		if cfg.DedicatedDirectory && !isDir {
 			// Data sites don't serve directory traffic in this layout.
 			dirSvc = nil
+		}
+		var route *directory.RouteTable
+		if cfg.Replicas > 0 {
+			// Lock traffic goes to the control-plane hosts, not peers.
+			dirSvc = nil
+			route = directory.NewRouteTable(c.net.Env(id), c.rec, c.initialMap)
 		}
 		store := pstore.NewStore(cfg.PageSize)
 		eng, err := node.New(node.Config{
@@ -200,6 +260,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			HomeFn:            homeFn,
 			ShardFn:           c.dir.ShardOf,
 			Dir:               dirSvc,
+			Route:             route,
 			Rec:               c.rec,
 			MaxRetries:        cfg.MaxRetries,
 			FetchConcurrency:  cfg.FetchConcurrency,
@@ -259,7 +320,16 @@ func (c *Cluster) CreateObject(class ids.ClassID, owner ids.NodeID) (ids.ObjectI
 		return 0, err
 	}
 	obj := c.objGen.Next()
-	if err := c.dir.Register(obj, layout.NumPages(), owner); err != nil {
+	if len(c.hosts) > 0 {
+		// Every replica of the object's shard starts from the same
+		// registration, so primary and backup directories never diverge
+		// on the object universe.
+		for _, id := range c.hostIDs {
+			if err := c.hosts[id].RegisterLocal(obj, layout.NumPages(), owner); err != nil {
+				return 0, err
+			}
+		}
+	} else if err := c.dir.Register(obj, layout.NumPages(), owner); err != nil {
 		return 0, err
 	}
 	// Registration order is node 1..N: iterating the engines map would run
@@ -291,7 +361,7 @@ func (c *Cluster) SubmitTagged(at time.Duration, nodeID ids.NodeID, obj ids.Obje
 			env.Sleep(at)
 		}
 		out, fam, err := eng.Run(obj, method, arg)
-		seq, _ := c.dir.CommitSeq(fam)
+		seq := c.commitSeqOf(fam)
 		c.results = append(c.results, &Result{
 			Node: nodeID, Obj: obj, Method: method, Out: out, Err: err,
 			Family: fam, CommitSeq: seq, Tag: tag,
@@ -329,11 +399,192 @@ func (c *Cluster) FailedResults() []*Result {
 // Now returns the cluster's virtual time.
 func (c *Cluster) Now() time.Duration { return c.net.Now() }
 
+// commitSeqOf resolves a family's global commit sequence: from the Sharded
+// router in legacy mode, from shard 0's current primary (the replicated
+// sequencer) otherwise.
+func (c *Cluster) commitSeqOf(fam ids.FamilyID) uint64 {
+	if len(c.hosts) == 0 {
+		seq, _ := c.dir.CommitSeq(fam)
+		return seq
+	}
+	d := c.primaryDirOf(0)
+	if d == nil {
+		return 0
+	}
+	seq, _ := d.CommitSeq(fam)
+	return seq
+}
+
+// primaryHostOf finds the host currently serving shard as primary: the one
+// whose own map names it, at the highest epoch (a deposed or crashed
+// ex-primary still claims the shard under its stale map and must lose).
+// Epochs are unique per map, so the max-epoch claimant is unambiguous.
+func (c *Cluster) primaryHostOf(shard int) *directory.Host {
+	var best *directory.Host
+	var bestEpoch uint64
+	for _, id := range c.hostIDs {
+		h := c.hosts[id]
+		m := h.Map()
+		if shard >= m.NumShards() || m.Primary[shard] != h.Self() {
+			continue
+		}
+		if _, ok := h.PrimaryDir(shard); !ok {
+			continue
+		}
+		if best == nil || m.Epoch > bestEpoch {
+			best, bestEpoch = h, m.Epoch
+		}
+	}
+	return best
+}
+
+// primaryDirOf returns the directory of shard's current primary (nil when
+// no live host claims it).
+func (c *Cluster) primaryDirOf(shard int) *gdo.Directory {
+	h := c.primaryHostOf(shard)
+	if h == nil {
+		return nil
+	}
+	d, _ := h.PrimaryDir(shard)
+	return d
+}
+
+// pageMapOf reads an object's authoritative page map from whichever
+// directory currently owns it.
+func (c *Cluster) pageMapOf(obj ids.ObjectID) ([]gdo.PageLoc, error) {
+	if len(c.hosts) == 0 {
+		return c.dir.PageMap(obj)
+	}
+	shard := c.place.ShardOf(obj)
+	d := c.primaryDirOf(shard)
+	if d == nil {
+		return nil, fmt.Errorf("sim: no current primary for shard %d of %v", shard, obj)
+	}
+	return d.PageMap(obj)
+}
+
+// objects enumerates the registered object universe from the authoritative
+// directories (each shard's current primary in replicated mode).
+func (c *Cluster) objects() []ids.ObjectID {
+	if len(c.hosts) == 0 {
+		return c.dir.Objects()
+	}
+	var out []ids.ObjectID
+	for s := 0; s < c.cfg.DirectoryShards; s++ {
+		if d := c.primaryDirOf(s); d != nil {
+			out = append(out, d.Objects()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirectoryDump renders the undrained lock state of the authoritative
+// directory — the Sharded router in legacy mode, each shard's current
+// primary in replicated mode (deposed and crashed ex-primaries excluded).
+// Empty means fully drained.
+func (c *Cluster) DirectoryDump() string {
+	if len(c.hosts) == 0 {
+		return c.dir.DebugDump()
+	}
+	out := ""
+	for s := 0; s < c.cfg.DirectoryShards; s++ {
+		h := c.primaryHostOf(s)
+		if h == nil {
+			continue
+		}
+		d, _ := h.PrimaryDir(s)
+		if dump := d.DebugDump(); dump != "" {
+			out += fmt.Sprintf("shard %d@host %v:\n%s", s, h.Self(), dump)
+		}
+	}
+	return out
+}
+
+// Hosts returns the control-plane host IDs (empty in legacy mode).
+func (c *Cluster) Hosts() []ids.NodeID { return append([]ids.NodeID(nil), c.hostIDs...) }
+
+// Host returns a control-plane host by node ID (tests and oracles).
+func (c *Cluster) Host(id ids.NodeID) *directory.Host { return c.hosts[id] }
+
+// CurrentMap returns the newest placement map any host has adopted.
+func (c *Cluster) CurrentMap() wire.PlacementMap {
+	best := c.initialMap.Clone()
+	for _, id := range c.hostIDs {
+		if m := c.hosts[id].Map(); m.Epoch > best.Epoch {
+			best = m
+		}
+	}
+	return best
+}
+
+// ReshardOutcome records one scheduled online handoff's result.
+type ReshardOutcome struct {
+	Shard  int
+	Target ids.NodeID
+	OK     bool
+	// Bytes is the exported shard snapshot size shipped to the target.
+	Bytes uint64
+	Err   error
+}
+
+// Reshard schedules an online handoff: at virtual time `at`, shard's
+// current primary seals, drains, and transfers ownership (directory state,
+// page maps, lock queues) to target — another control-plane host — while
+// client traffic continues; parked requests are replayed or re-routed,
+// never dropped. The outcome is appended to Reshards() when it resolves.
+func (c *Cluster) Reshard(at time.Duration, shard int, target ids.NodeID) error {
+	if len(c.hosts) == 0 {
+		return errors.New("sim: Reshard requires Replicas > 0")
+	}
+	if _, ok := c.hosts[target]; !ok {
+		return fmt.Errorf("sim: reshard target %v is not a control-plane host", target)
+	}
+	if shard < 0 || shard >= c.cfg.DirectoryShards {
+		return fmt.Errorf("sim: reshard shard %d out of range", shard)
+	}
+	// The controller runs as a client of the control plane from node 1's
+	// endpoint: route to the shard's current primary, retry on refusal
+	// (e.g. a concurrent transfer), and record the terminal outcome.
+	env := c.net.Env(ids.NodeID(1))
+	rt := directory.NewRouteTable(env, nil, c.initialMap)
+	env.Go(func() {
+		if at > 0 {
+			env.Sleep(at)
+		}
+		out := &ReshardOutcome{Shard: shard, Target: target}
+		for attempt := 0; attempt < 8; attempt++ {
+			reply, err := rt.Call(shard, &wire.HandoffStartReq{Shard: int32(shard), Target: target})
+			if err != nil {
+				out.Err = err
+				break
+			}
+			hr, ok := reply.(*wire.HandoffStartResp)
+			if !ok {
+				out.Err = fmt.Errorf("sim: reshard reply %T", reply)
+				break
+			}
+			rt.Adopt(hr.Map)
+			if hr.OK {
+				out.OK, out.Bytes, out.Err = true, hr.StateBytes, nil
+				break
+			}
+			out.Err = fmt.Errorf("sim: reshard of shard %d to %v refused", shard, target)
+			env.Sleep(time.Millisecond)
+		}
+		c.reshards = append(c.reshards, out)
+	})
+	return nil
+}
+
+// Reshards returns the scheduled handoff outcomes in completion order.
+func (c *Cluster) Reshards() []*ReshardOutcome { return c.reshards }
+
 // ObjectBytes assembles the authoritative final contents of obj by reading
 // each page from the site holding its newest version (per the GDO page
 // map). Used by tests to compare protocol runs and serial replays.
 func (c *Cluster) ObjectBytes(obj ids.ObjectID) ([]byte, error) {
-	pm, err := c.dir.PageMap(obj)
+	pm, err := c.pageMapOf(obj)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +611,7 @@ func (c *Cluster) ObjectBytes(obj ids.ObjectID) ([]byte, error) {
 // every page-map entry points at a node that actually holds that version.
 func (c *Cluster) VerifyPageMapCoherence() error {
 	var errs []error
-	for _, obj := range c.dir.Objects() {
+	for _, obj := range c.objects() {
 		if _, err := c.ObjectBytes(obj); err != nil {
 			errs = append(errs, err)
 		}

@@ -43,6 +43,20 @@ const (
 	KindMultiFetchReq // batched cross-object page fetch request (xfer gather)
 	KindMultiPageData // batched cross-object page payload reply
 	KindMultiPush     // batched cross-object RC eager update push
+
+	// Control-plane replication kinds (replicated directory shards).
+	KindReplicate      // primary → backup shard-op chaining
+	KindReplicateReply // backup acknowledgement
+	KindPromote        // client-driven backup promotion request
+	KindPromoteReply
+	KindEpoch      // epoch-change proposal to a witness
+	KindEpochReply // epoch-change verdict / stale-epoch redirect (RouteResp)
+	KindHandoff    // shard handoff control + state shipment
+	KindHandoffReply
+	KindDetect // cross-host deadlock detection (edges push, victim fan-out)
+	KindDetectReply
+	KindCommitSeq // global commit-order assignment at the sequencer
+	KindCommitSeqReply
 )
 
 // String implements fmt.Stringer.
@@ -84,6 +98,30 @@ func (k MsgKind) String() string {
 		return "multi-page-data"
 	case KindMultiPush:
 		return "multi-push"
+	case KindReplicate:
+		return "replicate"
+	case KindReplicateReply:
+		return "replicate-reply"
+	case KindPromote:
+		return "promote"
+	case KindPromoteReply:
+		return "promote-reply"
+	case KindEpoch:
+		return "epoch"
+	case KindEpochReply:
+		return "epoch-reply"
+	case KindHandoff:
+		return "handoff"
+	case KindHandoffReply:
+		return "handoff-reply"
+	case KindDetect:
+		return "detect"
+	case KindDetectReply:
+		return "detect-reply"
+	case KindCommitSeq:
+		return "commit-seq"
+	case KindCommitSeqReply:
+		return "commit-seq-reply"
 	default:
 		return "other"
 	}
@@ -156,6 +194,8 @@ type Recorder struct {
 	mu        sync.Mutex
 	msgs      []MsgRecord      // guarded by mu
 	transfers []TransferSample // guarded by mu
+	failovers []FailoverSample // guarded by mu
+	handoffs  []HandoffSample  // guarded by mu
 
 	localLockOps  atomic.Int64
 	globalLockOps atomic.Int64
@@ -174,6 +214,9 @@ type Recorder struct {
 	deltaBytes      atomic.Int64
 	deltaSavedBytes atomic.Int64
 	deltaFallbacks  atomic.Int64
+
+	epochRejects atomic.Int64
+	promotions   atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
@@ -269,6 +312,11 @@ type Counters struct {
 	DeltaBytes      int64
 	DeltaSavedBytes int64
 	DeltaFallbacks  int64
+
+	// Control-plane replication metrics: stale-epoch rejections and backup
+	// promotions. Zero under a static (unreplicated) placement.
+	EpochRejects int64
+	Promotions   int64
 }
 
 // Counters returns a snapshot of the scalar counters.
@@ -290,6 +338,9 @@ func (r *Recorder) Counters() Counters {
 		DeltaBytes:      r.deltaBytes.Load(),
 		DeltaSavedBytes: r.deltaSavedBytes.Load(),
 		DeltaFallbacks:  r.deltaFallbacks.Load(),
+
+		EpochRejects: r.epochRejects.Load(),
+		Promotions:   r.promotions.Load(),
 	}
 }
 

@@ -30,10 +30,11 @@ type SimNet struct {
 	pq     eventQueue    // guarded by mu
 	active int           // guarded by mu; procs started and not yet finished
 
-	// handlers and envs are populated during setup, before Run, and are
-	// read-only afterwards; they need no lock by construction.
-	handlers map[ids.NodeID]Handler
-	envs     map[ids.NodeID]*simEnv
+	// handlers, asyncHandlers, and envs are populated during setup, before
+	// Run, and are read-only afterwards; they need no lock by construction.
+	handlers      map[ids.NodeID]Handler
+	asyncHandlers map[ids.NodeID]AsyncHandler
+	envs          map[ids.NodeID]*simEnv
 
 	// yield carries the "current proc has blocked or finished" signal back
 	// to the scheduler. Procs send; only the scheduler receives.
@@ -92,11 +93,12 @@ func (q *eventQueue) Pop() any {
 // parameters. rec may be nil to skip tracing.
 func NewSimNet(n int, params netmodel.Params, rec *stats.Recorder) *SimNet {
 	s := &SimNet{
-		params:   params,
-		rec:      rec,
-		handlers: make(map[ids.NodeID]Handler, n),
-		envs:     make(map[ids.NodeID]*simEnv, n),
-		yield:    make(chan struct{}),
+		params:        params,
+		rec:           rec,
+		handlers:      make(map[ids.NodeID]Handler, n),
+		asyncHandlers: make(map[ids.NodeID]AsyncHandler, n),
+		envs:          make(map[ids.NodeID]*simEnv, n),
+		yield:         make(chan struct{}),
 	}
 	for i := 1; i <= n; i++ {
 		id := ids.NodeID(i)
@@ -138,6 +140,50 @@ func (s *SimNet) nextReqID() uint64 {
 
 // SetHandler installs the inbound-message handler for a node.
 func (s *SimNet) SetHandler(id ids.NodeID, h Handler) { s.handlers[id] = h }
+
+// SetAsyncHandler installs a deferred-reply handler for a node. A node has
+// either a Handler or an AsyncHandler; when both are set the async one
+// wins. Call during setup, before Run.
+func (s *SimNet) SetAsyncHandler(id ids.NodeID, h AsyncHandler) { s.asyncHandlers[id] = h }
+
+// hasHandler reports whether anything can receive a message at id.
+func (s *SimNet) hasHandler(id ids.NodeID) bool {
+	if _, ok := s.asyncHandlers[id]; ok {
+		return true
+	}
+	_, ok := s.handlers[id]
+	return ok
+}
+
+// dispatch invokes the destination's handler — sync or async — and calls
+// done exactly once with a non-nil reply. For sync handlers done fires
+// before dispatch returns; an async handler may defer it to any later
+// event. Duplicate replies from a misbehaving async handler are dropped
+// here so every call site can treat done as one-shot.
+func (s *SimNet) dispatch(to, from ids.NodeID, m wire.Msg, done func(wire.Msg)) {
+	if ah, ok := s.asyncHandlers[to]; ok {
+		fired := false
+		ah(from, m, func(reply wire.Msg) {
+			if fired {
+				return
+			}
+			fired = true
+			if reply == nil {
+				reply = &wire.ErrResp{Msg: "no reply"}
+			}
+			done(reply)
+		})
+		return
+	}
+	reply := s.handlers[to](from, m)
+	if reply == nil {
+		reply = &wire.ErrResp{Msg: "no reply"}
+	}
+	done(reply)
+}
+
+// discardReply is the done callback for one-way deliveries.
+func discardReply(wire.Msg) {}
 
 // Now returns the current virtual time.
 func (s *SimNet) Now() time.Duration {
@@ -253,22 +299,21 @@ func (e *simEnv) NewFuture() Future {
 // latency and runs the destination handler at that time.
 func (e *simEnv) Send(to ids.NodeID, m wire.Msg) error {
 	s := e.net
-	h, ok := s.handlers[to]
-	if !ok {
+	if !s.hasHandler(to) {
 		return fmt.Errorf("%w: %v", ErrNoHandler, to)
 	}
 	if to == e.self {
 		// Local delivery: no network cost, but still deferred through the
 		// event queue so handler effects stay ordered.
-		s.schedule(s.Now(), func() { h(e.self, m) })
+		s.schedule(s.Now(), func() { s.dispatch(to, e.self, m, discardReply) })
 		return nil
 	}
 	if s.inj != nil {
-		return e.sendFaulted(to, m, h)
+		return e.sendFaulted(to, m)
 	}
 	s.record(e.self, to, m)
 	from := e.self
-	s.schedule(s.Now()+s.latency(m), func() { h(from, m) })
+	s.schedule(s.Now()+s.latency(m), func() { s.dispatch(to, from, m, discardReply) })
 	return nil
 }
 
@@ -278,7 +323,7 @@ func (e *simEnv) Send(to ids.NodeID, m wire.Msg) error {
 // orphan a directory lock; other one-way traffic (Grant, Abort) is
 // transmitted through the injector as-is — the recoverable plans never
 // drop those kinds (see fault.Partition and the presets).
-func (e *simEnv) sendFaulted(to ids.NodeID, m wire.Msg, h Handler) error {
+func (e *simEnv) sendFaulted(to ids.NodeID, m wire.Msg) error {
 	s := e.net
 	if _, ok := m.(wire.Idempotent); ok {
 		e.Go(func() { _, _ = e.Call(to, m) })
@@ -301,7 +346,7 @@ func (e *simEnv) sendFaulted(to ids.NodeID, m wire.Msg, h Handler) error {
 			s.rec.AddMsgDelay()
 		}
 		s.record(from, to, m)
-		s.schedule(s.Now()+s.latency(m)+d.Delay, func() { h(from, m) })
+		s.schedule(s.Now()+s.latency(m)+d.Delay, func() { s.dispatch(to, from, m, discardReply) })
 	}
 	return nil
 }
@@ -310,27 +355,37 @@ func (e *simEnv) sendFaulted(to ids.NodeID, m wire.Msg, h Handler) error {
 // (the locally cached / co-located GDO partition case of §4.1).
 func (e *simEnv) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 	s := e.net
-	h, ok := s.handlers[to]
-	if !ok {
+	if !s.hasHandler(to) {
 		return nil, fmt.Errorf("%w: %v", ErrNoHandler, to)
 	}
 	if to == e.self {
-		return h(e.self, m), nil
+		if _, ok := s.asyncHandlers[to]; !ok {
+			return s.handlers[to](e.self, m), nil
+		}
+		// A self-call into an async handler still costs nothing on the
+		// wire, but the reply may be deferred, so park on a future. The
+		// handler runs inline on this proc; if it replies synchronously
+		// the future completes before Wait and the proc never yields.
+		f := e.NewFuture()
+		s.dispatch(to, e.self, m, func(reply wire.Msg) { f.Complete(reply, nil) })
+		v, err := f.Wait()
+		if err != nil {
+			return nil, err
+		}
+		return v.(wire.Msg), nil
 	}
 	if s.inj != nil {
-		return e.callFaulted(to, m, h)
+		return e.callFaulted(to, m)
 	}
 	f := e.NewFuture()
 	from := e.self
 	s.record(from, to, m)
 	s.schedule(s.Now()+s.latency(m), func() {
-		reply := h(from, m)
-		if reply == nil {
-			reply = &wire.ErrResp{Msg: "no reply"}
-		}
-		s.record(to, from, reply)
-		s.schedule(s.Now()+s.latency(reply), func() {
-			f.Complete(reply, nil)
+		s.dispatch(to, from, m, func(reply wire.Msg) {
+			s.record(to, from, reply)
+			s.schedule(s.Now()+s.latency(reply), func() {
+				f.Complete(reply, nil)
+			})
 		})
 	})
 	v, err := f.Wait()
@@ -351,7 +406,7 @@ func (e *simEnv) Call(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 // replays instead of re-executing) under the capped jittered exponential
 // backoff of the retry policy. Non-idempotent messages get exactly one
 // attempt — retrying them could double-execute.
-func (e *simEnv) callFaulted(to ids.NodeID, m wire.Msg, h Handler) (wire.Msg, error) {
+func (e *simEnv) callFaulted(to ids.NodeID, m wire.Msg) (wire.Msg, error) {
 	s := e.net
 	var reqID uint64
 	im, idem := m.(wire.Idempotent)
@@ -367,7 +422,7 @@ func (e *simEnv) callFaulted(to ids.NodeID, m wire.Msg, h Handler) (wire.Msg, er
 	}
 	for attempt := 0; ; attempt++ {
 		f := e.NewFuture()
-		e.transmitCall(to, m, h, f, s.Now())
+		e.transmitCall(to, m, f, s.Now())
 		v, err := f.Wait()
 		if err == nil {
 			reply := v.(wire.Msg)
@@ -396,7 +451,7 @@ func (e *simEnv) callFaulted(to ids.NodeID, m wire.Msg, h Handler) (wire.Msg, er
 // against arbitrarily large (but intact) replies, the loss itself arms
 // the caller's timeout: f completes with ErrTimeout at start+Timeout
 // unless a surviving copy's reply wins first.
-func (e *simEnv) transmitCall(to ids.NodeID, m wire.Msg, h Handler, f Future, start time.Duration) {
+func (e *simEnv) transmitCall(to ids.NodeID, m wire.Msg, f Future, start time.Duration) {
 	s := e.net
 	from := e.self
 	lose := func() {
@@ -420,31 +475,29 @@ func (e *simEnv) transmitCall(to ids.NodeID, m wire.Msg, h Handler, f Future, st
 		}
 		s.record(from, to, m)
 		s.schedule(s.Now()+s.latency(m)+d.Delay, func() {
-			reply := h(from, m)
-			if reply == nil {
-				reply = &wire.ErrResp{Msg: "no reply"}
-			}
-			rd := s.inj.Judge(s.Now(), to, from, reply)
-			if rd.Drop {
-				s.record(to, from, reply)
-				if s.rec != nil {
-					s.rec.AddMsgDrop()
+			s.dispatch(to, from, m, func(reply wire.Msg) {
+				rd := s.inj.Judge(s.Now(), to, from, reply)
+				if rd.Drop {
+					s.record(to, from, reply)
+					if s.rec != nil {
+						s.rec.AddMsgDrop()
+					}
+					lose()
+					return
 				}
-				lose()
-				return
-			}
-			for j := 0; j <= rd.Duplicates; j++ {
-				if j > 0 && s.rec != nil {
-					s.rec.AddMsgDup()
+				for j := 0; j <= rd.Duplicates; j++ {
+					if j > 0 && s.rec != nil {
+						s.rec.AddMsgDup()
+					}
+					if rd.Delay > 0 && s.rec != nil {
+						s.rec.AddMsgDelay()
+					}
+					s.record(to, from, reply)
+					s.schedule(s.Now()+s.latency(reply)+rd.Delay, func() {
+						f.Complete(reply, nil)
+					})
 				}
-				if rd.Delay > 0 && s.rec != nil {
-					s.rec.AddMsgDelay()
-				}
-				s.record(to, from, reply)
-				s.schedule(s.Now()+s.latency(reply)+rd.Delay, func() {
-					f.Complete(reply, nil)
-				})
-			}
+			})
 		})
 	}
 }

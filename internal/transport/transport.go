@@ -29,6 +29,16 @@ import (
 // must not call Env.Call (use Env.Send or complete futures instead).
 type Handler func(from ids.NodeID, m wire.Msg) wire.Msg
 
+// AsyncHandler processes one inbound message and delivers its reply through
+// a callback instead of a return value, so the reply can be deferred past
+// the handler's own return — e.g. a replicated directory shard that must
+// not answer a client until its backup has acknowledged the op. The reply
+// callback may be invoked synchronously (inside the handler) or from any
+// later event; only the first invocation counts. Like Handler, an
+// AsyncHandler must not block and must not call Env.Call inline (spawn a
+// proc with Env.Go for outbound RPCs).
+type AsyncHandler func(from ids.NodeID, m wire.Msg, reply func(wire.Msg))
+
 // Future is a one-shot completion slot used to park a transaction until a
 // deferred event (lock grant, deadlock abort) arrives.
 type Future interface {

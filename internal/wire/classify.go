@@ -101,6 +101,41 @@ func Classify(m Msg) stats.MsgRecord {
 		rec.Kind = stats.KindRunReply
 	case *ErrResp:
 		rec.Kind = stats.KindError
+	case *ReplicateReq:
+		rec.Kind, rec.Shard = stats.KindReplicate, int(t.Shard)
+	case *ReplicateResp:
+		rec.Kind = stats.KindReplicateReply
+	case *PromoteReq:
+		rec.Kind = stats.KindPromote
+	case *PromoteResp:
+		rec.Kind = stats.KindPromoteReply
+	case *EpochChangeReq:
+		rec.Kind = stats.KindEpoch
+	case *EpochChangeResp:
+		rec.Kind = stats.KindEpochReply
+	case *RouteResp:
+		rec.Kind = stats.KindEpochReply
+	case *HandoffStartReq:
+		rec.Kind, rec.Shard = stats.KindHandoff, int(t.Shard)
+	case *HandoffStartResp:
+		rec.Kind = stats.KindHandoffReply
+	case *HandoffReq:
+		rec.Kind, rec.Shard = stats.KindHandoff, int(t.Shard)
+		rec.Payload = len(t.State)
+	case *HandoffResp:
+		rec.Kind = stats.KindHandoffReply
+	case *WaitEdgeUpdate:
+		rec.Kind = stats.KindDetect
+	case *WaitEdgeResp:
+		rec.Kind = stats.KindDetectReply
+	case *AbortFamilyReq:
+		rec.Kind = stats.KindDetect
+	case *AbortFamilyResp:
+		rec.Kind = stats.KindDetectReply
+	case *CommitSeqReq:
+		rec.Kind = stats.KindCommitSeq
+	case *CommitSeqResp:
+		rec.Kind = stats.KindCommitSeqReply
 	}
 	return rec
 }

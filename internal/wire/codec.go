@@ -260,6 +260,9 @@ func (m *AcquireReq) encodeBody(w *writer) {
 	w.i32(int32(m.Site))
 	w.u8(uint8(m.Mode))
 	w.i32(m.Shard)
+	if m.Epoch != 0 {
+		w.u64(m.Epoch)
+	}
 }
 
 //lotec:noalloc
@@ -272,6 +275,10 @@ func (m *AcquireReq) decodeBody(r *reader) {
 	m.Site = ids.NodeID(r.i32())
 	m.Mode = o2pl.Mode(r.u8())
 	m.Shard = r.i32()
+	// Trailing optional epoch section: present iff body bytes remain.
+	if r.err == nil && r.off < len(r.buf) {
+		m.Epoch = r.u64()
+	}
 }
 
 //lotec:noalloc
@@ -317,6 +324,9 @@ func (m *ReleaseReq) encodeBody(w *writer) {
 			w.i32(int32(p))
 		}
 	}
+	if m.Epoch != 0 {
+		w.u64(m.Epoch)
+	}
 }
 
 //lotec:noalloc
@@ -334,6 +344,10 @@ func (m *ReleaseReq) decodeBody(r *reader) {
 			rel.Dirty = append(rel.Dirty, ids.PageNum(r.i32()))
 		}
 		m.Rels = append(m.Rels, rel)
+	}
+	// Trailing optional epoch section: present iff body bytes remain.
+	if r.err == nil && r.off < len(r.buf) {
+		m.Epoch = r.u64()
 	}
 }
 

@@ -90,8 +90,8 @@ func fill(v reflect.Value, ctr *int64) {
 // Shard field into the record's shard attribution.
 func TestEveryRegisteredTypeRoundTripsAndClassifies(t *testing.T) {
 	reg := registeredTypes(t)
-	if len(reg) != int(TMultiPushReq) {
-		t.Fatalf("newMsg constructs %d types; the MsgType enum defines %d", len(reg), int(TMultiPushReq))
+	if len(reg) != int(TCommitSeqResp) {
+		t.Fatalf("newMsg constructs %d types; the MsgType enum defines %d", len(reg), int(TCommitSeqResp))
 	}
 	for tag, proto := range reg {
 		ctr := int64(0)
@@ -143,6 +143,16 @@ func TestIdempotentMessagesCarryRequestID(t *testing.T) {
 		TCopySetReq:    true,
 		TMultiFetchReq: true,
 		TMultiPushReq:  true,
+		// Control-plane replication requests: all retried across failover
+		// and partitions, so all deduplicated by body request ID.
+		TReplicateReq:    true,
+		TPromoteReq:      true,
+		TEpochChangeReq:  true,
+		THandoffStartReq: true,
+		THandoffReq:      true,
+		TWaitEdgeUpdate:  true,
+		TAbortFamilyReq:  true,
+		TCommitSeqReq:    true,
 	}
 	for tag, proto := range reg {
 		im, ok := proto.(Idempotent)
@@ -178,8 +188,18 @@ func TestIdempotentMessagesCarryRequestID(t *testing.T) {
 func TestClassifyKindsAreDistinctPerType(t *testing.T) {
 	reg := registeredTypes(t)
 	seen := make(map[stats.MsgKind]MsgType)
+	// Control-plane pairs that deliberately share a kind: handoff control
+	// (start) and payload legs are both handoff traffic, RouteResp is an
+	// epoch-map reply wherever it appears, and the deadlock coordinator's
+	// edge updates and abort fan-out are both detect traffic.
+	shared := map[MsgType]bool{
+		TCopySetReq: true, TCopySetResp: true,
+		THandoffStartReq: true, THandoffStartResp: true,
+		TRouteResp:      true,
+		TAbortFamilyReq: true, TAbortFamilyResp: true,
+	}
 	for tag, proto := range reg {
-		if tag == TCopySetReq || tag == TCopySetResp {
+		if shared[tag] {
 			continue
 		}
 		m := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(Msg)

@@ -121,6 +121,45 @@ func FuzzDecode(f *testing.F) {
 		f.Add(buf[:HeaderSize+4])
 	}
 
+	// Replication control-plane seeds: epoch-stamped lock traffic (the
+	// optional trailing Epoch section, present and absent), placement maps
+	// of various shard counts including the degenerate single-shard map,
+	// and handoff payloads whose State blob is arbitrary bytes.
+	onePrimary := []ids.NodeID{3}
+	oneBackup := []ids.NodeID{4}
+	wideMap := PlacementMap{Epoch: 7, Nodes: 2, Primary: []ids.NodeID{3, 4, 3}, Backup: []ids.NodeID{4, 3, 4}}
+	replication := []Msg{
+		&AcquireReq{ReqID: 1<<42 + 1, Obj: 2, Mode: 1, Site: 1, Shard: 0, Epoch: 5},
+		&ReleaseReq{ReqID: 1<<42 + 2, Site: 1, Shard: 2, Epoch: 1<<63 + 9},
+		&ReplicateReq{ReqID: 1<<42 + 3, Shard: 1, Epoch: 4, Seq: 88, Client: 2,
+			Op:     Encode(Envelope{From: 2, To: 3}, &AcquireReq{ReqID: 12, Obj: 5, Mode: 2, Site: 2, Shard: 1, Epoch: 4}),
+			Purges: []ids.FamilyID{9}, Aborts: []ids.FamilyID{11, 12}},
+		&ReplicateResp{OK: true, Map: PlacementMap{Epoch: 4, Nodes: 2, Primary: onePrimary, Backup: oneBackup}},
+		&PromoteReq{ReqID: 1<<42 + 4, Dead: 3, Epoch: 4},
+		&PromoteResp{Map: wideMap},
+		&EpochChangeReq{ReqID: 1<<42 + 5, Map: wideMap},
+		&EpochChangeResp{OK: false, Map: wideMap},
+		&HandoffStartReq{ReqID: 1<<42 + 6, Shard: 2, Target: 4},
+		&HandoffStartResp{OK: true, StateBytes: 512, Map: wideMap},
+		&HandoffReq{ReqID: 1<<42 + 7, Shard: 2, Seq: 31, Map: wideMap,
+			State: bytes.Repeat([]byte{0x42}, 96)},
+		&HandoffResp{OK: true, Map: wideMap},
+		&RouteResp{Map: wideMap},
+		&WaitEdgeUpdate{ReqID: 1<<42 + 8, Ver: 3, Epoch: 7,
+			Edges: []WaitEdge{{From: 1, To: 2}, {From: 2, To: 3}},
+			Ages:  []FamilyAge{{Family: 1, Age: 10}, {Family: 2, Age: 20}}},
+		&WaitEdgeResp{Map: wideMap},
+		&AbortFamilyReq{ReqID: 1<<42 + 9, Family: 5, Epoch: 7},
+		&AbortFamilyResp{},
+		&CommitSeqReq{ReqID: 1<<42 + 10, Family: 5, Epoch: 7},
+		&CommitSeqResp{Seq: 42},
+	}
+	for _, m := range replication {
+		buf := Encode(Envelope{ReqID: 13, From: 4, To: 3}, m)
+		f.Add(buf)
+		f.Add(buf[:len(buf)-3]) // truncated mid-body
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, m, err := Decode(data)
 		if err != nil {

@@ -42,6 +42,23 @@ const (
 	TMultiFetchReq
 	TMultiFetchResp
 	TMultiPushReq
+	TReplicateReq
+	TReplicateResp
+	TPromoteReq
+	TPromoteResp
+	TEpochChangeReq
+	TEpochChangeResp
+	THandoffStartReq
+	THandoffStartResp
+	THandoffReq
+	THandoffResp
+	TRouteResp
+	TWaitEdgeUpdate
+	TWaitEdgeResp
+	TAbortFamilyReq
+	TAbortFamilyResp
+	TCommitSeqReq
+	TCommitSeqResp
 )
 
 // HeaderSize is the envelope size: type(1) + reqID(8) + from(4) + to(4) +
@@ -138,13 +155,28 @@ type AcquireReq struct {
 	// deployment's shared placement; the directory host dispatches on it
 	// and rejects mismatches, which catches placement disagreement early.
 	Shard int32
+	// Epoch is the requester's placement-map version under a replicated
+	// control plane; a host serving a newer epoch rejects the request with
+	// a RouteResp. Encoded as a trailing optional section — epoch-0
+	// (static-placement) requests stay byte-identical to the legacy format.
+	Epoch uint64
+}
+
+// epochExtra is the trailing optional epoch section's size.
+func epochExtra(e uint64) int {
+	if e != 0 {
+		return 8
+	}
+	return 0
 }
 
 // Type implements Msg.
 func (*AcquireReq) Type() MsgType { return TAcquireReq }
 
 // Size implements Msg.
-func (*AcquireReq) Size() int { return HeaderSize + 8 + 8 + sizeTxRef + 8 + 8 + 4 + 1 + 4 }
+func (m *AcquireReq) Size() int {
+	return HeaderSize + 8 + 8 + sizeTxRef + 8 + 8 + 4 + 1 + 4 + epochExtra(m.Epoch)
+}
 
 // RequestID implements Idempotent.
 func (m *AcquireReq) RequestID() uint64 { return m.ReqID }
@@ -187,6 +219,9 @@ type ReleaseReq struct {
 	// Rels; releasing sites batch one ReleaseReq per (home, shard).
 	Shard int32
 	Rels  []gdo.ObjectRelease
+	// Epoch is the requester's placement-map version (see AcquireReq.Epoch);
+	// a trailing optional section, absent at epoch 0.
+	Epoch uint64
 }
 
 // Type implements Msg.
@@ -194,7 +229,7 @@ func (*ReleaseReq) Type() MsgType { return TReleaseReq }
 
 // Size implements Msg.
 func (m *ReleaseReq) Size() int {
-	n := HeaderSize + 8 + 8 + 4 + 1 + 4 + 4
+	n := HeaderSize + 8 + 8 + 4 + 1 + 4 + 4 + epochExtra(m.Epoch)
 	for _, rel := range m.Rels {
 		n += 8 + 4 + 4*len(rel.Dirty)
 	}
@@ -597,6 +632,40 @@ func newMsg(t MsgType) (Msg, error) {
 		return &MultiFetchResp{}, nil
 	case TMultiPushReq:
 		return &MultiPushReq{}, nil
+	case TReplicateReq:
+		return &ReplicateReq{}, nil
+	case TReplicateResp:
+		return &ReplicateResp{}, nil
+	case TPromoteReq:
+		return &PromoteReq{}, nil
+	case TPromoteResp:
+		return &PromoteResp{}, nil
+	case TEpochChangeReq:
+		return &EpochChangeReq{}, nil
+	case TEpochChangeResp:
+		return &EpochChangeResp{}, nil
+	case THandoffStartReq:
+		return &HandoffStartReq{}, nil
+	case THandoffStartResp:
+		return &HandoffStartResp{}, nil
+	case THandoffReq:
+		return &HandoffReq{}, nil
+	case THandoffResp:
+		return &HandoffResp{}, nil
+	case TRouteResp:
+		return &RouteResp{}, nil
+	case TWaitEdgeUpdate:
+		return &WaitEdgeUpdate{}, nil
+	case TWaitEdgeResp:
+		return &WaitEdgeResp{}, nil
+	case TAbortFamilyReq:
+		return &AbortFamilyReq{}, nil
+	case TAbortFamilyResp:
+		return &AbortFamilyResp{}, nil
+	case TCommitSeqReq:
+		return &CommitSeqReq{}, nil
+	case TCommitSeqResp:
+		return &CommitSeqResp{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

@@ -104,9 +104,22 @@ func Compile(s *Spec) (*Workload, error) {
 func compileClass(spec *Spec, cls *ClientClass, horizon time.Duration, have int) ([]RootSpec, error) {
 	arrRng := rand.New(rand.NewSource(subSeed(spec.Seed, cls.Name, 1)))
 	treeRng := rand.New(rand.NewSource(subSeed(spec.Seed, cls.Name, 2)))
-	buckets, totalHz := rateBuckets(cls)
+	var rateTrace, objTrace []float64
+	if cls.Rate.Dist == "trace" {
+		var err error
+		if rateTrace, err = LoadTrace(cls.Rate.Trace); err != nil {
+			return nil, fmt.Errorf("workload: class %q rate: %w", cls.Name, err)
+		}
+	}
+	if cls.ObjectDist.Dist == "trace" {
+		var err error
+		if objTrace, err = LoadTrace(cls.ObjectDist.Trace); err != nil {
+			return nil, fmt.Errorf("workload: class %q objects: %w", cls.Name, err)
+		}
+	}
+	buckets, totalHz := rateBuckets(cls, rateTrace)
 	env, envMax := envelope(cls.Arrivals)
-	gen := &classGen{total: spec.Objects.Count, cls: cls}
+	gen := &classGen{total: spec.Objects.Count, cls: cls, objTrace: objTrace}
 	gen.initPicker(treeRng)
 	salt := fnvHash(cls.Name)
 
@@ -188,8 +201,9 @@ const rateBucketCount = 1024
 
 // rateBuckets builds the bucket table for a class and returns it with the
 // class's aggregate rate in Hz (always population × MeanHz; the
-// distribution only shapes how that budget is spread over clients).
-func rateBuckets(cls *ClientClass) (bucketTable, float64) {
+// distribution only shapes how that budget is spread over clients). trace
+// holds the normalized empirical weights when the dist is "trace".
+func rateBuckets(cls *ClientClass, trace []float64) (bucketTable, float64) {
 	pop := cls.Population
 	b := rateBucketCount
 	if b > pop {
@@ -226,6 +240,13 @@ func rateBuckets(cls *ClientClass) (bucketTable, float64) {
 			n := tbl.start[i+1] - tbl.start[i]
 			q := (float64(i) + 0.5) / float64(b)
 			weights[i] = float64(n) * math.Exp(mu+sigma*invNorm(q))
+		}
+	case "trace":
+		// Empirical: each bucket carries the trace mass over its rank span,
+		// resampled in quantile space onto the class population.
+		for i := 0; i < b; i++ {
+			weights[i] = traceMass(trace,
+				float64(tbl.start[i])/float64(pop), float64(tbl.start[i+1])/float64(pop))
 		}
 	default: // "uniform"
 		for i := 0; i < b; i++ {
@@ -317,15 +338,20 @@ func envelope(a ArrivalSpec) (func(float64) float64, float64) {
 // order, so spec workloads are deadlock-free by construction — but plugs
 // in the class's object distribution and tree-shape parameters.
 type classGen struct {
-	total int
-	cls   *ClientClass
-	zipf  *rand.Zipf
+	total    int
+	cls      *ClientClass
+	zipf     *rand.Zipf
+	objTrace []float64 // normalized empirical weights (dist "trace")
+	objCum   []float64 // objTrace resampled to the object population
 }
 
 // initPicker prepares distribution state bound to the tree RNG.
 func (g *classGen) initPicker(rng *rand.Rand) {
 	if g.cls.ObjectDist.Dist == "zipf" {
 		g.zipf = rand.NewZipf(rng, g.cls.ObjectDist.S, 1, uint64(g.total-1))
+	}
+	if g.cls.ObjectDist.Dist == "trace" && len(g.objTrace) > 0 {
+		g.objCum = traceCum(g.objTrace, g.total)
 	}
 }
 
@@ -342,6 +368,15 @@ func (g *classGen) pickObject(rng *rand.Rand, exclude map[int]bool, minIdx int) 
 		switch d.Dist {
 		case "zipf":
 			idx = int(g.zipf.Uint64())
+			if idx < minIdx {
+				idx = minIdx + rng.Intn(g.total-minIdx)
+			}
+		case "trace":
+			u := rng.Float64() * g.objCum[len(g.objCum)-1]
+			idx = sort.SearchFloat64s(g.objCum, u)
+			if idx >= g.total {
+				idx = g.total - 1
+			}
 			if idx < minIdx {
 				idx = minIdx + rng.Intn(g.total-minIdx)
 			}

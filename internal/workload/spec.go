@@ -84,8 +84,9 @@ type ClientClass struct {
 // RateDist distributes mean request rates over a class's clients.
 type RateDist struct {
 	// Dist is "uniform" (every client at MeanHz), "zipf" (rate ∝
-	// 1/rank^S, scaled so the class mean is MeanHz) or "lognormal"
-	// (median-MeanHz body with Sigma spread).
+	// 1/rank^S, scaled so the class mean is MeanHz), "lognormal"
+	// (median-MeanHz body with Sigma spread) or "trace" (empirical
+	// per-rank weights loaded from Trace; see trace.go).
 	Dist string `json:"dist"`
 	// MeanHz is the per-client mean request rate in requests/second.
 	MeanHz float64 `json:"mean_hz"`
@@ -93,6 +94,10 @@ type RateDist struct {
 	S float64 `json:"s"`
 	// Sigma is the lognormal shape (> 0; typical 1–2.5).
 	Sigma float64 `json:"sigma"`
+	// Trace is the trace-file path (CSV or JSONL), required when Dist is
+	// "trace". The file's weights shape how the class's rate budget
+	// (Population × MeanHz) is spread over client ranks.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ArrivalSpec shapes the open-loop arrival process of one class.
@@ -112,12 +117,15 @@ type ArrivalSpec struct {
 
 // ObjectDist selects objects for one class's invocations.
 type ObjectDist struct {
-	// Dist is "uniform", "hotset" (legacy HotFraction/HotWeight skew) or
-	// "zipf" (rank-S popularity over the object population).
+	// Dist is "uniform", "hotset" (legacy HotFraction/HotWeight skew),
+	// "zipf" (rank-S popularity over the object population) or "trace"
+	// (empirical per-rank popularity loaded from Trace; see trace.go).
 	Dist        string  `json:"dist"`
 	S           float64 `json:"s"`
 	HotFraction float64 `json:"hot_fraction"`
 	HotWeight   float64 `json:"hot_weight"`
+	// Trace is the trace-file path, required when Dist is "trace".
+	Trace string `json:"trace,omitempty"`
 }
 
 // withDefaults normalizes a spec in place and returns it.
@@ -222,6 +230,10 @@ func (s Spec) Validate() error {
 		seen[c.Name] = true
 		switch c.Rate.Dist {
 		case "uniform", "zipf", "lognormal":
+		case "trace":
+			if c.Rate.Trace == "" {
+				return fmt.Errorf("workload: class %q: rate dist \"trace\" needs a trace file", c.Name)
+			}
 		default:
 			return fmt.Errorf("workload: class %q: unknown rate dist %q", c.Name, c.Rate.Dist)
 		}
@@ -237,6 +249,10 @@ func (s Spec) Validate() error {
 		}
 		switch c.ObjectDist.Dist {
 		case "uniform", "hotset", "zipf":
+		case "trace":
+			if c.ObjectDist.Trace == "" {
+				return fmt.Errorf("workload: class %q: object dist \"trace\" needs a trace file", c.Name)
+			}
 		default:
 			return fmt.Errorf("workload: class %q: unknown object dist %q", c.Name, c.ObjectDist.Dist)
 		}

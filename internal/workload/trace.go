@@ -1,0 +1,196 @@
+package workload
+
+// Empirical trace distributions. Instead of a parametric law ("zipf",
+// "lognormal"), a class's rate or object distribution can point at a trace
+// file of observed per-rank weights — e.g. request counts per client or
+// per key exported from a production log. The trace is normalized into a
+// rank-quantile density and resampled onto the spec's population (clients
+// or objects), then feeds the same O(buckets) rank-bucket machinery the
+// parametric laws use, so a million-client class driven by a thousand-line
+// trace still costs O(buckets) memory.
+//
+// Two line-oriented formats are accepted, sniffed per line:
+//
+//	CSV:   "weight" or "rank,weight" (optional "rank,weight" header)
+//	JSONL: {"weight": w} or {"rank": r, "weight": w} per line
+//
+// Blank lines and '#' comments are skipped. When ranks are present the
+// entries are sorted by rank; otherwise file order is rank order. Weights
+// must be non-negative with a positive sum.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// traceEntry is one parsed line: an optional explicit rank and a weight.
+type traceEntry struct {
+	Rank   *int     `json:"rank"`
+	Weight *float64 `json:"weight"`
+}
+
+// ParseTrace decodes a trace from its raw bytes and returns the weights in
+// rank order, normalized to sum 1.
+func ParseTrace(data []byte) ([]float64, error) {
+	type rw struct {
+		rank   int
+		weight float64
+	}
+	var (
+		entries []rw
+		ranked  bool
+		lineNo  int
+	)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "{") {
+			var e traceEntry
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+			}
+			if e.Weight == nil {
+				return nil, fmt.Errorf("workload: trace line %d: missing weight", lineNo)
+			}
+			ent := rw{rank: len(entries), weight: *e.Weight}
+			if e.Rank != nil {
+				ent.rank = *e.Rank
+				ranked = true
+			}
+			entries = append(entries, ent)
+			continue
+		}
+		fields := strings.Split(line, ",")
+		switch len(fields) {
+		case 1:
+			w, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+			}
+			entries = append(entries, rw{rank: len(entries), weight: w})
+		case 2:
+			r, err1 := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+			w, err2 := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+			if err1 != nil || err2 != nil {
+				// A non-numeric first data line is a header ("rank,weight").
+				if len(entries) == 0 {
+					continue
+				}
+				return nil, fmt.Errorf("workload: trace line %d: %q", lineNo, line)
+			}
+			entries = append(entries, rw{rank: int(r), weight: w})
+			ranked = true
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: %d fields", lineNo, len(fields))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: trace: %w", err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("workload: trace is empty")
+	}
+	if ranked {
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].rank < entries[j].rank })
+	}
+	weights := make([]float64, len(entries))
+	var sum float64
+	for i, e := range entries {
+		if e.weight < 0 {
+			return nil, fmt.Errorf("workload: trace rank %d: negative weight %g", e.rank, e.weight)
+		}
+		weights[i] = e.weight
+		sum += e.weight
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("workload: trace has zero total weight")
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	return weights, nil
+}
+
+// LoadTrace reads and parses a trace file.
+func LoadTrace(path string) ([]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace: %w", err)
+	}
+	w, err := ParseTrace(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return w, nil
+}
+
+// SaveTrace writes weights as a "rank,weight" CSV, the canonical
+// round-trippable encoding (LoadTrace(SaveTrace(w)) re-normalizes to the
+// same distribution).
+func SaveTrace(path string, weights []float64) error {
+	var b strings.Builder
+	b.WriteString("rank,weight\n")
+	for i, w := range weights {
+		fmt.Fprintf(&b, "%d,%g\n", i, w)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// traceMass integrates a normalized trace over the quantile interval
+// [a, b) ⊆ [0, 1], treating entry j as uniform density over
+// [j/m, (j+1)/m). Resampling a trace onto a differently-sized population
+// is repeated calls with that population's rank spans.
+func traceMass(weights []float64, a, b float64) float64 {
+	m := float64(len(weights))
+	if a < 0 {
+		a = 0
+	}
+	if b > 1 {
+		b = 1
+	}
+	if b <= a {
+		return 0
+	}
+	var mass float64
+	lo := int(a * m)
+	hi := int(b * m)
+	if hi >= len(weights) {
+		hi = len(weights) - 1
+	}
+	for j := lo; j <= hi; j++ {
+		l, r := float64(j)/m, float64(j+1)/m
+		if l < a {
+			l = a
+		}
+		if r > b {
+			r = b
+		}
+		if r > l {
+			mass += weights[j] * (r - l) * m
+		}
+	}
+	return mass
+}
+
+// traceCum resamples a normalized trace onto an n-element population and
+// returns the cumulative weights (traceCum[i] = mass of ranks 0..i).
+func traceCum(weights []float64, n int) []float64 {
+	cum := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += traceMass(weights, float64(i)/float64(n), float64(i+1)/float64(n))
+		cum[i] = sum
+	}
+	return cum
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestTraceRoundTrip: SaveTrace → LoadTrace reproduces the normalized
+// distribution exactly, and the JSONL encoding of the same weights parses
+// to the identical result — CSV and JSONL are interchangeable sources.
+func TestTraceRoundTrip(t *testing.T) {
+	weights := []float64{10, 5, 2.5, 1.25, 0.5, 0.25, 0.25, 0.25}
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "trace.csv")
+	if err := SaveTrace(csvPath, weights); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := LoadTrace(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i := range weights {
+		if got, want := fromCSV[i], weights[i]/sum; math.Abs(got-want) > 1e-12 {
+			t.Errorf("rank %d: round-tripped %g, want %g", i, got, want)
+		}
+	}
+
+	// The same distribution as JSONL, with ranks deliberately shuffled:
+	// entries are re-sorted by rank, so line order is irrelevant.
+	jsonl := ""
+	for _, i := range []int{3, 0, 7, 1, 5, 2, 6, 4} {
+		jsonl += fmt.Sprintf("{\"rank\": %d, \"weight\": %g}\n", i, weights[i])
+	}
+	fromJSONL, err := ParseTrace([]byte(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromCSV, fromJSONL) {
+		t.Errorf("CSV %v != JSONL %v", fromCSV, fromJSONL)
+	}
+
+	// Headers, comments and bare-weight lines all parse.
+	mixed := "# comment\nrank,weight\n0,4\n1,2\n\n2,2\n"
+	fromMixed, err := ParseTrace([]byte(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0.5, 0.25, 0.25}; !reflect.DeepEqual(fromMixed, want) {
+		t.Errorf("mixed parse = %v, want %v", fromMixed, want)
+	}
+
+	// Degenerate inputs are rejected.
+	for _, bad := range []string{"", "0,0\n1,0\n", "0,-1\n1,2\n", "{\"rank\": 0}\n"} {
+		if _, err := ParseTrace([]byte(bad)); err == nil {
+			t.Errorf("ParseTrace(%q) accepted a degenerate trace", bad)
+		}
+	}
+}
+
+// TestTraceDistCompiles drives both trace hooks end to end: a spec whose
+// rate and object distributions come from a skewed trace file compiles
+// deterministically, and the empirical skew shows up in the schedule (the
+// head object is touched more than the tail).
+func TestTraceDistCompiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "skew.csv")
+	// Heavy head: rank 0 carries ~87% of the mass.
+	if err := SaveTrace(path, []float64{100, 10, 3, 1, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{
+		Name:      "trace-cell",
+		Seed:      7,
+		Nodes:     4,
+		Objects:   ObjectPop{Count: 10, MinPages: 1, MaxPages: 1},
+		HorizonMs: 40,
+		Classes: []ClientClass{{
+			Name:       "empirical",
+			Population: 5000,
+			Rate:       RateDist{Dist: "trace", MeanHz: 1, Trace: path},
+			ObjectDist: ObjectDist{Dist: "trace", Trace: path},
+		}},
+	}
+	w1, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Roots) == 0 {
+		t.Fatal("trace spec compiled to an empty schedule")
+	}
+	if !reflect.DeepEqual(w1.Roots, w2.Roots) {
+		t.Error("trace spec is not deterministic across compiles")
+	}
+	touches := make(map[int]int)
+	var countCalls func(c Call)
+	countCalls = func(c Call) {
+		touches[c.ObjIndex]++
+		for _, ch := range c.Children {
+			countCalls(ch)
+		}
+	}
+	for _, r := range w1.Roots {
+		countCalls(r.Call)
+	}
+	// Head ranks (objects 0-1, ~95% of trace mass over the first fifth of
+	// the population) must dominate a tail rank.
+	if touches[0]+touches[1] <= touches[9]*2 {
+		t.Errorf("trace skew not applied: head touches %d+%d vs tail %d",
+			touches[0], touches[1], touches[9])
+	}
+
+	// A missing trace file fails at compile, not silently.
+	spec.Classes[0].Rate.Trace = filepath.Join(dir, "absent.csv")
+	if _, err := Compile(spec); err == nil {
+		t.Error("compile accepted a missing trace file")
+	}
+}

@@ -317,7 +317,7 @@ func TestSpecHashStability(t *testing.T) {
 func TestRateBucketsZipfSkew(t *testing.T) {
 	cls := &ClientClass{Name: "c", Population: 100000,
 		Rate: RateDist{Dist: "zipf", MeanHz: 2, S: 1.2}}
-	tbl, total := rateBuckets(cls)
+	tbl, total := rateBuckets(cls, nil)
 	if want := 2.0 * 100000; math.Abs(total-want) > 1e-6 {
 		t.Errorf("aggregate rate = %v, want %v", total, want)
 	}
@@ -349,7 +349,7 @@ func TestRateBucketsZipfSkew(t *testing.T) {
 func TestRateBucketsLognormalMean(t *testing.T) {
 	cls := &ClientClass{Name: "c", Population: 5000,
 		Rate: RateDist{Dist: "lognormal", MeanHz: 0.5, Sigma: 1.5}}
-	tbl, total := rateBuckets(cls)
+	tbl, total := rateBuckets(cls, nil)
 	if want := 0.5 * 5000; math.Abs(total-want) > 1e-6 {
 		t.Errorf("aggregate rate = %v, want %v", total, want)
 	}

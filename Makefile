@@ -1,8 +1,8 @@
 # Tier-1 gate: everything must build, vet clean, lint clean, and pass
 # under the race detector before a change lands.
-.PHONY: check build vet lint lint-fixtures test bench bench-smoke calibrate-smoke chaos
+.PHONY: check build vet lint lint-fixtures test bench bench-allocs bench-smoke calibrate-smoke chaos
 
-check: build vet lint lint-fixtures test bench-smoke calibrate-smoke chaos
+check: build vet lint lint-fixtures test bench-allocs bench-smoke calibrate-smoke chaos
 
 build:
 	go build ./...
@@ -30,9 +30,19 @@ test:
 bench:
 	go run ./cmd/lotec-bench -figure 3 -json BENCH_results.json
 
+# Steady-state allocation gates (testing.AllocsPerRun) over the
+# //lotec:noalloc surfaces: pooled frame get/release, EncodeFrame,
+# ReadFrame, DecodeView, and the directory's immediate-grant fast path.
+# Run without -race: the poison pass and detector instrumentation change
+# the allocation behavior under test.
+bench-allocs:
+	go test -run 'TestAllocs' ./internal/wire/ ./internal/directory/
+
 # Fast data-plane invariant check: the byte/message trace must be identical
 # at FetchConcurrency 1 and 4, and the modeled gather wall-clock must
-# improve when transfers fan out.
+# improve when transfers fan out. With a committed BENCH_results.json the
+# smoke run also regresses bytes_moved/ns_per_op/allocs_per_op for the
+# figure rows and the per-path perf/ ledger rows.
 bench-smoke:
 	go run ./cmd/lotec-bench -figure 3 -smoke
 

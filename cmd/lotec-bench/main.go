@@ -122,6 +122,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, "lotec-bench: smoke:", err)
 				os.Exit(1)
 			}
+			if err := checkPerfLedger(*baseline); err != nil {
+				fmt.Fprintln(os.Stderr, "lotec-bench: smoke:", err)
+				os.Exit(1)
+			}
 		}
 		if err := smokeAvailability(*baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "lotec-bench: smoke:", err)
@@ -258,6 +262,12 @@ func writeJSON(spec sim.FigureSpec, path string) error {
 		})
 		fmt.Printf("directory/acquire-release  %d shard(s) %8d ops  %12.0f ns/op\n", shards, ops, nsPerOp)
 	}
+
+	perf, err := perfLedger()
+	if err != nil {
+		return err
+	}
+	results = append(results, perf...)
 
 	doc, err := readBenchDoc(path)
 	if err != nil {

@@ -103,9 +103,9 @@ func (d *Directory) Acquire(obj ids.ObjectID, ref ids.TxRef, family ids.FamilyID
 	switch {
 	case e.state() == Free && len(e.upgrades) == 0:
 		// "IF the lock is free THEN set the lock to held …"
-		e.holders = append(e.holders, &familyHold{
-			family: family, site: site, mode: mode, refs: []ids.TxRef{ref},
-		})
+		h := d.newHoldLocked(family, site, mode)
+		h.refs = append(h.refs, ref)
+		e.holders = append(e.holders, h)
 		e.copySet[site] = true
 		return d.grantedNow(e, mode), nil, nil
 
@@ -114,9 +114,9 @@ func (d *Directory) Acquire(obj ids.ObjectID, ref ids.TxRef, family ids.FamilyID
 		// THEN grant" — reader sharing across families. Blocked while an
 		// upgrade is pending so upgraders are not starved by a reader
 		// stream.
-		e.holders = append(e.holders, &familyHold{
-			family: family, site: site, mode: o2pl.Read, refs: []ids.TxRef{ref},
-		})
+		h := d.newHoldLocked(family, site, o2pl.Read)
+		h.refs = append(h.refs, ref)
+		e.holders = append(e.holders, h)
 		e.copySet[site] = true
 		return d.grantedNow(e, o2pl.Read), nil, nil
 
@@ -132,7 +132,7 @@ func (d *Directory) Acquire(obj ids.ObjectID, ref ids.TxRef, family ids.FamilyID
 		q.reqs = append(q.reqs, QueuedReq{Ref: ref, Mode: mode})
 		d.noteWaitersLocked(e)
 
-		if victim, cycle := d.findDeadlockVictim(family); cycle {
+		if victim, cycle := d.findDeadlockVictimLocked(family); cycle {
 			if victim == family {
 				d.purgeFamilyLocked(family)
 				return AcquireResult{Status: DeadlockAbort}, nil, nil
@@ -160,7 +160,7 @@ func (d *Directory) acquireHolding(e *entry, h *familyHold, ref ids.TxRef, age u
 	// Wait for the other reader families to drain.
 	e.upgrades = append(e.upgrades, &upgradeWait{family: h.family, site: site, age: age, ref: ref})
 	d.noteWaitersLocked(e)
-	if victim, cycle := d.findDeadlockVictim(h.family); cycle {
+	if victim, cycle := d.findDeadlockVictimLocked(h.family); cycle {
 		if victim == h.family {
 			d.dropUpgradeLocked(e, h.family)
 			return AcquireResult{Status: DeadlockAbort}, nil, nil

@@ -1,7 +1,7 @@
 package gdo
 
 import (
-	"sort"
+	"slices"
 
 	"lotec/internal/ids"
 )
@@ -17,6 +17,14 @@ import (
 // the root TxID of the family's first attempt, kept stable across retries
 // (wound-wait style), so a repeatedly victimized root eventually becomes
 // the oldest in any cycle and is guaranteed to win — no starvation.
+//
+// The detector runs on every release that re-points waiters (the directory's
+// steady-state hot path), so all of its working state — the flat edge list,
+// the DFS stack, the color and age maps — lives in a per-Directory scratch
+// area (wfScratch) that is reused across calls. A run allocates only while
+// the graph outgrows every previous one; at steady state it allocates
+// nothing. The maps are clear()ed, not reallocated: Go map clears keep the
+// buckets.
 
 // WaitEdge is one family-level waits-for edge: From is queued (or upgrading)
 // behind a lock To currently holds. Edge summaries are what a partitioned
@@ -26,6 +34,29 @@ type WaitEdge struct {
 	From ids.FamilyID
 	To   ids.FamilyID
 }
+
+// wfScratch is the detector's reusable working state. Guarded by d.mu; only
+// valid within one locked call.
+type wfScratch struct {
+	edges []WaitEdge              // flat adjacency, sorted by (From, To)
+	ages  map[ids.FamilyID]uint64 // waiting family → deadlock age
+	color map[ids.FamilyID]uint8  // DFS colors (white=absent, gray, black)
+	stack []wfFrame               // iterative DFS stack
+	cycle []ids.FamilyID          // cycle members, stack-top first
+}
+
+// wfFrame is one iterative-DFS stack slot: a gray family and the index of
+// the next adjacency edge to visit.
+type wfFrame struct {
+	fam  ids.FamilyID
+	next int
+}
+
+// DFS colors. White is encoded as absence from the color map.
+const (
+	wfGray  uint8 = 1
+	wfBlack uint8 = 2
+)
 
 // HasWaiters reports whether any family is queued or upgrading here. The
 // sharded router uses it as an O(1) precheck: a cycle spanning shards needs
@@ -38,24 +69,24 @@ func (d *Directory) HasWaiters() bool {
 
 // WaitEdges summarizes this directory's waits-for relation: the edge list
 // plus the waiting families' deadlock ages. The sharded router unions the
-// summaries of every shard and runs the same cycle search findDeadlockVictim
-// performs locally.
+// summaries of every shard and runs the same cycle search findDeadlockVictimLocked
+// performs locally. The returned slice and map are the caller's to keep —
+// they are copied out of the detector's scratch.
 func (d *Directory) WaitEdges() ([]WaitEdge, map[ids.FamilyID]uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	adj, ages := d.buildWaitsForLocked()
+	d.buildWaitsForLocked()
 	var edges []WaitEdge
-	for from, tos := range adj {
-		for _, to := range tos {
-			edges = append(edges, WaitEdge{From: from, To: to})
+	var ages map[ids.FamilyID]uint64
+	if len(d.wf.edges) > 0 {
+		edges = append(edges, d.wf.edges...)
+	}
+	if len(d.wf.ages) > 0 {
+		ages = make(map[ids.FamilyID]uint64, len(d.wf.ages))
+		for f, a := range d.wf.ages {
+			ages[f] = a
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].From != edges[j].From {
-			return edges[i].From < edges[j].From
-		}
-		return edges[i].To < edges[j].To
-	})
 	return edges, ages
 }
 
@@ -81,99 +112,148 @@ func (d *Directory) PurgeFamily(family ids.FamilyID) {
 	d.purgeFamilyLocked(family)
 }
 
-// buildWaitsForLocked derives the waits-for adjacency from current directory
-// state: a queued family waits on every holder of that object; an upgrading
-// family waits on every *other* holder. Caller holds d.mu.
-func (d *Directory) buildWaitsForLocked() (map[ids.FamilyID][]ids.FamilyID, map[ids.FamilyID]uint64) {
-	if len(d.waitObjs) == 0 {
-		return nil, nil
+// buildWaitsForLocked derives the waits-for relation from current directory
+// state into the reused scratch: a queued family waits on every holder of
+// that object; an upgrading family waits on every *other* holder. The edge
+// list ends sorted by (From, To), so each family's neighbors are a
+// contiguous ascending run — the deterministic traversal order the old
+// per-key sort provided, without the per-call maps. Caller holds d.mu.
+//
+//lotec:noalloc
+func (d *Directory) buildWaitsForLocked() {
+	d.wf.edges = d.wf.edges[:0]
+	if d.wf.ages == nil {
+		d.wf.ages = make(map[ids.FamilyID]uint64) //lotec:alloc-ok — first use; the map is reused (clear keeps buckets)
 	}
-	adj := make(map[ids.FamilyID][]ids.FamilyID)
-	ages := make(map[ids.FamilyID]uint64)
-	add := func(from, to ids.FamilyID) {
-		if from == to {
-			return
-		}
-		adj[from] = append(adj[from], to)
+	clear(d.wf.ages)
+	if len(d.waitObjs) == 0 {
+		return
 	}
 	// Only entries someone waits on can contribute edges; waitObjs indexes
-	// exactly those, so idle directories pay nothing here.
-	// adj/ages are maps; every consumer sorts adjacency lists before any
-	// order-dependent traversal (findDeadlockVictim, directory.unionWaits).
-	//lotec:unordered — builds maps only; consumers sort before traversal
+	// exactly those, so idle directories pay nothing here. The edge multiset
+	// is map-order independent: it is sorted before any traversal.
 	for _, e := range d.waitObjs {
 		for _, q := range e.queues {
-			ages[q.family] = q.age
+			d.wf.ages[q.family] = q.age
 			for _, h := range e.holders {
-				add(q.family, h.family)
+				if q.family != h.family {
+					d.wf.edges = append(d.wf.edges, WaitEdge{From: q.family, To: h.family})
+				}
 			}
 		}
 		for _, u := range e.upgrades {
-			ages[u.family] = u.age
+			d.wf.ages[u.family] = u.age
 			for _, h := range e.holders {
-				add(u.family, h.family)
+				if u.family != h.family {
+					d.wf.edges = append(d.wf.edges, WaitEdge{From: u.family, To: h.family})
+				}
 			}
 		}
 	}
-	return adj, ages
+	slices.SortFunc(d.wf.edges, cmpWaitEdge)
 }
 
-// findDeadlockVictim looks for a waits-for cycle reachable from start and,
-// if one exists, returns the youngest waiting family on it. Caller holds
-// d.mu.
-func (d *Directory) findDeadlockVictim(start ids.FamilyID) (ids.FamilyID, bool) {
-	adj, ages := d.buildWaitsForLocked()
-	// Deterministic traversal order.
-	//lotec:unordered — per-key in-place sort; no cross-key state.
-	for f := range adj {
-		s := adj[f]
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+// cmpWaitEdge orders edges by (From, To). Package-level rather than a
+// closure so the noalloc sort call site stays literal-free.
+//
+//lotec:noalloc
+func cmpWaitEdge(a, b WaitEdge) int {
+	switch {
+	case a.From < b.From:
+		return -1
+	case a.From > b.From:
+		return 1
+	case a.To < b.To:
+		return -1
+	case a.To > b.To:
+		return 1
 	}
+	return 0
+}
 
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := make(map[ids.FamilyID]int)
-	var stack []ids.FamilyID
-	var cycle []ids.FamilyID
-
-	var dfs func(f ids.FamilyID) bool
-	dfs = func(f ids.FamilyID) bool {
-		color[f] = gray
-		stack = append(stack, f)
-		for _, g := range adj[f] {
-			switch color[g] {
-			case white:
-				if dfs(g) {
-					return true
-				}
-			case gray:
-				// Found a cycle: the stack suffix from g onward.
-				for i := len(stack) - 1; i >= 0; i-- {
-					cycle = append(cycle, stack[i])
-					if stack[i] == g {
-						break
-					}
-				}
-				return true
-			}
+// neighborsLocked returns the index range [lo, hi) of f's outgoing edges in
+// the sorted scratch edge list. Caller holds d.mu after buildWaitsForLocked.
+//
+//lotec:noalloc
+func (d *Directory) neighborsLocked(f ids.FamilyID) (int, int) {
+	edges := d.wf.edges
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if edges[mid].From < f {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		stack = stack[:len(stack)-1]
-		color[f] = black
-		return false
 	}
+	end := lo
+	for end < len(edges) && edges[end].From == f {
+		end++
+	}
+	return lo, end
+}
 
-	if !dfs(start) {
+// findDeadlockVictimLocked looks for a waits-for cycle reachable from start and,
+// if one exists, returns the youngest waiting family on it. It runs on the
+// scratch graph with an iterative DFS — no per-call maps, slices or
+// closures. Caller holds d.mu.
+//
+//lotec:noalloc
+func (d *Directory) findDeadlockVictimLocked(start ids.FamilyID) (ids.FamilyID, bool) {
+	d.buildWaitsForLocked()
+	if len(d.wf.edges) == 0 {
+		return 0, false
+	}
+	if d.wf.color == nil {
+		d.wf.color = make(map[ids.FamilyID]uint8) //lotec:alloc-ok — first use; the map is reused (clear keeps buckets)
+	}
+	clear(d.wf.color)
+	d.wf.stack = d.wf.stack[:0]
+	d.wf.cycle = d.wf.cycle[:0]
+
+	// Iterative white/gray/black DFS, visiting each gray family's neighbors
+	// in ascending order — the exact traversal the recursive form performed.
+	d.wf.color[start] = wfGray
+	lo, _ := d.neighborsLocked(start)
+	d.wf.stack = append(d.wf.stack, wfFrame{fam: start, next: lo})
+	found := false
+	for len(d.wf.stack) > 0 && !found {
+		top := &d.wf.stack[len(d.wf.stack)-1]
+		if top.next >= len(d.wf.edges) || d.wf.edges[top.next].From != top.fam {
+			// Neighbors exhausted: blacken and pop.
+			d.wf.color[top.fam] = wfBlack
+			d.wf.stack = d.wf.stack[:len(d.wf.stack)-1]
+			continue
+		}
+		g := d.wf.edges[top.next].To
+		top.next++
+		switch d.wf.color[g] {
+		case wfGray:
+			// Found a cycle: the stack suffix from g onward, top first.
+			for i := len(d.wf.stack) - 1; i >= 0; i-- {
+				d.wf.cycle = append(d.wf.cycle, d.wf.stack[i].fam)
+				if d.wf.stack[i].fam == g {
+					break
+				}
+			}
+			found = true
+		case wfBlack:
+			// Explored and cycle-free; skip.
+		default:
+			d.wf.color[g] = wfGray
+			glo, _ := d.neighborsLocked(g)
+			d.wf.stack = append(d.wf.stack, wfFrame{fam: g, next: glo})
+		}
+	}
+	if !found {
 		return 0, false
 	}
 	// Victim: the youngest (largest-age) waiting family on the cycle. All
 	// cycle members wait by construction; tie-break on FamilyID for
 	// determinism.
-	victim := cycle[0]
-	for _, f := range cycle[1:] {
-		av, af := ages[victim], ages[f]
+	victim := d.wf.cycle[0]
+	for _, f := range d.wf.cycle[1:] {
+		av, af := d.wf.ages[victim], d.wf.ages[f]
 		if af > av || (af == av && f > victim) {
 			victim = f
 		}

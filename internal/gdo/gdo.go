@@ -131,8 +131,8 @@ func (e *entry) state() LockState {
 	return HeldRead
 }
 
-// holder, queue and removeHolder scan the short per-entry lists; with
-// state they are the grant/release fast path and must not allocate.
+// holder and queue scan the short per-entry lists; with state they are the
+// grant/release fast path and must not allocate.
 //
 //lotec:noalloc
 func (e *entry) holder(f ids.FamilyID) *familyHold {
@@ -154,17 +154,6 @@ func (e *entry) queue(f ids.FamilyID) *familyQueue {
 	return nil
 }
 
-//lotec:noalloc
-func (e *entry) removeHolder(f ids.FamilyID) bool {
-	for i, h := range e.holders {
-		if h.family == f {
-			e.holders = append(e.holders[:i], e.holders[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
 // Directory is the global directory of objects. It is safe for concurrent
 // use.
 type Directory struct {
@@ -181,6 +170,16 @@ type Directory struct {
 	// in the order their (first) committing release reaches the directory.
 	commitSeq   uint64                  // guarded by mu
 	commitOrder map[ids.FamilyID]uint64 // guarded by mu
+
+	// Reused hot-path scratch. Acquire and Release run on every protocol
+	// crossover, so their working sets are kept on the Directory and
+	// recycled: at steady state the grant/release path performs no
+	// allocations (ROADMAP item 4). All guarded by mu.
+	wf       wfScratch       // waits-for detector working state (deadlock.go)
+	entScr   []*entry        // waitEntriesSortedLocked sweep list
+	famScr   []ids.FamilyID  // scheduleLocked deadlock re-check snapshot
+	touchScr []*entry        // Release touched-entry list
+	holdFree []*familyHold   // familyHold freelist (records never escape)
 }
 
 // New returns an empty directory for a cluster of n nodes (n ≥ 1; used only
@@ -207,6 +206,40 @@ func (d *Directory) noteWaitersLocked(e *entry) {
 	} else {
 		delete(d.waitObjs, e.obj)
 	}
+}
+
+// newHoldLocked returns a reset familyHold for a fresh grant, reusing a
+// record (and its refs backing array) from the freelist when one is
+// available. Caller holds d.mu.
+//
+//lotec:noalloc
+func (d *Directory) newHoldLocked(f ids.FamilyID, site ids.NodeID, mode o2pl.Mode) *familyHold {
+	if n := len(d.holdFree); n > 0 {
+		h := d.holdFree[n-1]
+		d.holdFree[n-1] = nil
+		d.holdFree = d.holdFree[:n-1]
+		h.family, h.site, h.mode = f, site, mode
+		h.refs = h.refs[:0]
+		return h
+	}
+	return &familyHold{family: f, site: site, mode: mode} //lotec:alloc-ok — pool miss; removeHolderLocked recycles the record
+}
+
+// removeHolderLocked unlinks family f's hold from e and recycles the record
+// onto the freelist. Holds never leave the package (events carry queue
+// requests, not holder refs), so the next grant may safely reuse the struct.
+// Caller holds d.mu.
+//
+//lotec:noalloc
+func (d *Directory) removeHolderLocked(e *entry, f ids.FamilyID) bool {
+	for i, h := range e.holders {
+		if h.family == f {
+			e.holders = append(e.holders[:i], e.holders[i+1:]...)
+			d.holdFree = append(d.holdFree, h)
+			return true
+		}
+	}
+	return false
 }
 
 // HomeNode returns the GDO partition (node) responsible for obj. The

@@ -2,7 +2,7 @@ package gdo
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"lotec/internal/ids"
 	"lotec/internal/o2pl"
@@ -44,7 +44,7 @@ func (d *Directory) Release(family ids.FamilyID, site ids.NodeID, commit bool, r
 	}
 
 	var stamps []PageStamp
-	touched := make([]*entry, 0, len(rels))
+	d.touchScr = d.touchScr[:0]
 	for _, rel := range rels {
 		e, ok := d.entries[rel.Obj]
 		if !ok {
@@ -71,8 +71,8 @@ func (d *Directory) Release(family ids.FamilyID, site ids.NodeID, commit bool, r
 		if len(rel.Dirty) > 0 {
 			e.lastWriter = site
 		}
-		e.removeHolder(family)
-		touched = append(touched, e)
+		d.removeHolderLocked(e, family)
+		d.touchScr = append(d.touchScr, e)
 	}
 
 	// Defensive: the family is finishing; drop any stale queued requests or
@@ -80,7 +80,7 @@ func (d *Directory) Release(family ids.FamilyID, site ids.NodeID, commit bool, r
 	d.purgeFamilyLocked(family)
 
 	var events []Event
-	for _, e := range touched {
+	for _, e := range d.touchScr {
 		events = append(events, d.scheduleLocked(e)...)
 	}
 	return events, stamps, nil
@@ -132,13 +132,11 @@ func (d *Directory) scheduleLocked(e *entry) []Event {
 				break
 			}
 		}
-		refs := make([]ids.TxRef, 0, len(q.reqs))
+		h := d.newHoldLocked(q.family, q.site, mode)
 		for _, r := range q.reqs {
-			refs = append(refs, r.Ref)
+			h.refs = append(h.refs, r.Ref)
 		}
-		e.holders = append(e.holders, &familyHold{
-			family: q.family, site: q.site, mode: mode, refs: refs,
-		})
+		e.holders = append(e.holders, h)
 		e.copySet[q.site] = true
 		events = append(events, Event{
 			Kind:       EventGrant,
@@ -155,9 +153,14 @@ func (d *Directory) scheduleLocked(e *entry) []Event {
 
 	// Re-pointing waiters at the new holder can close waits-for cycles that
 	// enqueue-time detection could not see; re-check every family still
-	// queued here.
-	for _, q := range append([]*familyQueue(nil), e.queues...) {
-		if victim, cycle := d.findDeadlockVictim(q.family); cycle {
+	// queued here. The family IDs are snapshotted (into reused scratch)
+	// because an abort may edit e.queues mid-sweep.
+	d.famScr = d.famScr[:0]
+	for _, q := range e.queues {
+		d.famScr = append(d.famScr, q.family)
+	}
+	for _, f := range d.famScr {
+		if victim, cycle := d.findDeadlockVictimLocked(f); cycle {
 			events = append(events, d.abortVictimLocked(victim)...)
 		}
 	}
@@ -202,18 +205,37 @@ func (d *Directory) CancelRequest(obj ids.ObjectID, family ids.FamilyID) (bool, 
 // contain a waiting family (noteWaitersLocked keeps the index exact), and
 // sorting makes the purge/abort sweeps deterministic — iterating
 // d.entries directly would visit (and, for aborts, emit events) in map
-// order. Caller holds d.mu.
+// order. The returned slice is the reused entScr scratch; it is valid only
+// until the next call. Caller holds d.mu.
+//
+//lotec:noalloc
 func (d *Directory) waitEntriesSortedLocked() []*entry {
-	out := make([]*entry, 0, len(d.waitObjs))
+	d.entScr = d.entScr[:0]
 	for _, e := range d.waitObjs {
-		out = append(out, e)
+		d.entScr = append(d.entScr, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].obj < out[j].obj })
-	return out
+	slices.SortFunc(d.entScr, cmpEntryObj)
+	return d.entScr
+}
+
+// cmpEntryObj orders entries by object ID. Package-level rather than a
+// closure so the noalloc sort call site stays literal-free.
+//
+//lotec:noalloc
+func cmpEntryObj(a, b *entry) int {
+	switch {
+	case a.obj < b.obj:
+		return -1
+	case a.obj > b.obj:
+		return 1
+	}
+	return 0
 }
 
 // purgeFamilyLocked silently removes family from every queue and upgrade
 // list. Caller holds d.mu.
+//
+//lotec:noalloc
 func (d *Directory) purgeFamilyLocked(family ids.FamilyID) {
 	for _, e := range d.waitEntriesSortedLocked() {
 		removed := false

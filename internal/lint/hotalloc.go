@@ -25,8 +25,8 @@ import (
 //   - defer inside a loop;
 //   - calls to module functions not themselves marked //lotec:noalloc,
 //     calls to standard-library packages outside a small allowlist (sync,
-//     sync/atomic, math, math/bits, encoding/binary), and dynamic calls
-//     through function values or interface methods.
+//     sync/atomic, math, math/bits, encoding/binary, slices), and dynamic
+//     calls through function values or interface methods.
 //
 // Two escape hatches keep the check aligned with how the hot paths fail in
 // practice. Branches that terminate by returning a non-nil error (or
@@ -54,6 +54,7 @@ var noallocStdlibAllow = map[string]bool{
 	"math":            true,
 	"math/bits":       true,
 	"encoding/binary": true,
+	"slices":          true, // in-place pdqsort/search over caller-owned slices
 }
 
 func runHotAlloc(prog *Program) []Finding {
@@ -489,6 +490,11 @@ func (c *allocCheck) call(call *ast.CallExpr) {
 // interface-typed slot, which heap-allocates the boxed copy.
 func (c *allocCheck) boxCheck(e ast.Expr, target types.Type, what string) {
 	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	// A generic callee's type parameter is interface-typed in go/types, but
+	// instantiation substitutes the concrete type — no boxing happens.
+	if _, isTP := target.(*types.TypeParam); isTP {
 		return
 	}
 	src := c.p.Info.TypeOf(e)

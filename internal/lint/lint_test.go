@@ -307,14 +307,31 @@ func TestRepoHasNoallocSurface(t *testing.T) {
 	prog := NewProgram(pkgs)
 	g := prog.graph()
 	count := make(map[string]int)
+	marked := make(map[string]bool)
 	for _, fi := range g.sortedFuncs() {
 		if _, ok := noallocMark(fi); ok {
 			count[fi.pkg.Name]++
+			marked[fi.pkg.Name+"."+fi.decl.Name.Name] = true
 		}
 	}
 	for _, pkg := range []string{"wire", "gdo", "directory"} {
 		if count[pkg] == 0 {
 			t.Errorf("package %s has no //lotec:noalloc functions; the hot-path surface regressed", pkg)
+		}
+	}
+	// Pin the pooled data-plane and directory fast-path functions: losing
+	// one of these annotations silently drops it out of hotalloc's scope.
+	for _, fn := range []string{
+		"wire.GetFrame",
+		"wire.ReleaseFrame",
+		"gdo.newHoldLocked",
+		"gdo.removeHolderLocked",
+		"gdo.buildWaitsForLocked",
+		"gdo.findDeadlockVictimLocked",
+		"gdo.waitEntriesSortedLocked",
+	} {
+		if !marked[fn] {
+			t.Errorf("%s is not marked //lotec:noalloc; the pooled hot-path surface regressed", fn)
 		}
 	}
 }

@@ -192,6 +192,12 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		if e.IsDir() || !isSourceFile(e.Name()) {
 			continue
 		}
+		// Honor //go:build constraints under the default build context, so
+		// tag-gated variants (e.g. race-only poison files) don't collide
+		// with their default counterparts during type checking.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
+			continue
+		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err

@@ -69,7 +69,7 @@ func (c *Client) Close() error {
 
 func (c *Client) readLoop() {
 	for {
-		buf, err := readFrame(c.conn)
+		buf, err := wire.ReadFrame(c.conn)
 		if err != nil {
 			c.mu.Lock()
 			c.readErr = err
@@ -80,14 +80,18 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			return
 		}
-		env, m, err := wire.Decode(buf)
+		// The decoded reply aliases the pooled frame until it is handed to a
+		// waiter, which retains it; the frame is recycled either way.
+		env, m, err := wire.DecodeView(buf)
 		if err != nil || env.ReqID&replyBit == 0 {
+			wire.ReleaseFrame(buf)
 			continue
 		}
 		resp, ok := m.(*wire.RunResp)
 		if !ok {
 			er, isErr := m.(*wire.ErrResp)
 			if !isErr {
+				wire.ReleaseFrame(buf)
 				continue
 			}
 			resp = &wire.RunResp{ErrMsg: er.Msg}
@@ -100,8 +104,10 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Unlock()
 		if found {
+			wire.Retain(resp)
 			ch <- resp
 		}
+		wire.ReleaseFrame(buf)
 	}
 }
 
@@ -118,7 +124,9 @@ func (c *Client) Run(obj ids.ObjectID, method string, arg []byte) ([]byte, error
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	frame := wire.Encode(wire.Envelope{
+	// The pooled frame carries the length prefix in its headroom, so the
+	// request goes out in one write with no prepend copy.
+	frame := wire.EncodeFrame(wire.Envelope{
 		ReqID: id,
 		From:  ids.NodeID(ClientNodeBase),
 		To:    c.node,
@@ -127,8 +135,9 @@ func (c *Client) Run(obj ids.ObjectID, method string, arg []byte) ([]byte, error
 	// Deadline the write: a node with full socket buffers fails the call
 	// instead of wedging every client goroutine on c.mu.
 	_ = c.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	_, err := c.conn.Write(frameWithLen(frame))
+	_, err := c.conn.Write(frame)
 	c.mu.Unlock()
+	wire.ReleaseFrame(frame)
 	clear := func() {
 		c.mu.Lock()
 		delete(c.pending, id)
@@ -154,15 +163,4 @@ func (c *Client) Run(obj ids.ObjectID, method string, arg []byte) ([]byte, error
 		clear()
 		return nil, fmt.Errorf("client: run on %v: %w", c.node, transport.ErrTimeout)
 	}
-}
-
-// frameWithLen prepends the 4-byte length header.
-func frameWithLen(buf []byte) []byte {
-	out := make([]byte, 4+len(buf))
-	out[0] = byte(len(buf))
-	out[1] = byte(len(buf) >> 8)
-	out[2] = byte(len(buf) >> 16)
-	out[3] = byte(len(buf) >> 24)
-	copy(out[4:], buf)
-	return out
 }

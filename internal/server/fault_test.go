@@ -1,0 +1,125 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lotec/internal/core"
+	"lotec/internal/fault"
+	"lotec/internal/ids"
+	"lotec/internal/transport"
+)
+
+// faultPlan builds a dup+delay+drop schedule over the retriable RPC kinds.
+// Probabilities are high enough that every cell below reliably exercises
+// the injector's delayed and duplicated send paths, which hold encoded
+// buffers in goroutines with unbounded lifetimes — the one place the
+// transport must NOT hand out pooled frames.
+func faultPlan(seed uint64) fault.Plan {
+	return fault.Plan{
+		Seed: seed,
+		Rules: []fault.Rule{
+			{Op: fault.OpDuplicate, Prob: 0.25, Kinds: fault.RetriableKinds},
+			{Op: fault.OpDelay, Prob: 0.25, Delay: 2 * time.Millisecond},
+			{Op: fault.OpDrop, Prob: 0.05, Kinds: fault.RetriableKinds},
+		},
+	}
+}
+
+// startFaultyDeployment is startDeployment with a fault plan installed on
+// the directory and every node, plus a tight retry policy so dropped RPC
+// legs recover quickly.
+func startFaultyDeployment(t *testing.T, n int, plan fault.Plan) (Topology, []*NodeServer) {
+	t.Helper()
+	retry := transport.RetryPolicy{
+		Attempts:    8,
+		Timeout:     500 * time.Millisecond,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	}
+	addrs := freeAddrs(t, n+1)
+	topo := Topology{NodeAddrs: addrs[:n], GDOAddr: addrs[n]}
+	g := NewGDOServer(topo)
+	g.InstallFaults(plan, retry)
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = g.Close() })
+	cls := accountClass(t)
+	nodes := make([]*NodeServer, 0, n)
+	for i := 1; i <= n; i++ {
+		ns, err := NewNodeServer(NodeConfig{
+			Topology: topo,
+			Self:     ids.NodeID(i),
+			Protocol: core.LOTEC,
+			PageSize: 256,
+			Faults:   &plan,
+			Retry:    retry,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		registerBodies(t, ns, cls)
+		if err := ns.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = ns.Close() })
+		nodes = append(nodes, ns)
+	}
+	return topo, nodes
+}
+
+// TestTCPFaultInjectionPooledFrames runs concurrent cross-node
+// transactions through the TCP transport while the injector duplicates,
+// delays, and drops retriable traffic. With pooled read/write frames this
+// is the use-after-release gauntlet: a delayed or duplicated send that
+// aliased a pooled frame would be scribbled over by a later message and
+// corrupt the stream (and trip -race via the release-time poison).
+// Correctness check: every deposit lands exactly once.
+func TestTCPFaultInjectionPooledFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault cell is timing-dependent; skipped in -short")
+	}
+	topo, nodes := startFaultyDeployment(t, 2, faultPlan(0x10c0de))
+	obj := ids.ObjectID(7001)
+	createObject(t, nodes, obj, 1)
+
+	cli, err := Dial(topo.NodeAddrs[1], 2) // client at node 2; object owned by node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const (
+		workers  = 4
+		deposits = 10
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*deposits)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < deposits; i++ {
+				if _, err := cli.Run(obj, "deposit", i64(1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got, err := cli.Run(obj, "peek", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(workers * deposits); dec64(got) != want {
+		t.Fatalf("balance = %d, want %d (lost or double-applied deposits under faults)", dec64(got), want)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -224,11 +223,27 @@ func (n *TCPNet) conn(to ids.NodeID) (*tcpConn, error) {
 	return c, nil
 }
 
-// writeFrame sends one length-delimited encoded message. Each write
-// carries a deadline: a peer that has stopped draining its socket makes
-// the write fail instead of blocking the caller (and everyone queued on
-// the write lock) indefinitely.
-func (c *tcpConn) writeFrame(buf []byte) error {
+// writeFrame sends one transport-ready frame (length prefix already written
+// into frame[:wire.FrameHeadroom], as wire.EncodeFrame builds it) in a
+// single write. Each write carries a deadline: a peer that has stopped
+// draining its socket makes the write fail instead of blocking the caller
+// (and everyone queued on the write lock) indefinitely.
+func (c *tcpConn) writeFrame(frame []byte) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if err := c.c.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+		return err
+	}
+	_, err := c.c.Write(frame)
+	return err
+}
+
+// writeMsg frames and sends a bare encoded message (no headroom) with a
+// scatter-gather writev: length prefix and body go out in one syscall
+// without copying the body into a prefixed buffer. This is the path for
+// buffers whose ownership is shared (fault-injected sends may hold them in
+// delayed/duplicated goroutines), so they cannot come from the frame pool.
+func (c *tcpConn) writeMsg(buf []byte) error {
 	c.wm.Lock()
 	defer c.wm.Unlock()
 	if err := c.c.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
@@ -236,28 +251,9 @@ func (c *tcpConn) writeFrame(buf []byte) error {
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(buf)))
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := c.c.Write(buf)
+	bufs := net.Buffers{hdr[:], buf}
+	_, err := bufs.WriteTo(c.c)
 	return err
-}
-
-// readFrame reads one length-delimited message.
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	size := binary.LittleEndian.Uint32(hdr[:])
-	if size > 64<<20 {
-		return nil, fmt.Errorf("server: oversized frame (%d bytes)", size)
-	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
 }
 
 // readLoop decodes inbound frames: replies complete pending calls, requests
@@ -274,12 +270,17 @@ func (n *TCPNet) readLoop(c *tcpConn, peer ids.NodeID) {
 		}
 	}()
 	for {
-		buf, err := readFrame(c.c)
+		buf, err := wire.ReadFrame(c.c)
 		if err != nil {
 			return
 		}
-		env, m, err := wire.Decode(buf)
+		// Decode in place: payload fields alias the pooled frame, which is
+		// released at the bottom of the loop. Messages that outlive this
+		// iteration (replies parked on pending channels, requests handed to
+		// async handlers) are retained — deep-copied — first.
+		env, m, err := wire.DecodeView(buf)
 		if err != nil {
+			wire.ReleaseFrame(buf)
 			continue // drop undecodable frames
 		}
 		if peer == ids.NoNode && env.From != ids.NoNode && int64(env.From) < clientIDBase {
@@ -303,11 +304,20 @@ func (n *TCPNet) readLoop(c *tcpConn, peer ids.NodeID) {
 			}
 			n.mu.Unlock()
 			if ok {
+				wire.Retain(m)
 				ch <- m
 			}
+			wire.ReleaseFrame(buf)
 			continue
 		}
+		if _, isAsync := n.async[m.Type()]; isAsync {
+			wire.Retain(m)
+		}
+		// Synchronous handlers consume the message before returning (the
+		// transport contract; replies and page installs copy what they
+		// keep), so the frame is safe to recycle once dispatch returns.
 		n.dispatch(c, env, m)
+		wire.ReleaseFrame(buf)
 	}
 }
 
@@ -362,8 +372,15 @@ func (n *TCPNet) NewFuture() transport.Future {
 }
 
 // transmit writes one frame through the fault injector (when installed):
-// the frame may be dropped, delayed, or duplicated per the plan. With no
-// injector this is exactly writeFrame.
+// the frame may be dropped, delayed, or duplicated per the plan.
+//
+// With no injector — the steady state — the message is encoded into a
+// pooled frame (prefix and body contiguous, one write) that returns to the
+// pool as soon as the write completes. An active injector switches to an
+// unpooled buffer sent via scatter-gather writev: delayed and duplicated
+// sends hold the buffer in goroutines with unbounded lifetimes, so it must
+// be GC-owned — chaos pays for its own allocations, the clean path never
+// does.
 func (n *TCPNet) transmit(c *tcpConn, to ids.NodeID, env wire.Envelope, m wire.Msg) error {
 	if n.rec != nil {
 		// Every frame that leaves this process — request or reply — is
@@ -374,10 +391,13 @@ func (n *TCPNet) transmit(c *tcpConn, to ids.NodeID, env wire.Envelope, m wire.M
 		r.From, r.To = env.From, env.To
 		n.rec.Record(r)
 	}
-	buf := wire.Encode(env, m)
 	if n.inj == nil {
-		return c.writeFrame(buf)
+		frame := wire.EncodeFrame(env, m)
+		err := c.writeFrame(frame)
+		wire.ReleaseFrame(frame)
+		return err
 	}
+	buf := wire.Encode(env, m)
 	d := n.inj.Judge(n.Now(), n.self, to, m)
 	if d.Drop {
 		if n.rec != nil {
@@ -392,16 +412,16 @@ func (n *TCPNet) transmit(c *tcpConn, to ids.NodeID, env wire.Envelope, m wire.M
 		delay := d.Delay
 		go func() {
 			time.Sleep(delay)
-			_ = c.writeFrame(buf)
+			_ = c.writeMsg(buf)
 		}()
-	} else if err := c.writeFrame(buf); err != nil {
+	} else if err := c.writeMsg(buf); err != nil {
 		return err
 	}
 	for i := 0; i < d.Duplicates; i++ {
 		if n.rec != nil {
 			n.rec.AddMsgDup()
 		}
-		go func() { _ = c.writeFrame(buf) }()
+		go func() { _ = c.writeMsg(buf) }()
 	}
 	return nil
 }

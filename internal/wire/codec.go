@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"lotec/internal/gdo"
 	"lotec/internal/ids"
@@ -28,6 +29,14 @@ var (
 type writer struct {
 	buf []byte
 }
+
+// writerPool and readerPool recycle codec state across messages: the
+// encodeBody/decodeBody interface calls force a stack writer or reader to
+// escape, which would otherwise cost one heap allocation per message.
+var (
+	writerPool = sync.Pool{New: func() any { return new(writer) }}
+	readerPool = sync.Pool{New: func() any { return new(reader) }}
+)
 
 // u8..qreq append fixed-width fields into the reused buffer; they are the
 // wire hot path and must stay allocation-free (amortized growth aside).
@@ -72,11 +81,14 @@ func (w *writer) loc(l gdo.PageLoc) { w.i32(int32(l.Node)); w.u64(l.Version) }
 //lotec:noalloc
 func (w *writer) qreq(q gdo.QueuedReq) { w.ref(q.Ref); w.u8(uint8(q.Mode)) }
 
-// reader consumes a little-endian body, accumulating the first error.
+// reader consumes a little-endian body, accumulating the first error. In
+// view mode (DecodeView) byte-slice fields alias buf instead of copying —
+// the decoded message then lives only as long as the frame it came from.
 type reader struct {
-	buf []byte
-	off int
-	err error
+	buf  []byte
+	off  int
+	err  error
+	view bool
 }
 
 // fail is the bounds check on every read; the formatted error is built only
@@ -149,10 +161,18 @@ func (r *reader) qreq() gdo.QueuedReq {
 	return gdo.QueuedReq{Ref: r.ref(), Mode: o2pl.Mode(r.u8())}
 }
 
+// bytes reads a length-prefixed byte field. In view mode the result aliases
+// the frame (capped capacity, so an append by the consumer cannot scribble
+// over adjacent fields); otherwise it is a fresh copy.
 func (r *reader) bytes() []byte {
 	n := int(r.u32())
 	if n == 0 || r.fail(n) {
 		return nil
+	}
+	if r.view {
+		out := r.buf[r.off : r.off+n : r.off+n]
+		r.off += n
+		return out
 	}
 	out := make([]byte, n)
 	copy(out, r.buf[r.off:])
@@ -213,8 +233,22 @@ func Encode(env Envelope, m Msg) []byte {
 	return w.buf
 }
 
-// Decode parses a full message buffer produced by Encode.
+// Decode parses a full message buffer produced by Encode. The returned
+// message owns all of its memory.
 func Decode(buf []byte) (Envelope, Msg, error) {
+	return decode(buf, false)
+}
+
+// DecodeView parses like Decode, but the returned message's byte-slice
+// payload fields (page data, delta data, run arguments/results) alias buf
+// instead of copying. The message is valid only while buf is — callers that
+// outlive the frame must wire.Retain the message before releasing it.
+// String fields are always owned (the string conversion copies).
+func DecodeView(buf []byte) (Envelope, Msg, error) {
+	return decode(buf, true)
+}
+
+func decode(buf []byte, view bool) (Envelope, Msg, error) {
 	if len(buf) < HeaderSize {
 		return Envelope{}, nil, fmt.Errorf("%w: header", ErrShortBuffer)
 	}
@@ -232,13 +266,17 @@ func Decode(buf []byte) (Envelope, Msg, error) {
 	if err != nil {
 		return env, nil, err
 	}
-	r := &reader{buf: buf[HeaderSize : HeaderSize+bodyLen]}
+	r := readerPool.Get().(*reader)
+	*r = reader{buf: buf[HeaderSize : HeaderSize+bodyLen], view: view}
 	m.decodeBody(r)
-	if r.err != nil {
-		return env, nil, fmt.Errorf("decode %d: %w", env.Type, r.err)
+	rerr, off, n := r.err, r.off, len(r.buf)
+	*r = reader{}
+	readerPool.Put(r)
+	if rerr != nil {
+		return env, nil, fmt.Errorf("decode %d: %w", env.Type, rerr)
 	}
-	if r.off != len(r.buf) {
-		return env, nil, fmt.Errorf("%w: %d of %d consumed", ErrTrailing, r.off, len(r.buf))
+	if off != n {
+		return env, nil, fmt.Errorf("%w: %d of %d consumed", ErrTrailing, off, n)
 	}
 	return env, m, nil
 }

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 
@@ -126,6 +128,59 @@ func TestEveryRegisteredTypeRoundTripsAndClassifies(t *testing.T) {
 				t.Errorf("%T: Shard field %d not attributed (record has shard %d)", m, shard.Int(), rec.Shard)
 			}
 		}
+	}
+}
+
+// TestEncodeFrameMatchesEncodeExactly pins the pooled frame path to the
+// seed encoding byte for byte, over every registered message type: the
+// frame's body must be identical to Encode's output, the headroom must
+// hold exactly the little-endian message length, and DecodeView must
+// round-trip the frame body into a message deep-equal to the copying
+// decode. Any divergence means old and new binaries could not interoperate
+// on one wire.
+func TestEncodeFrameMatchesEncodeExactly(t *testing.T) {
+	reg := registeredTypes(t)
+	env := Envelope{ReqID: 99, From: 3, To: 1}
+	for _, proto := range reg {
+		ctr := int64(0)
+		m := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(Msg)
+		fill(reflect.ValueOf(m), &ctr)
+
+		want := Encode(env, m)
+		frame := EncodeFrame(env, m)
+		if len(frame) != FrameHeadroom+len(want) {
+			t.Errorf("%T: frame is %d bytes, want headroom %d + body %d", m, len(frame), FrameHeadroom, len(want))
+		}
+		if got := binary.LittleEndian.Uint32(frame); int(got) != len(want) {
+			t.Errorf("%T: length prefix says %d, body is %d bytes", m, got, len(want))
+		}
+		if !bytes.Equal(frame[FrameHeadroom:], want) {
+			t.Errorf("%T: pooled frame body differs from seed encoding", m)
+		}
+
+		venv, vm, err := DecodeView(frame[FrameHeadroom:])
+		if err != nil {
+			t.Errorf("%T: DecodeView: %v", m, err)
+		} else {
+			wantEnv := env
+			wantEnv.Type = m.Type()
+			if venv != wantEnv {
+				t.Errorf("%T: view envelope %+v, want %+v", m, venv, wantEnv)
+			}
+			if !reflect.DeepEqual(m, vm) {
+				t.Errorf("%T: view decode mismatch:\n sent %+v\n got  %+v", m, m, vm)
+			}
+			// Retain must sever every frame alias: poison the frame and the
+			// retained message has to stay intact.
+			Retain(vm)
+			for i := range frame {
+				frame[i] = 0xDB
+			}
+			if !reflect.DeepEqual(m, vm) {
+				t.Errorf("%T: Retain left a field aliasing the frame", m)
+			}
+		}
+		ReleaseFrame(frame)
 	}
 }
 

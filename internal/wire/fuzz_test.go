@@ -162,9 +162,33 @@ func FuzzDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, m, err := Decode(data)
+
+		// DecodeView must accept and reject exactly the same inputs as the
+		// copying decode (truncations and corruptions included), and on
+		// success produce a deep-equal message whose Retain severs every
+		// alias into the input buffer.
+		viewBuf := append([]byte(nil), data...)
+		venv, vm, verr := DecodeView(viewBuf)
+		if (err == nil) != (verr == nil) {
+			t.Fatalf("Decode err=%v but DecodeView err=%v on the same bytes", err, verr)
+		}
 		if err != nil {
 			return
 		}
+		if venv != env {
+			t.Fatalf("view envelope %+v, copy envelope %+v", venv, env)
+		}
+		if !reflect.DeepEqual(m, vm) {
+			t.Fatalf("%T: view decode differs from copy decode:\n copy %+v\n view %+v", m, m, vm)
+		}
+		Retain(vm)
+		for i := range viewBuf {
+			viewBuf[i] = 0xDB
+		}
+		if !reflect.DeepEqual(m, vm) {
+			t.Fatalf("%T: Retain left a field aliasing the buffer", m)
+		}
+
 		re := Encode(env, m)
 		if len(re) != m.Size() {
 			t.Fatalf("re-encode of %T produced %d bytes, Size says %d", m, len(re), m.Size())
